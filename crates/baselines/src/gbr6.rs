@@ -1,0 +1,114 @@
+//! GBr⁶ analog: serial, parameterization-free volume-based r⁶ GB
+//! (Tjong & Zhou 2007; Table II row 5).
+//!
+//! All-pairs quadratic volume integrals for the radii, all-pairs STILL
+//! energy, no parallelism, and quadratic working arrays that hit the §V.D
+//! memory wall just above 13k atoms on a 24 GB node.
+
+use crate::package::{
+    finish_energy, GbPackage, PackageContext, PackageOutcome, PackageReport,
+};
+use crate::volume_r6::born_radii_volume_r6;
+use polaroct_core::gb::inv_f_gb;
+use polaroct_geom::fastmath::MathMode;
+use polaroct_molecule::Molecule;
+
+/// The GBr⁶ analog (no tunables: the method is parameterization-free).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GBr6;
+
+impl GbPackage for GBr6 {
+    fn name(&self) -> &'static str {
+        "GBr6"
+    }
+
+    fn gb_model(&self) -> &'static str {
+        "STILL (volume r6)"
+    }
+
+    fn parallelism(&self) -> &'static str {
+        "Serial"
+    }
+
+    fn run(&self, mol: &Molecule, ctx: &PackageContext) -> PackageOutcome {
+        let m = mol.len() as f64;
+        let quadratic = (m * m * ctx.factors.gbr6_bytes_per_pair) as usize;
+        if quadratic > ctx.cluster.machine.dram_per_node {
+            return PackageOutcome::OutOfMemory {
+                name: self.name(),
+                required_bytes: quadratic,
+                node_bytes: ctx.cluster.machine.dram_per_node,
+            };
+        }
+        let (born, ops_radii) = born_radii_volume_r6(mol);
+        // All-pairs STILL energy (serial code, no cutoff machinery).
+        let mut raw = 0.0;
+        let n = mol.len();
+        for i in 0..n {
+            let (qi, ri) = (mol.charges[i], born[i]);
+            raw += qi * qi / ri;
+            for j in (i + 1)..n {
+                let r2 = mol.positions[i].dist2(mol.positions[j]);
+                raw += 2.0 * qi * mol.charges[j] * inv_f_gb(r2, ri, born[j], MathMode::Exact);
+            }
+        }
+        let ops_epol = (n * n) as u64;
+        let pair_ops = ops_radii + ops_epol;
+        let time = ctx.factors.gbr6_fixed
+            + pair_ops as f64 * ctx.costs.epol_near * ctx.factors.gbr6_per_op;
+        PackageOutcome::Ok(PackageReport {
+            name: self.name(),
+            energy_kcal: finish_energy(ctx, raw),
+            time,
+            pair_ops,
+            memory_per_process: quadratic,
+            cores: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaroct_cluster::machine::{ClusterSpec, MachineSpec, Placement};
+    use polaroct_molecule::synth;
+
+    fn ctx() -> PackageContext {
+        PackageContext::new(ClusterSpec::new(
+            MachineSpec::lonestar4(),
+            Placement::distributed(1),
+        ))
+    }
+
+    #[test]
+    fn serial_run_reports_one_core() {
+        let mol = synth::protein("p", 300, 3);
+        let r = GBr6.run(&mol, &ctx()).report().unwrap().clone();
+        assert_eq!(r.cores, 1);
+        assert!(r.energy_kcal < 0.0);
+        assert_eq!(r.pair_ops, 300 * 299 + 300 * 300);
+    }
+
+    #[test]
+    fn oom_threshold_above_13k() {
+        let f = ctx().factors;
+        let dram = MachineSpec::lonestar4().dram_per_node;
+        assert!((13_000f64.powi(2) * f.gbr6_bytes_per_pair) as usize <= dram);
+        assert!((13_600f64.powi(2) * f.gbr6_bytes_per_pair) as usize > dram);
+    }
+
+    #[test]
+    fn energy_in_the_exact_family_ballpark() {
+        // Volume-r6 vs HCT (Amber analog): same physical quantity, the
+        // models should land within tens of percent.
+        let mol = synth::protein("p", 400, 7);
+        let g = GBr6.run(&mol, &ctx()).report().unwrap().energy_kcal;
+        let actx = PackageContext::new(ClusterSpec::new(
+            MachineSpec::lonestar4(),
+            Placement::distributed(12),
+        ));
+        let a = crate::amber::Amber::default().run(&mol, &actx).report().unwrap().energy_kcal;
+        let ratio = g / a;
+        assert!((0.4..2.0).contains(&ratio), "GBr6 {g} vs Amber {a} (ratio {ratio})");
+    }
+}

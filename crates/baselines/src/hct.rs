@@ -1,0 +1,202 @@
+//! HCT (Hawkins–Cramer–Truhlar 1996) pairwise-descreening Born radii —
+//! the GB model of Amber 12 and Gromacs 4.5.3 (Table II).
+//!
+//! The inverse Born radius starts at the inverse intrinsic radius and is
+//! reduced by an analytic descreening integral over every neighbor `j`
+//! (each neighbor's sphere, scaled by `S_j`, excludes solvent):
+//!
+//! ```text
+//! 1/R_i = 1/ρ_i − ½ Σ_j H(r_ij, S_j ρ_j)
+//! ```
+//!
+//! with the standard closed form for `H` below. Radii only need neighbors
+//! within a cutoff (the integrand decays like `r⁻⁴`), which is why these
+//! packages pair the model with an nblist.
+
+use crate::nblist::NbList;
+use polaroct_molecule::Molecule;
+
+/// Default HCT scaling factor applied to descreener radii. The published
+/// parameterization uses per-element values near 0.8 tuned against PB on
+/// real proteins; on this workspace's synthetic globules 0.70 brings the
+/// HCT energies into line with the exact surface-r⁶ reference (the Fig. 9
+/// "match closely" behaviour) — the same kind of re-fit every GB flavor
+/// does against its own reference.
+pub const HCT_SCALE: f64 = 0.70;
+
+/// Offset subtracted from intrinsic radii (Å) before descreening
+/// (Amber's `offset`, 0.09 Å).
+pub const HCT_OFFSET: f64 = 0.09;
+
+/// The pairwise descreening integral `H(r, s)` for a descreening sphere
+/// of radius `s` at center distance `r` from a solute sphere of radius
+/// `rho` (already offset). Hawkins et al. 1996, Eq. 15 family.
+pub fn descreen_integral(rho: f64, r: f64, s: f64) -> f64 {
+    if r + s <= rho {
+        // Descreener completely inside the solute sphere: no effect.
+        return 0.0;
+    }
+    let l = if r - s <= rho { rho } else { r - s };
+    let u = r + s;
+    let inv_l = 1.0 / l;
+    let inv_u = 1.0 / u;
+    // H = 1/L − 1/U + (r/4)(1/U² − 1/L²) + (1/(2r)) ln(L/U)
+    //     + (s²/(4r))(1/L² − 1/U²)
+    inv_l - inv_u + 0.25 * r * (inv_u * inv_u - inv_l * inv_l)
+        + (0.5 / r) * (l / u).ln()
+        + (0.25 * s * s / r) * (inv_l * inv_l - inv_u * inv_u)
+}
+
+/// HCT Born radii using an nblist for the descreening sums. Returns radii
+/// (same order as `mol`) and the number of pair evaluations.
+pub fn born_radii_hct(mol: &Molecule, nb: &NbList, scale: f64) -> (Vec<f64>, u64) {
+    let m = mol.len();
+    let mut ops = 0u64;
+    let mut out = Vec::with_capacity(m);
+    for i in 0..m {
+        let rho_i = (mol.radii[i] - HCT_OFFSET).max(0.5);
+        let mut inv_r = 1.0 / rho_i;
+        for &j in nb.of(i) {
+            let j = j as usize;
+            let r = mol.positions[i].dist(mol.positions[j]);
+            let s = scale * (mol.radii[j] - HCT_OFFSET).max(0.5);
+            inv_r -= 0.5 * descreen_integral(rho_i, r, s);
+            ops += 1;
+        }
+        // Descreening can numerically overshoot for tightly packed
+        // synthetic structures; clamp like production codes do.
+        let r = if inv_r <= 1e-6 { crate::package::BORN_MAX } else { 1.0 / inv_r };
+        out.push(r.clamp(rho_i, crate::package::BORN_MAX));
+    }
+    (out, ops)
+}
+
+/// HCT Born radii computed by streaming pairs out of a cell list (no
+/// stored neighbor list — how Amber's GB path works: `sander` recomputes
+/// pair interactions on the fly instead of materializing a pairlist).
+/// Returns radii and pair-evaluation count.
+pub fn born_radii_hct_stream(mol: &Molecule, cutoff: f64, scale: f64) -> (Vec<f64>, u64) {
+    use polaroct_surface::CellList;
+    let cells = CellList::new(&mol.positions, cutoff);
+    let c2 = cutoff * cutoff;
+    let m = mol.len();
+    let mut ops = 0u64;
+    let mut out = Vec::with_capacity(m);
+    for i in 0..m {
+        let rho_i = (mol.radii[i] - HCT_OFFSET).max(0.5);
+        let mut inv_r = 1.0 / rho_i;
+        let pi = mol.positions[i];
+        cells.for_neighbors(pi, cutoff, |j| {
+            let j = j as usize;
+            if j == i {
+                return;
+            }
+            let d2 = pi.dist2(mol.positions[j]);
+            if d2 > c2 {
+                return;
+            }
+            let r = d2.sqrt();
+            let s = scale * (mol.radii[j] - HCT_OFFSET).max(0.5);
+            inv_r -= 0.5 * descreen_integral(rho_i, r, s);
+            ops += 1;
+        });
+        let r = if inv_r <= 1e-6 { crate::package::BORN_MAX } else { 1.0 / inv_r };
+        out.push(r.clamp(rho_i, crate::package::BORN_MAX));
+    }
+    (out, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaroct_geom::Vec3;
+    use polaroct_molecule::{synth, Atom, Element, Molecule};
+
+    #[test]
+    fn isolated_atom_radius_is_intrinsic_minus_offset() {
+        let mol = Molecule::from_atoms(
+            "one",
+            [Atom { pos: Vec3::ZERO, radius: 1.7, charge: 0.0, element: Element::C }],
+        );
+        let nb = NbList::build(&mol, 10.0);
+        let (r, ops) = born_radii_hct(&mol, &nb, HCT_SCALE);
+        assert!((r[0] - (1.7 - HCT_OFFSET)).abs() < 1e-12);
+        assert_eq!(ops, 0);
+    }
+
+    #[test]
+    fn descreening_grows_the_radius() {
+        let mol = Molecule::from_atoms(
+            "pair",
+            [
+                Atom { pos: Vec3::ZERO, radius: 1.7, charge: 0.0, element: Element::C },
+                Atom {
+                    pos: Vec3::new(3.0, 0.0, 0.0),
+                    radius: 1.7,
+                    charge: 0.0,
+                    element: Element::C,
+                },
+            ],
+        );
+        let nb = NbList::build(&mol, 10.0);
+        let (r, _) = born_radii_hct(&mol, &nb, HCT_SCALE);
+        assert!(r[0] > 1.7 - HCT_OFFSET, "neighbor must descreen: {}", r[0]);
+        assert!((r[0] - r[1]).abs() < 1e-12, "symmetric pair");
+    }
+
+    #[test]
+    fn integral_is_zero_for_fully_buried_descreener() {
+        assert_eq!(descreen_integral(2.0, 0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn integral_decays_with_distance() {
+        let h2 = descreen_integral(1.5, 3.0, 1.3);
+        let h4 = descreen_integral(1.5, 6.0, 1.3);
+        let h8 = descreen_integral(1.5, 12.0, 1.3);
+        assert!(h2 > h4 && h4 > h8);
+        assert!(h8 > 0.0);
+        // Far field: H ~ 2s³/(3 r⁴), so that the ½H used in 1/R matches
+        // the volume integral s³/(3r⁴) of the Coulomb-field kernel.
+        let expect = 2.0 * 1.3f64.powi(3) / (3.0 * 12.0f64.powi(4));
+        assert!((h8 - expect).abs() / expect < 0.05, "{h8} vs {expect}");
+    }
+
+    #[test]
+    fn buried_atoms_get_larger_radii_than_surface_atoms() {
+        let mol = synth::protein("p", 400, 3);
+        let nb = NbList::build(&mol, 12.0);
+        let (r, _) = born_radii_hct(&mol, &nb, HCT_SCALE);
+        let c = mol.centroid();
+        let mut pairs: Vec<(f64, f64)> =
+            mol.positions.iter().map(|p| p.dist(c)).zip(r.iter().copied()).collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let q = pairs.len() / 4;
+        let inner: f64 = pairs[..q].iter().map(|x| x.1).sum::<f64>() / q as f64;
+        let outer: f64 = pairs[pairs.len() - q..].iter().map(|x| x.1).sum::<f64>() / q as f64;
+        assert!(inner > outer, "buried {inner} <= surface {outer}");
+    }
+
+    #[test]
+    fn stream_variant_matches_nblist_variant() {
+        let mol = synth::protein("p", 250, 13);
+        let cutoff = 10.0;
+        let nb = NbList::build(&mol, cutoff);
+        let (a, ops_a) = born_radii_hct(&mol, &nb, HCT_SCALE);
+        let (b, ops_b) = born_radii_hct_stream(&mol, cutoff, HCT_SCALE);
+        assert_eq!(ops_a, ops_b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn radii_clamped_to_physical_range() {
+        let mol = synth::protein("p", 300, 11);
+        let nb = NbList::build(&mol, 10.0);
+        let (r, _) = born_radii_hct(&mol, &nb, HCT_SCALE);
+        for (i, &ri) in r.iter().enumerate() {
+            assert!(ri >= 0.5 && ri <= crate::package::BORN_MAX, "atom {i}: {ri}");
+        }
+    }
+}

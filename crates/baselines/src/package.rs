@@ -1,0 +1,259 @@
+//! The common interface over package analogs, plus shared energy/time
+//! helpers.
+
+use crate::calib::PackageFactors;
+use crate::nblist::NbList;
+use polaroct_cluster::calib::KernelCosts;
+use polaroct_cluster::machine::ClusterSpec;
+use polaroct_cluster::memory::MemoryModel;
+use polaroct_core::gb::{epol_from_raw_sum, inv_f_gb};
+use polaroct_geom::fastmath::MathMode;
+use polaroct_molecule::Molecule;
+
+/// Born-radius clamp shared by the baselines (same as the octree path's).
+pub const BORN_MAX: f64 = 1_000.0;
+
+/// Everything a package run needs besides the molecule.
+#[derive(Clone, Copy, Debug)]
+pub struct PackageContext {
+    /// Cluster/placement the package runs on (P ranks or p threads).
+    pub cluster: ClusterSpec,
+    /// Reference per-op kernel costs.
+    pub costs: KernelCosts,
+    /// Per-package calibration.
+    pub factors: PackageFactors,
+    /// Solvent dielectric.
+    pub eps_solvent: f64,
+}
+
+impl PackageContext {
+    pub fn new(cluster: ClusterSpec) -> Self {
+        PackageContext {
+            cluster,
+            costs: KernelCosts::lonestar4_reference(),
+            factors: PackageFactors::default(),
+            eps_solvent: 80.0,
+        }
+    }
+}
+
+/// A successful package run.
+#[derive(Clone, Debug)]
+pub struct PackageReport {
+    pub name: &'static str,
+    pub energy_kcal: f64,
+    /// Simulated wall time (s).
+    pub time: f64,
+    /// Inner-loop pair operations executed.
+    pub pair_ops: u64,
+    /// Bytes per process replica (data + neighbor structures).
+    pub memory_per_process: usize,
+    pub cores: usize,
+}
+
+/// Run outcome: success or the §V.D out-of-memory failure.
+#[derive(Clone, Debug)]
+pub enum PackageOutcome {
+    Ok(PackageReport),
+    OutOfMemory {
+        name: &'static str,
+        required_bytes: usize,
+        node_bytes: usize,
+    },
+}
+
+impl PackageOutcome {
+    pub fn report(&self) -> Option<&PackageReport> {
+        match self {
+            PackageOutcome::Ok(r) => Some(r),
+            PackageOutcome::OutOfMemory { .. } => None,
+        }
+    }
+}
+
+/// One package analog.
+pub trait GbPackage {
+    /// Table II display name.
+    fn name(&self) -> &'static str;
+    /// GB model label (HCT / OBC / STILL / volume-r6).
+    fn gb_model(&self) -> &'static str;
+    /// Parallelism label.
+    fn parallelism(&self) -> &'static str;
+    /// Execute on a molecule.
+    fn run(&self, mol: &Molecule, ctx: &PackageContext) -> PackageOutcome;
+}
+
+/// Cutoff GB energy: self terms plus every ordered pair in the nblist.
+/// Returns the raw sum (convert with [`epol_from_raw_sum`]) and pair ops.
+pub fn pairwise_epol_cutoff(mol: &Molecule, nb: &NbList, born: &[f64]) -> (f64, u64) {
+    let mut raw = 0.0;
+    let mut ops = 0u64;
+    for i in 0..mol.len() {
+        let (qi, ri) = (mol.charges[i], born[i]);
+        raw += qi * qi / ri;
+        let mut acc = 0.0;
+        for &j in nb.of(i) {
+            let j = j as usize;
+            let r2 = mol.positions[i].dist2(mol.positions[j]);
+            acc += mol.charges[j] * inv_f_gb(r2, ri, born[j], MathMode::Exact);
+        }
+        raw += qi * acc;
+        ops += nb.of(i).len() as u64 + 1;
+    }
+    (raw, ops)
+}
+
+/// Cutoff GB energy streamed from a cell list (no stored pair list).
+/// Same ordered-pair + self-term semantics as [`pairwise_epol_cutoff`].
+pub fn pairwise_epol_cells(mol: &Molecule, cutoff: f64, born: &[f64]) -> (f64, u64) {
+    use polaroct_surface::CellList;
+    let cells = CellList::new(&mol.positions, cutoff);
+    let c2 = cutoff * cutoff;
+    let mut raw = 0.0;
+    let mut ops = 0u64;
+    for i in 0..mol.len() {
+        let (qi, ri) = (mol.charges[i], born[i]);
+        raw += qi * qi / ri;
+        let pi = mol.positions[i];
+        let mut acc = 0.0;
+        cells.for_neighbors(pi, cutoff, |j| {
+            let j = j as usize;
+            if j == i {
+                return;
+            }
+            let r2 = pi.dist2(mol.positions[j]);
+            if r2 > c2 {
+                return;
+            }
+            acc += mol.charges[j] * inv_f_gb(r2, ri, born[j], MathMode::Exact);
+            ops += 1;
+        });
+        raw += qi * acc;
+        ops += 1;
+    }
+    (raw, ops)
+}
+
+/// Time model for an MPI package that divides atoms evenly over `P` ranks
+/// with fully replicated data: compute = ops/P × per-op × factor ×
+/// memory-slowdown; communication = radii allgather + energy reduce.
+pub fn mpi_package_time(
+    ctx: &PackageContext,
+    pair_ops: u64,
+    per_op_factor: f64,
+    fixed: f64,
+    bytes_per_process: usize,
+) -> f64 {
+    let p = ctx.cluster.placement.processes;
+    let slow = MemoryModel::new(bytes_per_process).slowdown(&ctx.cluster);
+    let per_op = ctx.costs.epol_near * per_op_factor;
+    let compute = pair_ops as f64 / p as f64 * per_op * slow;
+    let comm = {
+        let cm = polaroct_cluster::costmodel::CommCostModel::for_cluster(&ctx.cluster);
+        // Radii exchange + energy reduction, once per evaluation.
+        cm.allgatherv(bytes_per_process.min(1 << 20)) + cm.reduce(8) + cm.barrier()
+    };
+    fixed + compute + comm
+}
+
+/// Time model for a shared-memory (OpenMP-style) package on `p` threads
+/// with efficiency `eff` (speedup ≈ eff·p).
+pub fn shared_package_time(
+    ctx: &PackageContext,
+    pair_ops: u64,
+    per_op_factor: f64,
+    fixed: f64,
+    threads: usize,
+    eff: f64,
+    bytes_per_process: usize,
+) -> f64 {
+    let slow = MemoryModel::new(bytes_per_process).slowdown(&ctx.cluster);
+    let per_op = ctx.costs.epol_near * per_op_factor;
+    let denom = (threads as f64 * eff).max(1.0);
+    fixed + pair_ops as f64 * per_op * slow / denom
+}
+
+/// Convert a raw sum to kcal/mol with the context's dielectric.
+pub fn finish_energy(ctx: &PackageContext, raw: f64) -> f64 {
+    epol_from_raw_sum(raw, ctx.eps_solvent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaroct_cluster::machine::{MachineSpec, Placement};
+    use polaroct_molecule::synth;
+
+    fn ctx(cores: usize) -> PackageContext {
+        PackageContext::new(ClusterSpec::new(
+            MachineSpec::lonestar4(),
+            Placement::distributed(cores),
+        ))
+    }
+
+    #[test]
+    fn cutoff_epol_approaches_all_pairs_for_large_cutoff() {
+        let mol = synth::protein("p", 200, 3);
+        let born = vec![2.0; 200];
+        let nb_big = NbList::build(&mol, 500.0);
+        let (raw_big, _) = pairwise_epol_cutoff(&mol, &nb_big, &born);
+        // Brute-force ordered-pair sum.
+        let mut brute = 0.0;
+        for i in 0..200 {
+            for j in 0..200 {
+                let r2 = mol.positions[i].dist2(mol.positions[j]);
+                brute += mol.charges[i] * mol.charges[j]
+                    * inv_f_gb(r2, born[i], born[j], MathMode::Exact);
+            }
+        }
+        assert!(((raw_big - brute) / brute).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_cutoff_changes_the_energy() {
+        let mol = synth::protein("p", 300, 5);
+        let born = vec![2.0; 300];
+        let (raw_small, _) = pairwise_epol_cutoff(&mol, &NbList::build(&mol, 6.0), &born);
+        let (raw_big, _) = pairwise_epol_cutoff(&mol, &NbList::build(&mol, 200.0), &born);
+        assert!((raw_small - raw_big).abs() > 1e-12);
+    }
+
+    #[test]
+    fn mpi_time_scales_down_with_ranks() {
+        let c1 = ctx(1);
+        let c12 = ctx(12);
+        let t1 = mpi_package_time(&c1, 100_000_000, 1.0, 0.0, 1 << 20);
+        let t12 = mpi_package_time(&c12, 100_000_000, 1.0, 0.0, 1 << 20);
+        assert!(t12 < t1 / 6.0, "t1={t1} t12={t12}");
+    }
+
+    #[test]
+    fn fixed_cost_dominates_small_runs() {
+        let c = ctx(12);
+        let t = mpi_package_time(&c, 1_000, 1.0, 0.5, 1 << 20);
+        assert!(t > 0.5 && t < 0.51);
+    }
+
+    #[test]
+    fn shared_time_obeys_efficiency() {
+        let c = ctx(1);
+        let serial = shared_package_time(&c, 1_000_000, 1.0, 0.0, 1, 1.0, 1 << 20);
+        let par = shared_package_time(&c, 1_000_000, 1.0, 0.0, 12, 0.5, 1 << 20);
+        assert!((serial / par - 6.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn outcome_report_accessor() {
+        let r = PackageReport {
+            name: "x",
+            energy_kcal: -1.0,
+            time: 1.0,
+            pair_ops: 1,
+            memory_per_process: 1,
+            cores: 1,
+        };
+        assert!(PackageOutcome::Ok(r).report().is_some());
+        let oom = PackageOutcome::OutOfMemory { name: "x", required_bytes: 2, node_bytes: 1 };
+        assert!(oom.report().is_none());
+    }
+}

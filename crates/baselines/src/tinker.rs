@@ -1,0 +1,149 @@
+//! Tinker 6.0 analog: STILL GB, OpenMP shared memory (Table II row 4).
+//!
+//! Two measured behaviors to reproduce:
+//!
+//! * Fig. 9: "Energy values reported by Tinker were around 70% of the
+//!   naive energy." Tinker's STILL parameterization (Still et al. 1990
+//!   empirical volume terms) systematically *overestimates* effective Born
+//!   radii relative to the r⁶/HCT families; since the dominant self terms
+//!   scale as `q²/R`, radii inflated by ~1.45× yield |E| ≈ 0.69·|E_exact|.
+//!   We model the STILL radii as HCT radii × [`Tinker::still_radius_inflation`].
+//! * §V.D: "Tinker ... do[es] not work for larger molecules (> 12k ...)
+//!   as they run out of memory" — Tinker 6 allocates several static
+//!   quadratic arrays for its pairwise terms; modeled as
+//!   `bytes ≈ tinker_bytes_per_pair · M²` (calibrated in `calib`).
+
+use crate::hct::{born_radii_hct, HCT_SCALE};
+use crate::nblist::NbList;
+use crate::package::{
+    finish_energy, pairwise_epol_cutoff, shared_package_time, GbPackage, PackageContext,
+    PackageOutcome, PackageReport, BORN_MAX,
+};
+use polaroct_molecule::Molecule;
+
+/// The Tinker analog.
+#[derive(Clone, Copy, Debug)]
+pub struct Tinker {
+    /// Pair cutoff used for the *compute* loops (Å).
+    pub cutoff: f64,
+    /// STILL-vs-exact radius inflation (see module docs).
+    pub still_radius_inflation: f64,
+}
+
+impl Default for Tinker {
+    fn default() -> Self {
+        Tinker { cutoff: 20.0, still_radius_inflation: 1.45 }
+    }
+}
+
+impl GbPackage for Tinker {
+    fn name(&self) -> &'static str {
+        "Tinker 6.0"
+    }
+
+    fn gb_model(&self) -> &'static str {
+        "STILL"
+    }
+
+    fn parallelism(&self) -> &'static str {
+        "Shared (OpenMP)"
+    }
+
+    fn run(&self, mol: &Molecule, ctx: &PackageContext) -> PackageOutcome {
+        // Quadratic static allocations: the §V.D memory wall.
+        let m = mol.len() as f64;
+        let quadratic = (m * m * ctx.factors.tinker_bytes_per_pair) as usize;
+        if quadratic > ctx.cluster.machine.dram_per_node {
+            return PackageOutcome::OutOfMemory {
+                name: self.name(),
+                required_bytes: quadratic,
+                node_bytes: ctx.cluster.machine.dram_per_node,
+            };
+        }
+        let nb = NbList::build(mol, self.cutoff);
+        let (mut born, ops_radii) = born_radii_hct(mol, &nb, HCT_SCALE);
+        for r in &mut born {
+            *r = (*r * self.still_radius_inflation).min(BORN_MAX);
+        }
+        let (raw, ops_epol) = pairwise_epol_cutoff(mol, &nb, &born);
+        let pair_ops = ops_radii + ops_epol;
+        let threads = ctx.cluster.machine.cores_per_node();
+        // Tinker is ONE process with `threads` OpenMP threads sharing the
+        // quadratic arrays — price its memory pressure under that layout,
+        // not the caller's MPI placement.
+        let shared_ctx = PackageContext {
+            cluster: polaroct_cluster::machine::ClusterSpec::new(
+                ctx.cluster.machine,
+                polaroct_cluster::machine::Placement::new(1, threads),
+            ),
+            ..*ctx
+        };
+        let time = shared_package_time(
+            &shared_ctx,
+            pair_ops,
+            ctx.factors.tinker_per_op,
+            ctx.factors.tinker_fixed,
+            threads,
+            ctx.factors.tinker_omp_efficiency,
+            quadratic,
+        );
+        PackageOutcome::Ok(PackageReport {
+            name: self.name(),
+            energy_kcal: finish_energy(ctx, raw),
+            time,
+            pair_ops,
+            memory_per_process: quadratic,
+            cores: threads,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaroct_cluster::machine::{ClusterSpec, MachineSpec, Placement};
+    use polaroct_molecule::synth;
+
+    fn ctx() -> PackageContext {
+        PackageContext::new(ClusterSpec::new(
+            MachineSpec::lonestar4(),
+            Placement::distributed(12),
+        ))
+    }
+
+    #[test]
+    fn energy_is_about_70_percent_of_hct_class() {
+        let mol = synth::protein("p", 600, 3);
+        let t = Tinker::default().run(&mol, &ctx()).report().unwrap().energy_kcal;
+        let a = crate::amber::Amber::default().run(&mol, &ctx()).report().unwrap().energy_kcal;
+        let ratio = t / a;
+        assert!(
+            (0.60..0.80).contains(&ratio),
+            "Tinker/exact-class ratio {ratio}, expected ≈0.7"
+        );
+    }
+
+    #[test]
+    fn oom_beyond_12k_atoms() {
+        // Don't build a 13k-atom molecule for a memory check: the check
+        // happens before any compute, so a tiny molecule with a patched
+        // length is not possible — instead verify the threshold math via
+        // a real build at the boundary sizes.
+        let small = synth::protein("p", 2_000, 1);
+        assert!(Tinker::default().run(&small, &ctx()).report().is_some());
+        // 12,700 atoms: modelled quadratic arrays exceed 24 GB.
+        let f = ctx().factors;
+        assert!(
+            (12_700f64.powi(2) * f.tinker_bytes_per_pair) as usize
+                > MachineSpec::lonestar4().dram_per_node
+        );
+    }
+
+    #[test]
+    fn shared_memory_time_uses_node_cores() {
+        let mol = synth::protein("p", 800, 5);
+        let r = Tinker::default().run(&mol, &ctx()).report().unwrap().clone();
+        assert_eq!(r.cores, 12);
+        assert!(r.time > 0.0);
+    }
+}

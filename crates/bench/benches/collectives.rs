@@ -1,0 +1,50 @@
+//! Criterion: simulated-MPI collective execution cost (the in-process
+//! mechanics, not the modeled virtual time) across rank counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polaroct_cluster::calib::KernelCosts;
+use polaroct_cluster::machine::{ClusterSpec, MachineSpec, Placement};
+use polaroct_cluster::runner::run_spmd;
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spmd_allreduce");
+    g.sample_size(10);
+    for &ranks in &[2usize, 8, 32] {
+        let cluster = ClusterSpec::new(MachineSpec::lonestar4(), Placement::distributed(ranks));
+        g.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, _| {
+            b.iter(|| {
+                run_spmd(&cluster, KernelCosts::lonestar4_reference(), |ctx| {
+                    let mut clock = ctx.clock;
+                    let mut buf = vec![ctx.rank as f64; 1024];
+                    ctx.comm.allreduce_sum(&mut buf, &mut clock);
+                    ctx.clock = clock;
+                    buf[0]
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_payload_size(c: &mut Criterion) {
+    let cluster = ClusterSpec::new(MachineSpec::lonestar4(), Placement::distributed(8));
+    let mut g = c.benchmark_group("spmd_allreduce_payload");
+    g.sample_size(10);
+    for &words in &[64usize, 4_096, 65_536] {
+        g.bench_with_input(BenchmarkId::new("f64s", words), &words, |b, &words| {
+            b.iter(|| {
+                run_spmd(&cluster, KernelCosts::lonestar4_reference(), |ctx| {
+                    let mut clock = ctx.clock;
+                    let mut buf = vec![1.0f64; words];
+                    ctx.comm.allreduce_sum(&mut buf, &mut clock);
+                    ctx.clock = clock;
+                    buf[0]
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_payload_size);
+criterion_main!(benches);

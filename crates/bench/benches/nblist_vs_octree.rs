@@ -1,0 +1,44 @@
+//! Criterion: nblist vs octree construction across cutoffs — the §II
+//! space/time argument (octree cost is cutoff-independent; nblist cost and
+//! size grow cubically).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polaroct_baselines::NbList;
+use polaroct_molecule::synth;
+use polaroct_octree::{build, BuildParams};
+
+fn bench_construction(c: &mut Criterion) {
+    let mol = synth::protein("n", 6_000, 11);
+    let mut g = c.benchmark_group("nblist_vs_octree_build");
+    g.sample_size(10);
+    for &cutoff in &[6.0f64, 12.0, 18.0] {
+        g.bench_with_input(BenchmarkId::new("nblist", format!("{cutoff}A")), &cutoff, |b, &cut| {
+            b.iter(|| NbList::build(&mol, cut))
+        });
+    }
+    // One octree bar for comparison: independent of any cutoff.
+    g.bench_function("octree_any_cutoff", |b| {
+        b.iter(|| build(&mol.positions, BuildParams::default()))
+    });
+    g.finish();
+}
+
+fn bench_memory_report(c: &mut Criterion) {
+    // Not a timing bench: emit the memory comparison alongside (criterion
+    // runs it once per sample; keep it cheap).
+    let mol = synth::protein("n", 6_000, 11);
+    let tree_bytes = build(&mol.positions, BuildParams::default()).memory_bytes();
+    for cutoff in [6.0, 12.0, 18.0] {
+        let nb = NbList::build(&mol, cutoff);
+        eprintln!(
+            "# memory at cutoff {cutoff:>4} Å: nblist {:>12} B vs octree {:>10} B ({:>5.1}x)",
+            nb.memory_bytes(),
+            tree_bytes,
+            nb.memory_bytes() as f64 / tree_bytes as f64
+        );
+    }
+    c.bench_function("noop_memory_report", |b| b.iter(|| 0));
+}
+
+criterion_group!(benches, bench_construction, bench_memory_report);
+criterion_main!(benches);

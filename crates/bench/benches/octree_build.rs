@@ -1,0 +1,58 @@
+//! Criterion: octree construction cost (the §IV.C "pre-processing" step,
+//! O(M log M)) across molecule sizes and leaf capacities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use polaroct_molecule::synth;
+use polaroct_octree::{build, BuildParams};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("octree_build");
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let mol = synth::protein("b", n, 7);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("protein", n), &mol, |b, mol| {
+            b.iter(|| build(&mol.positions, BuildParams::default()))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("octree_build_leaf_capacity");
+    let mol = synth::protein("b", 8_000, 9);
+    for &cap in &[8usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::new("cap", cap), &cap, |b, &cap| {
+            b.iter(|| build(&mol.positions, BuildParams { leaf_capacity: cap, ..Default::default() }))
+        });
+    }
+    g.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    // Rigid re-pose vs full rebuild: the docking-reuse claim.
+    use polaroct_geom::transform::Rotation;
+    use polaroct_geom::{Transform, Vec3};
+    let mol = synth::protein("t", 8_000, 5);
+    let tree = build(&mol.positions, BuildParams::default());
+    let t = Transform::about_pivot(
+        Rotation::about_axis(Vec3::new(1.0, 1.0, 0.0), 0.7),
+        Vec3::ZERO,
+        Vec3::new(10.0, 0.0, 0.0),
+    );
+    let mut g = c.benchmark_group("octree_repose_vs_rebuild");
+    g.bench_function("transform_in_place", |b| {
+        b.iter_batched(
+            || tree.clone(),
+            |mut tr| {
+                tr.transform(&t);
+                tr
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("full_rebuild", |b| {
+        b.iter(|| build(&mol.positions, BuildParams::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion: work-stealing pool overhead and makespan-simulator speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polaroct_sched::{StealSimParams, StealSimulator, WorkStealingPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_run_overhead");
+    g.sample_size(10);
+    for &workers in &[1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let pool = WorkStealingPool::new(w).with_grain(64);
+            let sink = AtomicU64::new(0);
+            b.iter(|| {
+                pool.run(10_000, |i| {
+                    sink.fetch_add(i as u64, Ordering::Relaxed);
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_steal_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steal_simulator");
+    for &tasks in &[1_000usize, 10_000, 100_000] {
+        let costs: Vec<f64> = (0..tasks).map(|i| 1e-6 * ((i % 17) + 1) as f64).collect();
+        g.bench_with_input(BenchmarkId::new("tasks", tasks), &costs, |b, costs| {
+            let sim = StealSimulator::new(StealSimParams { workers: 12, ..Default::default() });
+            b.iter(|| sim.simulate(costs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool, bench_steal_sim);
+criterion_main!(benches);

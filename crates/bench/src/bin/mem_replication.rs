@@ -1,0 +1,46 @@
+//! §V.B memory experiment: per-node footprint of 12×1 pure MPI vs 2×6
+//! hybrid on the BTV-scale capsid.
+//!
+//! Paper measurement: OCT_MPI (12 procs) 8.2 GB/node vs OCT_MPI+CILK
+//! (2 procs × 6 threads) 1.4 GB/node — 5.86x, "this ratio continues to
+//! hold as we increase the number of compute nodes."
+
+use polaroct_bench::{btv_atoms, hybrid_cluster, mpi_cluster, Table};
+use polaroct_cluster::memory::MemoryModel;
+use polaroct_core::{ApproxParams, GbSystem};
+use polaroct_molecule::synth;
+
+fn main() {
+    let n = btv_atoms();
+    eprintln!("[mem] generating BTV-scale capsid ({n} atoms)...");
+    let mol = synth::capsid("BTV-scale", n, 0xB7B);
+    let sys = GbSystem::prepare(&mol, &ApproxParams::default());
+    let mm = MemoryModel::new(sys.memory_bytes());
+
+    let mut t = Table::new(
+        "mem_replication",
+        &["nodes", "cores", "mpi_gb_per_node", "hybrid_gb_per_node", "ratio"],
+    );
+    let gb = |b: usize| b as f64 / (1u64 << 30) as f64;
+    for nodes in [1usize, 2, 4, 8, 12] {
+        let cores = nodes * 12;
+        let mpi = mpi_cluster(cores);
+        let hyb = hybrid_cluster(cores);
+        let m = mm.bytes_per_node(&mpi);
+        let h = mm.bytes_per_node(&hyb);
+        t.push(vec![
+            nodes.to_string(),
+            cores.to_string(),
+            format!("{:.2}", gb(m)),
+            format!("{:.2}", gb(h)),
+            format!("{:.2}", m as f64 / h as f64),
+        ]);
+    }
+    t.emit();
+    println!(
+        "# one replica = {:.2} GB ({} atoms, {} q-points); paper ratio: 5.86x",
+        gb(sys.memory_bytes()),
+        sys.n_atoms(),
+        sys.n_qpoints()
+    );
+}

@@ -1,0 +1,245 @@
+//! Digest `$POLAROCT_OUT` (default `results/`) into a paper-vs-measured
+//! claim table — the source for EXPERIMENTS.md's measured columns.
+//!
+//! Reads the TSVs the figure binaries emit; missing files are reported as
+//! `pending`, not errors, so the summary can run on partial result sets.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let dir = std::env::var("POLAROCT_OUT").unwrap_or_else(|_| "results".into());
+    let dir = PathBuf::from(dir);
+    println!("# claim\tpaper\tmeasured\tverdict");
+    for (claim, paper, check) in claims() {
+        match check(&dir) {
+            Some((measured, ok)) => println!(
+                "{claim}\t{paper}\t{measured}\t{}",
+                if ok { "SHAPE-OK" } else { "DEVIATES" }
+            ),
+            None => println!("{claim}\t{paper}\tpending\t-"),
+        }
+    }
+}
+
+type Check = fn(&Path) -> Option<(String, bool)>;
+
+fn claims() -> Vec<(&'static str, &'static str, Check)> {
+    vec![
+        (
+            "fig5: speedup at 144 vs 12 cores",
+            "time keeps falling through 144 cores",
+            check_fig5,
+        ),
+        (
+            "fig6: hybrid min beats MPI min only at high core counts",
+            "crossover near 180 cores",
+            check_fig6,
+        ),
+        (
+            "fig7: OCT_CILK fastest only for small molecules",
+            "crossover ~2500 atoms",
+            check_fig7,
+        ),
+        (
+            "fig8b: OCT_MPI speedup over Amber at largest molecule",
+            "~11x at 16,301 atoms",
+            check_fig8,
+        ),
+        (
+            "fig9: Tinker energy ≈ 70% of naive; OOM >12k (Tinker) / >13k (GBr6)",
+            "0.70; OOM observed",
+            check_fig9,
+        ),
+        (
+            "fig10: error grows and time falls with ε",
+            "monotone-ish tradeoff",
+            check_fig10,
+        ),
+        (
+            "fig11: OCT_MPI speedup vs Amber on CMV (12 cores)",
+            "~520x",
+            check_fig11,
+        ),
+        (
+            "mem: 12x1 vs 2x6 per-node memory ratio",
+            "5.86x",
+            check_mem,
+        ),
+        (
+            "workdiv: node-node error constant in P, atom-based varies",
+            "constant vs varying",
+            check_workdiv,
+        ),
+        (
+            "approx-math: mean speedup",
+            "1.42x",
+            check_approx_math,
+        ),
+    ]
+}
+
+/// Load a TSV as header + string rows.
+fn load(dir: &Path, name: &str) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+    let text = std::fs::read_to_string(dir.join(format!("{name}.tsv"))).ok()?;
+    let mut lines = text.lines();
+    let header: Vec<String> = lines.next()?.split('\t').map(String::from).collect();
+    let rows = lines
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.split('\t').map(String::from).collect())
+        .collect();
+    Some((header, rows))
+}
+
+fn col(header: &[String], name: &str) -> Option<usize> {
+    header.iter().position(|h| h == name)
+}
+
+fn f(row: &[String], idx: usize) -> Option<f64> {
+    row.get(idx)?.parse().ok()
+}
+
+fn check_fig5(dir: &Path) -> Option<(String, bool)> {
+    let (h, rows) = load(dir, "fig5_scalability_speedup")?;
+    let sp = col(&h, "speedup_mpi_vs_12")?;
+    let last = f(rows.last()?, sp)?;
+    Some((format!("{last:.1}x at 144 cores"), last > 4.0))
+}
+
+fn check_fig6(dir: &Path) -> Option<(String, bool)> {
+    let (h, rows) = load(dir, "fig6_scalability_minmax")?;
+    let cores_i = col(&h, "cores")?;
+    let wins_i = col(&h, "hybrid_min_wins")?;
+    // First core count at which the hybrid's min wins and stays winning.
+    let mut crossover = None;
+    for r in rows.iter().rev() {
+        if r[wins_i] == "true" {
+            crossover = Some(r[cores_i].clone());
+        } else {
+            break;
+        }
+    }
+    match crossover {
+        Some(c) => {
+            let c_num: f64 = c.parse().unwrap_or(0.0);
+            Some((format!("hybrid min wins from {c} cores"), c_num > 12.0))
+        }
+        None => Some(("hybrid min never wins".into(), false)),
+    }
+}
+
+fn check_fig7(dir: &Path) -> Option<(String, bool)> {
+    let (h, rows) = load(dir, "fig7_octree_variants")?;
+    let atoms_i = col(&h, "atoms")?;
+    let cilk_i = col(&h, "t_oct_cilk_s")?;
+    let mpi_i = col(&h, "t_oct_mpi_s")?;
+    let mut largest_cilk_win = 0u64;
+    let mut cilk_wins_small = false;
+    for r in &rows {
+        let atoms: u64 = r[atoms_i].parse().ok()?;
+        let cilk = f(r, cilk_i)?;
+        let mpi = f(r, mpi_i)?;
+        if cilk < mpi {
+            largest_cilk_win = largest_cilk_win.max(atoms);
+            if atoms < 1000 {
+                cilk_wins_small = true;
+            }
+        }
+    }
+    Some((
+        format!("OCT_CILK last wins at {largest_cilk_win} atoms"),
+        cilk_wins_small && largest_cilk_win < 20_000,
+    ))
+}
+
+fn check_fig8(dir: &Path) -> Option<(String, bool)> {
+    let (h, rows) = load(dir, "fig8b_speedup_vs_amber")?;
+    let sp_i = col(&h, "oct_mpi")?;
+    let last = rows.last()?;
+    let sp: f64 = f(last, sp_i)?;
+    Some((format!("{sp:.1}x at {} atoms", last[1]), (3.0..60.0).contains(&sp)))
+}
+
+fn check_fig9(dir: &Path) -> Option<(String, bool)> {
+    let (h, rows) = load(dir, "fig9_energy_values")?;
+    let ratio_i = col(&h, "tinker_over_naive")?;
+    let mut ratios = Vec::new();
+    let mut saw_oom = false;
+    for r in &rows {
+        match r[ratio_i].parse::<f64>() {
+            Ok(v) => ratios.push(v),
+            Err(_) => saw_oom = true,
+        }
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+    Some((
+        format!("Tinker/naive mean {mean:.2}; OOM rows: {saw_oom}"),
+        (0.55..0.85).contains(&mean) && saw_oom,
+    ))
+}
+
+fn check_fig10(dir: &Path) -> Option<(String, bool)> {
+    let (h, rows) = load(dir, "fig10_epsilon_sweep")?;
+    let std_i = col(&h, "err_std_pct")?;
+    let t_i = col(&h, "mean_time_s")?;
+    let first_std = f(rows.first()?, std_i)?;
+    let last_std = f(rows.last()?, std_i)?;
+    let first_t = f(rows.first()?, t_i)?;
+    let last_t = f(rows.last()?, t_i)?;
+    Some((
+        format!(
+            "err spread {first_std:.4}%→{last_std:.4}%, time {first_t:.3}s→{last_t:.3}s"
+        ),
+        last_std > first_std && last_t < first_t,
+    ))
+}
+
+fn check_fig11(dir: &Path) -> Option<(String, bool)> {
+    let (h, rows) = load(dir, "fig11_cmv_table")?;
+    let prog_i = col(&h, "program")?;
+    let sp_i = col(&h, "speedup_vs_amber_12")?;
+    let row = rows.iter().find(|r| r[prog_i] == "OCT_MPI")?;
+    let sp: f64 = f(row, sp_i)?;
+    Some((format!("{sp:.0}x"), sp > 50.0))
+}
+
+fn check_mem(dir: &Path) -> Option<(String, bool)> {
+    let (h, rows) = load(dir, "mem_replication")?;
+    let ratio_i = col(&h, "ratio")?;
+    let r = f(rows.first()?, ratio_i)?;
+    Some((format!("{r:.2}x"), (5.0..7.0).contains(&r)))
+}
+
+fn check_workdiv(dir: &Path) -> Option<(String, bool)> {
+    let (h, rows) = load(dir, "ablation_workdiv")?;
+    let node_i = col(&h, "node_err_pct")?;
+    let atom_i = col(&h, "atom_err_pct")?;
+    let spread = |idx: usize| -> Option<f64> {
+        let vals: Vec<f64> = rows.iter().filter_map(|r| f(r, idx)).collect();
+        let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        Some(max - min)
+    };
+    let node_spread = spread(node_i)?;
+    let atom_spread = spread(atom_i)?;
+    Some((
+        format!("node spread {node_spread:.2e}%, atom spread {atom_spread:.2e}%"),
+        node_spread < 1e-9 && atom_spread > node_spread,
+    ))
+}
+
+fn check_approx_math(dir: &Path) -> Option<(String, bool)> {
+    let (h, rows) = load(dir, "ablation_approx_math")?;
+    let sp_i = col(&h, "speedup")?;
+    let vals: Vec<f64> = rows.iter().filter_map(|r| f(r, sp_i)).collect();
+    let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+    Some((format!("{mean:.3}x"), (1.3..1.6).contains(&mean)))
+}
+
+/// Map-based variant kept for future claims that need cross-file joins.
+#[allow(dead_code)]
+fn index_rows(header: &[String], rows: &[Vec<String>]) -> Vec<HashMap<String, String>> {
+    rows.iter()
+        .map(|r| header.iter().cloned().zip(r.iter().cloned()).collect())
+        .collect()
+}

@@ -1,0 +1,40 @@
+//! Table I: simulation environment.
+//!
+//! Prints the simulated Lonestar4 node spec (what all figure binaries
+//! model) next to the actual build host, making the substitution explicit.
+
+use polaroct_bench::Table;
+use polaroct_cluster::machine::MachineSpec;
+
+fn main() {
+    let m = MachineSpec::lonestar4();
+    let mut t = Table::new("table1_environment", &["attribute", "simulated_value"]);
+    t.push(vec!["Processors".into(), "3.33 GHz hexa-core Intel Westmere (simulated)".into()]);
+    t.push(vec!["Cores/node".into(), m.cores_per_node().to_string()]);
+    t.push(vec!["RAM size".into(), format!("{} GB", m.dram_per_node >> 30)]);
+    t.push(vec![
+        "Cluster interconnect".into(),
+        format!(
+            "InfiniBand fat-tree (t_s={:.1}us, t_w={:.2}ns/B)",
+            m.t_s_inter * 1e6,
+            m.t_w_inter * 1e9
+        ),
+    ]);
+    t.push(vec![
+        "Cache".into(),
+        format!("{} MB L3 per socket, {} sockets", m.l3_per_socket >> 20, m.sockets),
+    ]);
+    t.push(vec![
+        "Parallelism platform".into(),
+        "polaroct-sched (work stealing) + polaroct-cluster (simulated MPI)".into(),
+    ]);
+    t.push(vec![
+        "Build host".into(),
+        format!(
+            "{} logical cores, {}",
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            std::env::consts::ARCH
+        ),
+    ]);
+    t.emit();
+}

@@ -1,0 +1,342 @@
+//! The simulated-MPI communicator.
+//!
+//! Ranks run as in-process threads; collectives move real data over
+//! channels (a star through rank 0) so the algorithms' *results* are
+//! exactly what real MPI would produce, while the *cost* charged to each
+//! rank's [`SimClock`] follows the Grama formulas in
+//! [`crate::costmodel`] — not the star's hop count, which is an execution
+//! mechanism, not the thing being modeled.
+//!
+//! Every collective also synchronizes virtual time: all participants leave
+//! at `max(entry times) + cost`, the bulk-synchronous semantics of the
+//! paper's Steps 3, 5 and 7.
+
+use crate::costmodel::CommCostModel;
+use crate::simtime::SimClock;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use std::sync::Arc;
+
+/// Payload exchanged during a collective: the sender's clock and data.
+type Msg = (f64, Vec<f64>);
+
+/// Channel fabric shared by all ranks of one SPMD run.
+pub struct CommFabric {
+    /// `up[r]` — rank r's channel into the root.
+    up: Vec<(Sender<Msg>, Receiver<Msg>)>,
+    /// `down[r]` — the root's channel to rank r.
+    down: Vec<(Sender<Msg>, Receiver<Msg>)>,
+}
+
+impl CommFabric {
+    pub fn new(size: usize) -> Arc<CommFabric> {
+        Arc::new(CommFabric {
+            up: (0..size).map(|_| bounded(1)).collect(),
+            down: (0..size).map(|_| bounded(1)).collect(),
+        })
+    }
+}
+
+/// One rank's endpoint (clone the fabric Arc, one communicator per rank).
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    cost: CommCostModel,
+    fabric: Arc<CommFabric>,
+}
+
+impl Communicator {
+    pub fn new(rank: usize, size: usize, cost: CommCostModel, fabric: Arc<CommFabric>) -> Self {
+        assert!(rank < size);
+        Communicator { rank, size, cost, fabric }
+    }
+
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Root-mediated exchange underlying every collective: each rank ships
+    /// `data` + clock to the root; the root folds the payloads with
+    /// `combine`, computes the synchronized exit time, and ships each rank
+    /// its reply produced by `reply` (rank-indexed).
+    fn root_exchange(
+        &self,
+        clock: &mut SimClock,
+        data: Vec<f64>,
+        cost: f64,
+        combine: impl FnOnce(Vec<(usize, Vec<f64>)>) -> Vec<Vec<f64>>,
+    ) -> Vec<f64> {
+        if self.size == 1 {
+            // Single rank: combine with itself, zero cost.
+            let mut replies = combine(vec![(0, data)]);
+            return replies.pop().unwrap();
+        }
+        if self.rank == 0 {
+            let mut entries: Vec<(usize, Vec<f64>)> = Vec::with_capacity(self.size);
+            let mut max_entry = clock.total();
+            entries.push((0, data));
+            for r in 1..self.size {
+                let (t, payload) = self.fabric.up[r].1.recv().expect("rank hung up");
+                max_entry = max_entry.max(t);
+                entries.push((r, payload));
+            }
+            let mut replies = combine(entries);
+            debug_assert_eq!(replies.len(), self.size);
+            // Send rank r its reply (reverse order so pop() is cheap).
+            for r in (1..self.size).rev() {
+                let reply = replies.pop().unwrap();
+                self.fabric.down[r].0.send((max_entry, reply)).expect("rank hung up");
+            }
+            let own = replies.pop().unwrap();
+            clock.synchronize(max_entry, cost);
+            own
+        } else {
+            self.fabric.up[self.rank].0.send((clock.total(), data)).expect("root hung up");
+            let (max_entry, reply) = self.fabric.down[self.rank].1.recv().expect("root hung up");
+            clock.synchronize(max_entry, cost);
+            reply
+        }
+    }
+
+    /// `MPI_Allreduce(MPI_SUM)` over an f64 buffer (Fig. 4 Step 3).
+    pub fn allreduce_sum(&self, buf: &mut [f64], clock: &mut SimClock) {
+        let cost = self.cost.allreduce(buf.len() * 8);
+        let n = buf.len();
+        let out = self.root_exchange(clock, buf.to_vec(), cost, |entries| {
+            let mut sum = vec![0.0f64; n];
+            for (_, payload) in &entries {
+                assert_eq!(payload.len(), n, "allreduce length mismatch across ranks");
+                for (s, v) in sum.iter_mut().zip(payload) {
+                    *s += v;
+                }
+            }
+            vec![sum; entries.len()]
+        });
+        buf.copy_from_slice(&out);
+    }
+
+    /// `MPI_Allgatherv`: concatenate every rank's `mine` in rank order;
+    /// all ranks receive the concatenation (Fig. 4 Step 5).
+    pub fn allgatherv(&self, mine: &[f64], clock: &mut SimClock) -> Vec<f64> {
+        // Cost is charged on the *total* payload.
+        let local = mine.to_vec();
+        // First a cheap size exchange is implied; we fold it into the
+        // collective cost (real MPI_Allgatherv requires counts known).
+        let out = self.root_exchange(clock, local, 0.0, |mut entries| {
+            entries.sort_by_key(|(r, _)| *r);
+            let total: usize = entries.iter().map(|(_, p)| p.len()).sum();
+            let mut cat = Vec::with_capacity(total);
+            for (_, p) in &entries {
+                cat.extend_from_slice(p);
+            }
+            vec![cat; entries.len()]
+        });
+        // Charge after we know the total size.
+        clock.add_comm(self.cost.allgatherv(out.len() * 8));
+        out
+    }
+
+    /// `MPI_Reduce(MPI_SUM)` of one scalar to the root (Fig. 4 Step 7).
+    /// Returns `Some(sum)` on the root, `None` elsewhere.
+    pub fn reduce_sum_scalar(&self, x: f64, clock: &mut SimClock) -> Option<f64> {
+        let cost = self.cost.reduce(8);
+        let out = self.root_exchange(clock, vec![x], cost, |entries| {
+            let sum: f64 = entries.iter().map(|(_, p)| p[0]).sum();
+            entries
+                .iter()
+                .map(|(r, _)| if *r == 0 { vec![sum] } else { vec![] })
+                .collect()
+        });
+        if self.rank == 0 {
+            Some(out[0])
+        } else {
+            None
+        }
+    }
+
+    /// `MPI_Bcast` from the root.
+    pub fn bcast(&self, buf: &mut Vec<f64>, clock: &mut SimClock) {
+        let cost = self.cost.bcast(buf.len() * 8);
+        let payload = if self.rank == 0 { std::mem::take(buf) } else { Vec::new() };
+        let out = self.root_exchange(clock, payload, cost, |entries| {
+            let root_payload =
+                entries.iter().find(|(r, _)| *r == 0).map(|(_, p)| p.clone()).unwrap();
+            vec![root_payload; entries.len()]
+        });
+        *buf = out;
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&self, clock: &mut SimClock) {
+        let cost = self.cost.barrier();
+        let _ = self.root_exchange(clock, Vec::new(), cost, |entries| {
+            vec![Vec::new(); entries.len()]
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ClusterSpec, MachineSpec, Placement};
+
+    /// Run `f` as an SPMD body over `size` ranks and return per-rank
+    /// results (test harness; the real one lives in `runner`).
+    fn spmd<T: Send>(
+        size: usize,
+        f: impl Fn(Communicator, &mut SimClock) -> T + Sync,
+    ) -> Vec<(T, SimClock)> {
+        let cluster =
+            ClusterSpec::new(MachineSpec::lonestar4(), Placement::distributed(size.max(1)));
+        let cost = CommCostModel::for_cluster(&cluster);
+        let fabric = CommFabric::new(size);
+        let mut out: Vec<Option<(T, SimClock)>> = (0..size).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (r, slot) in out.iter_mut().enumerate() {
+                let fabric = fabric.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    let comm = Communicator::new(r, size, cost, fabric);
+                    let mut clock = SimClock::new();
+                    let v = f(comm, &mut clock);
+                    *slot = Some((v, clock));
+                });
+            }
+        });
+        out.into_iter().map(|o| o.unwrap()).collect()
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let size = 5;
+        let res = spmd(size, |comm, clock| {
+            let mut buf = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_sum(&mut buf, clock);
+            buf
+        });
+        let want = vec![(0..5).sum::<usize>() as f64, 5.0];
+        for (buf, _) in &res {
+            assert_eq!(buf, &want);
+        }
+    }
+
+    #[test]
+    fn allreduce_synchronizes_clocks() {
+        let res = spmd(4, |comm, clock| {
+            clock.add_compute(comm.rank() as f64); // rank r computed r s
+            let mut buf = vec![1.0];
+            comm.allreduce_sum(&mut buf, clock);
+            clock.total()
+        });
+        let totals: Vec<f64> = res.iter().map(|(t, _)| *t).collect();
+        for &t in &totals {
+            assert!((t - totals[0]).abs() < 1e-12, "clocks diverged: {totals:?}");
+        }
+        // Everyone left at >= the slowest rank's 3 s.
+        assert!(totals[0] >= 3.0);
+        // The fast rank attributed ~3s to waiting.
+        let wait0 = res[0].1.wait;
+        assert!((wait0 - 3.0).abs() < 1e-9, "rank0 wait {wait0}");
+    }
+
+    #[test]
+    fn allgatherv_concatenates_in_rank_order() {
+        let res = spmd(3, |comm, clock| {
+            let mine: Vec<f64> = (0..=comm.rank()).map(|i| (comm.rank() * 10 + i) as f64).collect();
+            comm.allgatherv(&mine, clock)
+        });
+        let want = vec![0.0, 10.0, 11.0, 20.0, 21.0, 22.0];
+        for (got, _) in &res {
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn reduce_scalar_only_root_receives() {
+        let res = spmd(6, |comm, clock| comm.reduce_sum_scalar(2.5, clock));
+        assert_eq!(res[0].0, Some(15.0));
+        for (v, _) in &res[1..] {
+            assert_eq!(*v, None);
+        }
+    }
+
+    #[test]
+    fn bcast_distributes_roots_buffer() {
+        let res = spmd(4, |comm, clock| {
+            let mut buf = if comm.is_root() { vec![3.14, 2.71] } else { vec![] };
+            comm.bcast(&mut buf, clock);
+            buf
+        });
+        for (buf, _) in &res {
+            assert_eq!(buf, &vec![3.14, 2.71]);
+        }
+    }
+
+    #[test]
+    fn barrier_aligns_time() {
+        let res = spmd(3, |comm, clock| {
+            clock.add_compute((comm.rank() as f64) * 0.5);
+            comm.barrier(clock);
+            clock.total()
+        });
+        let t0 = res[0].0;
+        for (t, _) in &res {
+            assert!((t - t0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_noops() {
+        let res = spmd(1, |comm, clock| {
+            let mut buf = vec![7.0];
+            comm.allreduce_sum(&mut buf, clock);
+            let cat = comm.allgatherv(&[1.0, 2.0], clock);
+            let red = comm.reduce_sum_scalar(5.0, clock);
+            comm.barrier(clock);
+            (buf, cat, red, clock.total())
+        });
+        let (buf, cat, red, t) = &res[0].0;
+        assert_eq!(buf, &vec![7.0]);
+        assert_eq!(cat, &vec![1.0, 2.0]);
+        assert_eq!(*red, Some(5.0));
+        assert_eq!(*t, 0.0);
+    }
+
+    #[test]
+    fn comm_cost_is_charged() {
+        let res = spmd(8, |comm, clock| {
+            let mut buf = vec![0.0; 1024];
+            comm.allreduce_sum(&mut buf, clock);
+            clock.comm
+        });
+        for (c, _) in &res {
+            assert!(*c > 0.0, "no comm time charged");
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_preserve_order() {
+        // Three back-to-back allreduces must not cross-talk.
+        let res = spmd(4, |comm, clock| {
+            let mut out = Vec::new();
+            for round in 0..3 {
+                let mut buf = vec![(comm.rank() + round) as f64];
+                comm.allreduce_sum(&mut buf, clock);
+                out.push(buf[0]);
+            }
+            out
+        });
+        for (v, _) in &res {
+            assert_eq!(v, &vec![6.0, 10.0, 14.0]);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! # polaroct-cluster
+//!
+//! A simulated MPI substrate: the "cluster of multicores" in the paper's
+//! title, reproduced as an in-process SPMD runtime with a calibrated
+//! virtual-time model.
+//!
+//! ## Why a simulator
+//!
+//! The paper ran on TACC Lonestar4 (12 nodes × 2 sockets × 6 Westmere
+//! cores, QDR InfiniBand, MVAPICH2). This reproduction runs on whatever
+//! host builds it — possibly a single core — so the *algorithms* execute
+//! for real (every rank runs the real Rust kernels over real data, and all
+//! energies are bit-exact regardless of the timing model), while *time* is
+//! virtual:
+//!
+//! * compute time is derived from kernel operation counts × per-op costs
+//!   calibrated by microbenchmark ([`calib`]),
+//! * intra-node multithreading is priced by the work-stealing makespan
+//!   simulator from `polaroct-sched`,
+//! * communication is priced by the per-collective cost formulas of Grama
+//!   et al., *Introduction to Parallel Computing* — the very reference the
+//!   paper cites for its Step 3/5/7 cost analysis ([`costmodel`]),
+//! * memory-replication pressure (the §V.B 1.4 GB vs 8.2 GB story) is
+//!   tracked by [`memory`] and converted into a compute slowdown once a
+//!   node's per-core working set spills its L3 share.
+//!
+//! ## Components
+//!
+//! * [`machine`] — machine/cluster descriptions (Lonestar4 preset =
+//!   Table I).
+//! * [`comm`] — [`comm::Communicator`]: rank-to-rank collectives
+//!   (Allreduce, Allgatherv, Reduce, Bcast, Barrier) over in-process
+//!   channels, carrying virtual clocks so collectives synchronize
+//!   simulated time exactly like real MPI barriers do.
+//! * [`runner`] — [`runner::run_spmd`] launches `P` ranks as threads and
+//!   returns each rank's result + clock.
+//! * [`simtime`] — per-rank virtual clocks and op-count accounting.
+//! * [`calib`] — measures this host's ns/op for the energy kernels so
+//!   virtual seconds are anchored to real hardware.
+//! * [`noise`] — run-to-run jitter model for the min/max-of-20-runs plots
+//!   (Fig. 6).
+
+pub mod calib;
+pub mod comm;
+pub mod costmodel;
+pub mod machine;
+pub mod memory;
+pub mod noise;
+pub mod runner;
+pub mod simtime;
+pub mod trace;
+
+pub use calib::KernelCosts;
+pub use comm::Communicator;
+pub use costmodel::CommCostModel;
+pub use machine::{ClusterSpec, MachineSpec, Placement};
+pub use memory::MemoryModel;
+pub use noise::NoiseModel;
+pub use runner::{run_spmd, RankContext, SpmdResult};
+pub use simtime::SimClock;

@@ -1,0 +1,210 @@
+//! Machine and cluster descriptions.
+//!
+//! [`MachineSpec::lonestar4`] encodes Table I of the paper:
+//!
+//! | Attribute | Property |
+//! |---|---|
+//! | Processors | 3.33 GHz hexa-core Intel Westmere |
+//! | Cores/node | 12 (2 sockets × 6) |
+//! | RAM | 24 GB, 1333 MHz |
+//! | Interconnect | InfiniBand, fat-tree, 40 Gb/s |
+//! | Cache | 12 MB L3, 256 KB L2, 64 KB L1 |
+//! | MPI | MVAPICH2/1.6 |
+
+/// One compute node's hardware.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineSpec {
+    pub name: &'static str,
+    pub sockets: usize,
+    pub cores_per_socket: usize,
+    /// Shared L3 per socket (bytes).
+    pub l3_per_socket: usize,
+    /// DRAM per node (bytes).
+    pub dram_per_node: usize,
+    /// MPI startup latency between nodes (seconds) — Grama's `t_s`.
+    pub t_s_inter: f64,
+    /// Per-byte transfer time between nodes (seconds/byte) — `t_w`.
+    pub t_w_inter: f64,
+    /// Startup latency between processes on one node (shared memory).
+    pub t_s_intra: f64,
+    /// Per-byte time within a node.
+    pub t_w_intra: f64,
+}
+
+impl MachineSpec {
+    /// Cores per node.
+    pub fn cores_per_node(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// The paper's Lonestar4 node (Table I).
+    ///
+    /// `t_w` values are standard QDR InfiniBand / shared-memory bandwidth
+    /// figures. `t_s` here is **not** the wire latency (~1–2 µs): it is
+    /// the effective per-stage cost of an MVAPICH2/1.6-era collective as
+    /// the application experiences it — software stack, rendezvous
+    /// protocol and synchronization skew included — calibrated so the
+    /// small-molecule comm/compute balance matches §V.C's observation
+    /// that "for small molecules the communication cost dominated
+    /// computation cost" with crossover near 2,500 atoms.
+    pub fn lonestar4() -> MachineSpec {
+        MachineSpec {
+            name: "Lonestar4 (Westmere 3.33GHz, 12 cores/node)",
+            sockets: 2,
+            cores_per_socket: 6,
+            l3_per_socket: 12 << 20,
+            dram_per_node: 24 << 30,
+            t_s_inter: 3.0e-4,
+            t_w_inter: 0.25e-9,
+            t_s_intra: 2.0e-4,
+            t_w_intra: 0.08e-9,
+        }
+    }
+}
+
+/// How SPMD ranks and their threads are laid onto nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// Number of MPI processes `P`.
+    pub processes: usize,
+    /// Threads per process `p` (1 ⇒ pure distributed; >1 ⇒ hybrid).
+    pub threads_per_process: usize,
+}
+
+impl Placement {
+    pub fn new(processes: usize, threads_per_process: usize) -> Self {
+        assert!(processes >= 1 && threads_per_process >= 1);
+        Placement { processes, threads_per_process }
+    }
+
+    /// Pure distributed layout (the paper's OCT_MPI: 12 ranks/node).
+    pub fn distributed(total_cores: usize) -> Self {
+        Placement::new(total_cores, 1)
+    }
+
+    /// The paper's hybrid layout on Lonestar4: one process per socket,
+    /// 6 threads each (§V.A: "we launched one process with 6 threads on
+    /// each socket").
+    pub fn hybrid_per_socket(total_cores: usize, machine: &MachineSpec) -> Self {
+        let p = machine.cores_per_socket;
+        assert!(total_cores % p == 0, "cores {total_cores} not divisible by socket width {p}");
+        Placement::new(total_cores / p, p)
+    }
+
+    /// Total cores used.
+    pub fn total_cores(&self) -> usize {
+        self.processes * self.threads_per_process
+    }
+}
+
+/// A cluster: homogeneous nodes of `machine`, enough to host a placement.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    pub machine: MachineSpec,
+    pub placement: Placement,
+}
+
+impl ClusterSpec {
+    pub fn new(machine: MachineSpec, placement: Placement) -> Self {
+        ClusterSpec { machine, placement }
+    }
+
+    /// Nodes needed for the placement (ceil of cores / cores-per-node).
+    pub fn nodes(&self) -> usize {
+        self.placement.total_cores().div_ceil(self.machine.cores_per_node())
+    }
+
+    /// MPI processes living on each node.
+    pub fn processes_per_node(&self) -> usize {
+        self.placement.processes.div_ceil(self.nodes())
+    }
+
+    /// True when every rank fits on a single node (all-intra-node
+    /// communication).
+    pub fn single_node(&self) -> bool {
+        self.nodes() == 1
+    }
+
+    /// Effective `t_s`/`t_w` for collectives: intra-node constants when
+    /// the job fits on one node, otherwise the inter-node constants (the
+    /// long pole in a fat-tree collective is the inter-node hop).
+    pub fn effective_latency(&self) -> (f64, f64) {
+        if self.single_node() {
+            (self.machine.t_s_intra, self.machine.t_w_intra)
+        } else {
+            (self.machine.t_s_inter, self.machine.t_w_inter)
+        }
+    }
+
+    /// L3 cache share per *core* in bytes.
+    pub fn l3_per_core(&self) -> usize {
+        self.machine.l3_per_socket / self.machine.cores_per_socket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lonestar4_matches_table1() {
+        let m = MachineSpec::lonestar4();
+        assert_eq!(m.cores_per_node(), 12);
+        assert_eq!(m.l3_per_socket, 12 * 1024 * 1024);
+        assert_eq!(m.dram_per_node, 24 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn placement_layouts() {
+        let m = MachineSpec::lonestar4();
+        let d = Placement::distributed(144);
+        assert_eq!(d.processes, 144);
+        assert_eq!(d.threads_per_process, 1);
+        let h = Placement::hybrid_per_socket(144, &m);
+        assert_eq!(h.processes, 24);
+        assert_eq!(h.threads_per_process, 6);
+        assert_eq!(h.total_cores(), 144);
+    }
+
+    #[test]
+    fn node_counting() {
+        let m = MachineSpec::lonestar4();
+        assert_eq!(ClusterSpec::new(m, Placement::distributed(12)).nodes(), 1);
+        assert_eq!(ClusterSpec::new(m, Placement::distributed(144)).nodes(), 12);
+        assert_eq!(ClusterSpec::new(m, Placement::distributed(13)).nodes(), 2);
+    }
+
+    #[test]
+    fn processes_per_node() {
+        let m = MachineSpec::lonestar4();
+        let mpi = ClusterSpec::new(m, Placement::distributed(144));
+        assert_eq!(mpi.processes_per_node(), 12);
+        let hyb = ClusterSpec::new(m, Placement::hybrid_per_socket(144, &m));
+        assert_eq!(hyb.processes_per_node(), 2);
+    }
+
+    #[test]
+    fn latency_selection() {
+        let m = MachineSpec::lonestar4();
+        let single = ClusterSpec::new(m, Placement::distributed(12));
+        assert!(single.single_node());
+        assert_eq!(single.effective_latency().0, m.t_s_intra);
+        let multi = ClusterSpec::new(m, Placement::distributed(24));
+        assert!(!multi.single_node());
+        assert_eq!(multi.effective_latency().0, m.t_s_inter);
+    }
+
+    #[test]
+    fn l3_share() {
+        let m = MachineSpec::lonestar4();
+        let c = ClusterSpec::new(m, Placement::distributed(12));
+        assert_eq!(c.l3_per_core(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hybrid_requires_divisible_cores() {
+        let m = MachineSpec::lonestar4();
+        let _ = Placement::hybrid_per_socket(13, &m);
+    }
+}

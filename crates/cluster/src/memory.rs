@@ -1,0 +1,153 @@
+//! Memory-replication accounting and cache-pressure slowdown.
+//!
+//! §IV.B of the paper: "as k independent processes (distributed) use k
+//! times more memory than used by one process with k threads (shared), at
+//! some point, the distributed-shared-memory algorithm should outperform
+//! the distributed-memory algorithm. This happens when the input becomes
+//! so large that the ks data does not fit into the shared-cache/main
+//! memory or incurs severe memory overhead (page fault/cache misses)".
+//!
+//! §V.B measures it: on one BTV node, 2×6 hybrid used 1.4 GB where 12×1
+//! pure MPI used 8.2 GB (5.86×).
+//!
+//! [`MemoryModel`] reproduces both: per-node footprints from replication
+//! counts, and a smooth compute-slowdown factor once the per-core working
+//! set spills the L3 share (and a steeper one when a node exceeds DRAM).
+
+use crate::machine::ClusterSpec;
+
+/// Memory accounting for one run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryModel {
+    /// Bytes of molecule + octree + surface data one process replica
+    /// holds.
+    pub bytes_per_process: usize,
+    /// Fixed per-process runtime overhead (MPI buffers, allocator, ...).
+    pub runtime_overhead: usize,
+}
+
+impl MemoryModel {
+    pub fn new(bytes_per_process: usize) -> Self {
+        // MVAPICH2-era MPI processes carried ~20 MB of buffers/runtime.
+        MemoryModel { bytes_per_process, runtime_overhead: 20 << 20 }
+    }
+
+    /// Total bytes on one node: every process replicates the data (the
+    /// paper's "distribute only the work" variant — each process has all
+    /// the data).
+    pub fn bytes_per_node(&self, cluster: &ClusterSpec) -> usize {
+        cluster.processes_per_node() * (self.bytes_per_process + self.runtime_overhead)
+    }
+
+    /// Replication ratio of configuration `a` vs `b` on the same machine
+    /// (e.g. 12×1 vs 2×6 ⇒ ~5.86 with overheads counted).
+    pub fn replication_ratio(&self, a: &ClusterSpec, b: &ClusterSpec) -> f64 {
+        self.bytes_per_node(a) as f64 / self.bytes_per_node(b) as f64
+    }
+
+    /// True when a node exceeds its DRAM: the run fails like Tinker/GBr⁶
+    /// do in §V.D ("run out of memory").
+    pub fn out_of_memory(&self, cluster: &ClusterSpec) -> bool {
+        self.bytes_per_node(cluster) > cluster.machine.dram_per_node
+    }
+
+    /// Compute-time multiplier from cache/memory pressure.
+    ///
+    /// Per-core working set `w = bytes_per_process / threads_per_process`
+    /// (threads share one replica — the hybrid advantage). While `w` fits
+    /// the core's L3 share the factor is 1; beyond it the factor grows
+    /// logarithmically (cache-miss regime); if the node spills DRAM the
+    /// factor jumps steeply (page-fault regime).
+    pub fn slowdown(&self, cluster: &ClusterSpec) -> f64 {
+        let per_core =
+            self.bytes_per_process as f64 / cluster.placement.threads_per_process as f64;
+        let l3 = cluster.l3_per_core() as f64;
+        let mut factor = 1.0;
+        if per_core > l3 {
+            // Each doubling beyond the L3 share costs ~12% more time —
+            // a DRAM-bandwidth-bound streaming kernel's typical penalty.
+            factor += 0.12 * (per_core / l3).log2();
+        }
+        let node_bytes = self.bytes_per_node(cluster) as f64;
+        let dram = cluster.machine.dram_per_node as f64;
+        if node_bytes > dram {
+            // Paging: each doubling beyond DRAM costs 4x.
+            factor *= 4.0f64.powf((node_bytes / dram).log2().max(0.0) + 1.0);
+        }
+        factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{ClusterSpec, MachineSpec, Placement};
+
+    fn ls4() -> MachineSpec {
+        MachineSpec::lonestar4()
+    }
+
+    #[test]
+    fn replication_ratio_reproduces_5_86x() {
+        // §V.B: BTV on one node; hybrid replica ≈ 680 MB so that
+        // 2 × (680 MB + 20 MB) = 1.4 GB, 12 × 700 MB = 8.2 GB (5.86×).
+        let bytes = 680 << 20;
+        let mm = MemoryModel::new(bytes);
+        let mpi = ClusterSpec::new(ls4(), Placement::distributed(12));
+        let hyb = ClusterSpec::new(ls4(), Placement::hybrid_per_socket(12, &ls4()));
+        let node_mpi = mm.bytes_per_node(&mpi) as f64 / (1u64 << 30) as f64;
+        let node_hyb = mm.bytes_per_node(&hyb) as f64 / (1u64 << 30) as f64;
+        assert!((node_hyb - 1.37).abs() < 0.1, "hybrid/node {node_hyb} GB");
+        assert!((node_mpi - 8.2).abs() < 0.5, "mpi/node {node_mpi} GB");
+        let ratio = mm.replication_ratio(&mpi, &hyb);
+        assert!((ratio - 6.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_data_no_slowdown() {
+        let mm = MemoryModel::new(1 << 20); // 1 MB
+        let c = ClusterSpec::new(ls4(), Placement::distributed(12));
+        assert_eq!(mm.slowdown(&c), 1.0);
+        assert!(!mm.out_of_memory(&c));
+    }
+
+    #[test]
+    fn hybrid_reduces_slowdown_for_large_data() {
+        let mm = MemoryModel::new(512 << 20);
+        let mpi = ClusterSpec::new(ls4(), Placement::distributed(12));
+        let hyb = ClusterSpec::new(ls4(), Placement::hybrid_per_socket(12, &ls4()));
+        assert!(
+            mm.slowdown(&mpi) > mm.slowdown(&hyb),
+            "replication must cost more: {} vs {}",
+            mm.slowdown(&mpi),
+            mm.slowdown(&hyb)
+        );
+    }
+
+    #[test]
+    fn oom_detection() {
+        let mm = MemoryModel::new(3 << 30); // 3 GB/process
+        let mpi12 = ClusterSpec::new(ls4(), Placement::distributed(12));
+        assert!(mm.out_of_memory(&mpi12)); // 36 GB > 24 GB
+        let hyb = ClusterSpec::new(ls4(), Placement::hybrid_per_socket(12, &ls4()));
+        assert!(!mm.out_of_memory(&hyb)); // 6 GB < 24 GB
+    }
+
+    #[test]
+    fn paging_slowdown_is_steep() {
+        let mm = MemoryModel::new(3 << 30);
+        let mpi12 = ClusterSpec::new(ls4(), Placement::distributed(12));
+        assert!(mm.slowdown(&mpi12) > 4.0);
+    }
+
+    #[test]
+    fn slowdown_monotone_in_data_size() {
+        let c = ClusterSpec::new(ls4(), Placement::distributed(12));
+        let mut last = 0.0;
+        for mb in [1usize, 8, 64, 512, 4096] {
+            let s = MemoryModel::new(mb << 20).slowdown(&c);
+            assert!(s >= last, "slowdown not monotone at {mb} MB");
+            last = s;
+        }
+    }
+}

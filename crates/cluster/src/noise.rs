@@ -1,0 +1,125 @@
+//! Run-to-run variability model for the min/max-of-20-runs scalability
+//! plot (Fig. 6).
+//!
+//! On a shared cluster, compute time jitters a little (OS noise, turbo)
+//! and communication time jitters a lot (network contention grows with
+//! the number of communicating processes). The paper plots the *minimum
+//! and maximum* of 20 runs per configuration and observes that
+//! OCT_MPI+CILK's minimum beats OCT_MPI's minimum past 180 cores while its
+//! maximum never does — a signature of comm-jitter amplitude scaling with
+//! process count. This model reproduces that mechanism.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Multiplicative jitter model.
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseModel {
+    /// RNG seed (runs are deterministic per (seed, key, run index)).
+    pub seed: u64,
+    /// Std-dev of compute jitter (fraction of compute time; ~1–2% on
+    /// dedicated nodes).
+    pub compute_sigma: f64,
+    /// Base std-dev of communication jitter per communicating process
+    /// pair-log (network contention; grows with log P).
+    pub comm_sigma_base: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel { seed: 0xA05E, compute_sigma: 0.015, comm_sigma_base: 0.10 }
+    }
+}
+
+impl NoiseModel {
+    /// Sample `runs` total times for a configuration with the given
+    /// compute/comm split and process count. Jitter is one-sided (delays
+    /// only): the deterministic base time is the best case, like a real
+    /// minimum-of-N measurement converging to the noise floor.
+    pub fn sample_runs(
+        &self,
+        compute: f64,
+        comm: f64,
+        processes: usize,
+        runs: usize,
+        key: u64,
+    ) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ key.wrapping_mul(0x9E37_79B9));
+        let comm_sigma = self.comm_sigma_base * (processes.max(2) as f64).log2();
+        (0..runs)
+            .map(|_| {
+                let jc: f64 = half_normal(&mut rng) * self.compute_sigma;
+                let jm: f64 = half_normal(&mut rng) * comm_sigma;
+                compute * (1.0 + jc) + comm * (1.0 + jm)
+            })
+            .collect()
+    }
+
+    /// Convenience: (min, max) of `runs` samples.
+    pub fn min_max(
+        &self,
+        compute: f64,
+        comm: f64,
+        processes: usize,
+        runs: usize,
+        key: u64,
+    ) -> (f64, f64) {
+        let samples = self.sample_runs(compute, comm, processes, runs, key);
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        (min, max)
+    }
+}
+
+/// |N(0,1)| via Box–Muller.
+fn half_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    ((-2.0 * u1.ln()).sqrt() * u2.cos()).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_never_beat_the_base_time() {
+        let nm = NoiseModel::default();
+        let runs = nm.sample_runs(1.0, 0.2, 64, 50, 7);
+        for &t in &runs {
+            assert!(t >= 1.2 - 1e-12, "sample {t} below base");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_key() {
+        let nm = NoiseModel::default();
+        assert_eq!(nm.sample_runs(1.0, 0.1, 12, 20, 1), nm.sample_runs(1.0, 0.1, 12, 20, 1));
+        assert_ne!(nm.sample_runs(1.0, 0.1, 12, 20, 1), nm.sample_runs(1.0, 0.1, 12, 20, 2));
+    }
+
+    #[test]
+    fn comm_jitter_grows_with_processes() {
+        let nm = NoiseModel::default();
+        let spread = |p: usize| {
+            let (min, max) = nm.min_max(1.0, 1.0, p, 200, 3);
+            max - min
+        };
+        assert!(spread(144) > spread(4), "jitter must widen with P");
+    }
+
+    #[test]
+    fn min_max_are_ordered_and_bracket_samples() {
+        let nm = NoiseModel::default();
+        let (min, max) = nm.min_max(2.0, 0.5, 24, 20, 9);
+        assert!(min <= max);
+        assert!(min >= 2.5);
+    }
+
+    #[test]
+    fn pure_compute_has_tight_spread() {
+        let nm = NoiseModel::default();
+        let (min, max) = nm.min_max(1.0, 0.0, 144, 20, 4);
+        assert!(max / min < 1.1, "compute-only spread should be small: {min}..{max}");
+    }
+}

@@ -1,0 +1,164 @@
+//! SPMD launcher: run `P` ranks of a closure over the simulated cluster.
+
+use crate::calib::KernelCosts;
+use crate::comm::{CommFabric, Communicator};
+use crate::costmodel::CommCostModel;
+use crate::machine::ClusterSpec;
+use crate::simtime::{OpCounts, SimClock};
+
+/// Everything a rank body receives.
+pub struct RankContext {
+    pub rank: usize,
+    pub size: usize,
+    pub comm: Communicator,
+    pub clock: SimClock,
+    /// Scratch op counter the body may use before converting to time.
+    pub ops: OpCounts,
+    /// Per-op costs (shared calibration).
+    pub costs: KernelCosts,
+    /// Threads available to this rank (the hybrid `p`).
+    pub threads: usize,
+}
+
+impl RankContext {
+    /// Charge the accumulated ops to the clock (serial execution: one
+    /// thread), clearing the counter.
+    pub fn charge_ops_serial(&mut self, approx_math: bool) {
+        let secs = self.costs.seconds(&self.ops, approx_math);
+        self.clock.add_compute(secs);
+        self.ops = OpCounts::default();
+    }
+}
+
+/// The result of an SPMD run.
+#[derive(Debug)]
+pub struct SpmdResult<T> {
+    /// Rank-indexed return values.
+    pub per_rank: Vec<T>,
+    /// Rank-indexed final clocks.
+    pub clocks: Vec<SimClock>,
+}
+
+impl<T> SpmdResult<T> {
+    /// The simulated parallel completion time: the slowest rank.
+    pub fn parallel_time(&self) -> f64 {
+        self.clocks.iter().map(|c| c.total()).fold(0.0, f64::max)
+    }
+
+    /// Total simulated compute across ranks (the work `T_1` would do).
+    pub fn total_compute(&self) -> f64 {
+        self.clocks.iter().map(|c| c.compute).sum()
+    }
+
+    /// Max communication+wait overhead across ranks.
+    pub fn max_overhead(&self) -> f64 {
+        self.clocks.iter().map(|c| c.comm + c.wait).fold(0.0, f64::max)
+    }
+}
+
+/// Launch `cluster.placement.processes` ranks, each running `body`.
+///
+/// Ranks execute concurrently as OS threads (collectives rendezvous), so
+/// results are exactly what an MPI run would compute; clocks are virtual.
+pub fn run_spmd<T, F>(cluster: &ClusterSpec, costs: KernelCosts, body: F) -> SpmdResult<T>
+where
+    T: Send,
+    F: Fn(&mut RankContext) -> T + Sync,
+{
+    let size = cluster.placement.processes;
+    let threads = cluster.placement.threads_per_process;
+    let cost_model = CommCostModel::for_cluster(cluster);
+    let fabric = CommFabric::new(size);
+
+    let mut results: Vec<Option<(T, SimClock)>> = (0..size).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (rank, slot) in results.iter_mut().enumerate() {
+            let fabric = fabric.clone();
+            let body = &body;
+            scope.spawn(move || {
+                let mut ctx = RankContext {
+                    rank,
+                    size,
+                    comm: Communicator::new(rank, size, cost_model, fabric),
+                    clock: SimClock::new(),
+                    ops: OpCounts::default(),
+                    costs,
+                    threads,
+                };
+                let v = body(&mut ctx);
+                *slot = Some((v, ctx.clock));
+            });
+        }
+    });
+
+    let mut per_rank = Vec::with_capacity(size);
+    let mut clocks = Vec::with_capacity(size);
+    for slot in results {
+        let (v, c) = slot.expect("rank panicked");
+        per_rank.push(v);
+        clocks.push(c);
+    }
+    SpmdResult { per_rank, clocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{MachineSpec, Placement};
+
+    fn cluster(p: usize) -> ClusterSpec {
+        ClusterSpec::new(MachineSpec::lonestar4(), Placement::distributed(p))
+    }
+
+    #[test]
+    fn ranks_see_their_ids_and_results_are_ordered() {
+        let res = run_spmd(&cluster(6), KernelCosts::lonestar4_reference(), |ctx| {
+            assert_eq!(ctx.size, 6);
+            ctx.rank * 2
+        });
+        assert_eq!(res.per_rank, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn spmd_collective_roundtrip() {
+        let res = run_spmd(&cluster(4), KernelCosts::lonestar4_reference(), |ctx| {
+            let mut clock = ctx.clock;
+            let mut buf = vec![1.0];
+            ctx.comm.allreduce_sum(&mut buf, &mut clock);
+            ctx.clock = clock;
+            buf[0]
+        });
+        assert!(res.per_rank.iter().all(|&v| v == 4.0));
+        assert!(res.parallel_time() > 0.0);
+    }
+
+    #[test]
+    fn charge_ops_serial_converts_and_clears() {
+        let res = run_spmd(&cluster(2), KernelCosts::lonestar4_reference(), |ctx| {
+            ctx.ops.epol_near = 1_000_000;
+            ctx.charge_ops_serial(false);
+            assert_eq!(ctx.ops.epol_near, 0);
+            ctx.clock.compute
+        });
+        for &c in &res.per_rank {
+            assert!((c - 0.018).abs() < 1e-9, "1M pairs at 18ns = 18ms, got {c}");
+        }
+    }
+
+    #[test]
+    fn parallel_time_is_max_rank_time() {
+        let res = run_spmd(&cluster(3), KernelCosts::lonestar4_reference(), |ctx| {
+            ctx.clock.add_compute((ctx.rank + 1) as f64);
+        });
+        assert!((res.parallel_time() - 3.0).abs() < 1e-12);
+        assert!((res.total_compute() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hybrid_placement_exposes_thread_count() {
+        let m = MachineSpec::lonestar4();
+        let c = ClusterSpec::new(m, Placement::hybrid_per_socket(12, &m));
+        let res = run_spmd(&c, KernelCosts::lonestar4_reference(), |ctx| ctx.threads);
+        assert_eq!(res.per_rank, vec![6, 6]);
+    }
+}

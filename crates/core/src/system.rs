@@ -1,0 +1,199 @@
+//! Prepared GB system: surface + both octrees + Morton-ordered payloads.
+
+use crate::params::ApproxParams;
+use polaroct_geom::Vec3;
+use polaroct_molecule::Molecule;
+use polaroct_octree::{build, BuildParams, Octree};
+use polaroct_surface::{surface_quadrature, QuadratureSet};
+
+/// Everything the kernels need, laid out for traversal:
+///
+/// * `atoms` — octree over atom centers (`T_A`); `charge[i]`, `radius[i]`
+///   are Morton-ordered alongside `atoms.points[i]`.
+/// * `qtree` — octree over surface quadrature points (`T_Q`);
+///   `q_normal[i]`, `q_weight[i]` Morton-ordered alongside
+///   `qtree.points[i]`; `q_node_normal[n]` is the per-node
+///   weight-weighted normal sum `ñ_Q = Σ_{q∈Q} w_q n_q` of Fig. 2.
+///
+/// Construction is the paper's pre-processing step (§IV.C Step 1): build
+/// once, then reuse for any ε and any rigid pose.
+#[derive(Clone, Debug)]
+pub struct GbSystem {
+    pub atoms: Octree,
+    pub charge: Vec<f64>,
+    pub radius: Vec<f64>,
+    pub qtree: Octree,
+    pub q_normal: Vec<Vec3>,
+    pub q_weight: Vec<f64>,
+    /// Per-qtree-node `Σ w_q n_q` (indexed by node id).
+    pub q_node_normal: Vec<Vec3>,
+    /// Name carried over from the molecule.
+    pub name: String,
+}
+
+impl GbSystem {
+    /// Sample the surface and build both octrees.
+    pub fn prepare(mol: &Molecule, params: &ApproxParams) -> GbSystem {
+        let quad = surface_quadrature(mol, params.surface);
+        Self::prepare_with_surface(mol, &quad, params)
+    }
+
+    /// Build from an externally supplied surface (lets tests craft exact
+    /// quadrature sets, and docking reuse a receptor surface).
+    pub fn prepare_with_surface(
+        mol: &Molecule,
+        quad: &QuadratureSet,
+        params: &ApproxParams,
+    ) -> GbSystem {
+        assert!(!mol.is_empty(), "empty molecule");
+        assert!(!quad.is_empty(), "empty surface");
+
+        let atoms = build(
+            &mol.positions,
+            BuildParams { leaf_capacity: params.leaf_cap_atoms, ..Default::default() },
+        );
+        let charge = atoms.permute(&mol.charges);
+        let radius = atoms.permute(&mol.radii);
+
+        let qtree = build(
+            &quad.positions,
+            BuildParams { leaf_capacity: params.leaf_cap_qpoints, ..Default::default() },
+        );
+        let q_normal = qtree.permute(&quad.normals);
+        let q_weight = qtree.permute(&quad.weights);
+
+        // Per-node weighted normal sums, O(N log N) total by summing each
+        // node's range directly (ranges nest, total work = Σ node sizes).
+        let mut q_node_normal = Vec::with_capacity(qtree.nodes.len());
+        for node in &qtree.nodes {
+            let mut s = Vec3::ZERO;
+            for i in node.range() {
+                s += q_normal[i] * q_weight[i];
+            }
+            q_node_normal.push(s);
+        }
+
+        GbSystem {
+            atoms,
+            charge,
+            radius,
+            qtree,
+            q_normal,
+            q_weight,
+            q_node_normal,
+            name: mol.name.clone(),
+        }
+    }
+
+    /// Number of atoms `M`.
+    #[inline]
+    pub fn n_atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of quadrature points `N`.
+    #[inline]
+    pub fn n_qpoints(&self) -> usize {
+        self.qtree.len()
+    }
+
+    /// Bytes one replica of this system occupies (molecule payloads +
+    /// both trees + surface payloads) — the per-process figure for the
+    /// §V.B replication accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.atoms.memory_bytes()
+            + self.charge.len() * 8
+            + self.radius.len() * 8
+            + self.qtree.memory_bytes()
+            + self.q_normal.len() * std::mem::size_of::<Vec3>()
+            + self.q_weight.len() * 8
+            + self.q_node_normal.len() * std::mem::size_of::<Vec3>()
+    }
+
+    /// Map Morton-ordered per-atom values back to the molecule's original
+    /// atom order (for reporting Born radii to callers).
+    pub fn to_original_atom_order(&self, sorted: &[f64]) -> Vec<f64> {
+        self.atoms.unpermute(sorted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaroct_molecule::synth;
+
+    fn system(n: usize) -> GbSystem {
+        let mol = synth::protein("p", n, 42);
+        GbSystem::prepare(&mol, &ApproxParams::default())
+    }
+
+    #[test]
+    fn prepares_consistent_sizes() {
+        let s = system(300);
+        assert_eq!(s.n_atoms(), 300);
+        assert_eq!(s.charge.len(), 300);
+        assert_eq!(s.radius.len(), 300);
+        assert!(s.n_qpoints() > 0);
+        assert_eq!(s.q_normal.len(), s.n_qpoints());
+        assert_eq!(s.q_weight.len(), s.n_qpoints());
+        assert_eq!(s.q_node_normal.len(), s.qtree.nodes.len());
+    }
+
+    #[test]
+    fn payloads_follow_morton_permutation() {
+        let mol = synth::protein("p", 120, 7);
+        let s = GbSystem::prepare(&mol, &ApproxParams::default());
+        for i in 0..s.n_atoms() {
+            let orig = s.atoms.point_order[i] as usize;
+            assert_eq!(s.charge[i], mol.charges[orig]);
+            assert_eq!(s.radius[i], mol.radii[orig]);
+            assert_eq!(s.atoms.points[i], mol.positions[orig]);
+        }
+    }
+
+    #[test]
+    fn node_normals_match_direct_sums() {
+        let s = system(150);
+        // Root node's sum must equal the sum over all q-points.
+        let mut total = Vec3::ZERO;
+        for i in 0..s.n_qpoints() {
+            total += s.q_normal[i] * s.q_weight[i];
+        }
+        let root_sum = s.q_node_normal[0];
+        assert!((total - root_sum).norm() < 1e-9);
+        // Internal node sums equal the sum of their children's sums.
+        for node in &s.atoms.nodes {
+            let _ = node; // atoms tree has no normal sums; check qtree:
+        }
+        for (id, node) in s.qtree.nodes.iter().enumerate() {
+            if !node.is_leaf() {
+                let mut kid_sum = Vec3::ZERO;
+                for c in node.children() {
+                    kid_sum += s.q_node_normal[c as usize];
+                }
+                assert!(
+                    (kid_sum - s.q_node_normal[id]).norm() < 1e-9,
+                    "node {id} normal sum mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unpermute_restores_original_order() {
+        let mol = synth::protein("p", 80, 3);
+        let s = GbSystem::prepare(&mol, &ApproxParams::default());
+        let restored = s.to_original_atom_order(&s.charge);
+        for (a, b) in restored.iter().zip(&mol.charges) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn memory_scales_linearly() {
+        let s1 = system(200);
+        let s2 = system(800);
+        let ratio = s2.memory_bytes() as f64 / s1.memory_bytes() as f64;
+        assert!(ratio > 2.0 && ratio < 8.0, "memory ratio {ratio}");
+    }
+}

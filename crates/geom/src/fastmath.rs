@@ -1,0 +1,241 @@
+//! Approximate math kernels — the paper's "approximate math" toggle.
+//!
+//! §V.C: "We used approximate math for computing square root and power
+//! functions", and §V.E: "Turning approximate math 'on' shifted the error
+//! by 4-5% and decreased the running times by a factor of 1.42 on average."
+//!
+//! The GB kernels need three scalar functions per interaction:
+//! `1/sqrt(x)` (for `1/f_GB`), `exp(x)` (for the Still factor) and
+//! `x^(-1/3)` (for `R = (s/4π)^(-1/3)`). We provide fast variants:
+//!
+//! * [`rsqrt_fast`] — the classic bit-shift seed refined with two Newton
+//!   iterations (~1e-6 relative error).
+//! * [`exp_fast`] — Schraudolph-style exponent-field construction with a
+//!   degree-2 polynomial correction (~1e-4 relative error on [-30, 0],
+//!   the range `-r²/(4 R_i R_j)` actually takes).
+//! * [`invcbrt_fast`] — bit-hack seed + Newton for `x^(-1/3)`.
+//!
+//! [`MathMode`] selects exact vs approximate at call sites; kernels take it
+//! as a parameter so the ablation harness can flip one switch.
+
+/// Selects exact (`std`) or approximate math in the energy kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MathMode {
+    /// IEEE-accurate `f64::sqrt`, `f64::exp`, `f64::powf`.
+    #[default]
+    Exact,
+    /// Fast approximations from this module.
+    Approx,
+}
+
+impl MathMode {
+    /// `1/sqrt(x)` under this mode.
+    #[inline]
+    pub fn rsqrt(self, x: f64) -> f64 {
+        match self {
+            MathMode::Exact => 1.0 / x.sqrt(),
+            MathMode::Approx => rsqrt_fast(x),
+        }
+    }
+
+    /// `exp(x)` under this mode.
+    #[inline]
+    pub fn exp(self, x: f64) -> f64 {
+        match self {
+            MathMode::Exact => x.exp(),
+            MathMode::Approx => exp_fast(x),
+        }
+    }
+
+    /// `x^(-1/3)` under this mode.
+    #[inline]
+    pub fn invcbrt(self, x: f64) -> f64 {
+        match self {
+            MathMode::Exact => x.powf(-1.0 / 3.0),
+            MathMode::Approx => invcbrt_fast(x),
+        }
+    }
+}
+
+/// Fast `1/sqrt(x)` for positive finite `x`.
+///
+/// 64-bit variant of the "magic constant" reciprocal square root with three
+/// Newton–Raphson refinements. Relative error < 1e-10 across the positive
+/// normal range.
+#[inline]
+pub fn rsqrt_fast(x: f64) -> f64 {
+    debug_assert!(x > 0.0);
+    let i = x.to_bits();
+    // Magic constant for f64 (Matthew Robertson's optimized value).
+    let i = 0x5FE6_EB50_C7B5_37A9u64.wrapping_sub(i >> 1);
+    let mut y = f64::from_bits(i);
+    let half = 0.5 * x;
+    // Three Newton iterations: y <- y (1.5 - 0.5 x y^2)
+    y = y * (1.5 - half * y * y);
+    y = y * (1.5 - half * y * y);
+    y = y * (1.5 - half * y * y);
+    y
+}
+
+/// Fast `sqrt(x)` = `x * rsqrt_fast(x)` (with a zero guard).
+#[inline]
+pub fn sqrt_fast(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    x * rsqrt_fast(x)
+}
+
+/// Fast `exp(x)`.
+///
+/// Splits `x = k ln2 + r` with `|r| <= ln2/2`, builds `2^k` through the
+/// exponent field and evaluates a degree-5 Taylor polynomial for `e^r`.
+/// Relative error < 2e-9 for `x` in [-700, 700]; underflows to 0 and
+/// overflows to `f64::INFINITY` like `exp`.
+#[inline]
+pub fn exp_fast(x: f64) -> f64 {
+    if x < -708.0 {
+        return 0.0;
+    }
+    if x > 709.0 {
+        return f64::INFINITY;
+    }
+    const LOG2E: f64 = std::f64::consts::LOG2_E;
+    const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+    const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+    let k = (x * LOG2E).round();
+    let r = (x - k * LN2_HI) - k * LN2_LO;
+    // e^r via Horner on [-ln2/2, ln2/2].
+    let p = 1.0
+        + r * (1.0
+            + r * (0.5
+                + r * (1.0 / 6.0
+                    + r * (1.0 / 24.0
+                        + r * (1.0 / 120.0
+                            + r * (1.0 / 720.0 + r * (1.0 / 5040.0 + r / 40320.0)))))));
+    // Scale by 2^k through the exponent bits.
+    let ki = k as i64;
+    if ki <= -1023 {
+        // Subnormal range: fall back to ldexp-style scaling in two steps.
+        return p * f64::from_bits(((ki + 2046 + 1023) as u64) << 52) * f64::from_bits(1u64 << 1);
+    }
+    let two_k = f64::from_bits(((ki + 1023) as u64) << 52);
+    p * two_k
+}
+
+/// Fast `x^(-1/3)` for positive `x`.
+///
+/// Bit-hack initial guess (exponent division by 3) + three Newton
+/// iterations on `f(y) = y^{-3} - x`. Converges to ~1 ulp (rel. err < 1e-13).
+#[inline]
+pub fn invcbrt_fast(x: f64) -> f64 {
+    debug_assert!(x > 0.0);
+    // Seed: y ≈ x^(-1/3) via exponent manipulation.
+    let i = x.to_bits();
+    let i = 0x553E_F0FF_289D_D796u64.wrapping_sub(i / 3);
+    let mut y = f64::from_bits(i);
+    // Newton for y = x^{-1/3}:  y <- y (4 - x y^3) / 3
+    for _ in 0..4 {
+        y = y * (4.0 - x * y * y * y) * (1.0 / 3.0);
+    }
+    y
+}
+
+/// Fast cube root, `x^(1/3)`, for non-negative `x`.
+#[inline]
+pub fn cbrt_fast(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    let inv = invcbrt_fast(x);
+    // x^(1/3) = x * (x^(-1/3))^2
+    x * inv * inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(approx: f64, exact: f64) -> f64 {
+        ((approx - exact) / exact).abs()
+    }
+
+    #[test]
+    fn rsqrt_accuracy_across_scales() {
+        for &x in &[1e-10, 1e-3, 0.5, 1.0, 2.0, 3.7, 1e3, 1e12] {
+            let e = rel_err(rsqrt_fast(x), 1.0 / x.sqrt());
+            assert!(e < 5e-7, "x={x}: err={e}");
+        }
+    }
+
+    #[test]
+    fn sqrt_fast_zero_guard() {
+        assert_eq!(sqrt_fast(0.0), 0.0);
+        assert_eq!(sqrt_fast(-1.0), 0.0);
+    }
+
+    #[test]
+    fn exp_accuracy_on_gb_range() {
+        // The Still factor exponent -r^2/(4 R_i R_j) lives in [-inf, 0];
+        // practically [-50, 0] matters.
+        let mut x = -50.0;
+        while x <= 0.0 {
+            let e = rel_err(exp_fast(x), x.exp());
+            assert!(e < 2e-9, "x={x}: err={e}");
+            x += 0.37;
+        }
+    }
+
+    #[test]
+    fn exp_accuracy_positive_range() {
+        for &x in &[0.0, 1.0, 2.5, 10.0, 100.0, 700.0] {
+            let e = rel_err(exp_fast(x), x.exp());
+            assert!(e < 2e-9, "x={x}: err={e}");
+        }
+    }
+
+    #[test]
+    fn exp_extremes() {
+        assert_eq!(exp_fast(-1000.0), 0.0);
+        assert_eq!(exp_fast(1000.0), f64::INFINITY);
+        assert!((exp_fast(0.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn invcbrt_accuracy() {
+        for &x in &[1e-9, 1e-3, 0.1, 1.0, 8.0, 27.0, 1e6, 1e15] {
+            let e = rel_err(invcbrt_fast(x), x.powf(-1.0 / 3.0));
+            assert!(e < 1e-13, "x={x}: err={e}");
+        }
+    }
+
+    #[test]
+    fn invcbrt_exact_cube() {
+        assert!((invcbrt_fast(8.0) - 0.5).abs() < 1e-13);
+        assert!((invcbrt_fast(1.0) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn cbrt_fast_matches_std() {
+        for &x in &[0.0, 1.0, 8.0, 27.0, 3.1415, 1e9] {
+            let e = (cbrt_fast(x) - x.cbrt()).abs();
+            assert!(e <= 1e-9 * x.cbrt().max(1.0), "x={x}");
+        }
+    }
+
+    #[test]
+    fn math_mode_dispatch() {
+        let x = 2.0;
+        assert_eq!(MathMode::Exact.rsqrt(x), 1.0 / x.sqrt());
+        assert!(rel_err(MathMode::Approx.rsqrt(x), 1.0 / x.sqrt()) < 5e-7);
+        assert_eq!(MathMode::Exact.exp(-1.0), (-1.0f64).exp());
+        assert!(rel_err(MathMode::Approx.exp(-1.0), (-1.0f64).exp()) < 2e-9);
+        assert_eq!(MathMode::Exact.invcbrt(8.0), 8.0f64.powf(-1.0 / 3.0));
+        assert!(rel_err(MathMode::Approx.invcbrt(8.0), 0.5) < 1e-13);
+    }
+
+    #[test]
+    fn default_mode_is_exact() {
+        assert_eq!(MathMode::default(), MathMode::Exact);
+    }
+}

@@ -1,0 +1,222 @@
+//! Enclosing spheres.
+//!
+//! The paper's acceptance criteria use, for every octree node `A`, "the
+//! radius of the smallest ball that encloses all atom centers under A"
+//! (`r_A` in Fig. 2/3). An exact smallest enclosing ball is unnecessary: any
+//! sound upper bound preserves the error guarantee (a larger radius only
+//! makes the far test more conservative). We provide:
+//!
+//! * [`BoundingSphere::centered_at_centroid`] — center at the geometric
+//!   center (what the paper's pseudo-atoms use), radius = max distance.
+//! * [`BoundingSphere::ritter`] — Ritter's two-pass approximation, a
+//!   tighter bound used in tests to check the centroid variant is sound.
+
+use crate::vec3::Vec3;
+
+/// A center + radius pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundingSphere {
+    pub center: Vec3,
+    pub radius: f64,
+}
+
+impl BoundingSphere {
+    /// Sphere centered at the centroid of `points` with radius equal to the
+    /// greatest distance from the centroid to any point.
+    ///
+    /// This matches the paper exactly: far-field approximations replace a
+    /// node by a pseudo-particle **at the geometric center**, so the error
+    /// analysis needs the radius measured from that same center.
+    ///
+    /// Returns a zero sphere at the origin for an empty slice.
+    pub fn centered_at_centroid(points: &[Vec3]) -> Self {
+        if points.is_empty() {
+            return BoundingSphere { center: Vec3::ZERO, radius: 0.0 };
+        }
+        let mut c = Vec3::ZERO;
+        for &p in points {
+            c += p;
+        }
+        c = c / points.len() as f64;
+        let mut r2: f64 = 0.0;
+        for &p in points {
+            r2 = r2.max(c.dist2(p));
+        }
+        BoundingSphere { center: c, radius: r2.sqrt() }
+    }
+
+    /// Like [`Self::centered_at_centroid`] but with a *weighted* centroid
+    /// (e.g. charge-weighted or quadrature-weight-weighted centers). Weights
+    /// must be non-negative with positive sum; falls back to the unweighted
+    /// centroid otherwise.
+    pub fn weighted_centroid(points: &[Vec3], weights: &[f64]) -> Self {
+        assert_eq!(points.len(), weights.len());
+        let wsum: f64 = weights.iter().sum();
+        if points.is_empty() || wsum <= 0.0 {
+            return Self::centered_at_centroid(points);
+        }
+        let mut c = Vec3::ZERO;
+        for (&p, &w) in points.iter().zip(weights) {
+            c += p * w;
+        }
+        c = c / wsum;
+        let mut r2: f64 = 0.0;
+        for &p in points {
+            r2 = r2.max(c.dist2(p));
+        }
+        BoundingSphere { center: c, radius: r2.sqrt() }
+    }
+
+    /// Ritter's approximate minimum enclosing sphere (within ~5–20% of
+    /// optimal). Not used on the hot path; serves as a tightness oracle.
+    pub fn ritter(points: &[Vec3]) -> Self {
+        if points.is_empty() {
+            return BoundingSphere { center: Vec3::ZERO, radius: 0.0 };
+        }
+        // Pass 1: find a far pair (x -> furthest y -> furthest z).
+        let x = points[0];
+        let y = *points
+            .iter()
+            .max_by(|a, b| x.dist2(**a).total_cmp(&x.dist2(**b)))
+            .unwrap();
+        let z = *points
+            .iter()
+            .max_by(|a, b| y.dist2(**a).total_cmp(&y.dist2(**b)))
+            .unwrap();
+        let mut center = (y + z) * 0.5;
+        let mut radius = y.dist(z) * 0.5;
+        // Pass 2: grow to include stragglers.
+        for &p in points {
+            let d = center.dist(p);
+            if d > radius {
+                let new_r = (radius + d) * 0.5;
+                // Shift center toward p so both old sphere and p fit.
+                center = center + (p - center) * ((new_r - radius) / d);
+                radius = new_r;
+            }
+        }
+        // Guard against floating point: ensure all points truly inside.
+        for &p in points {
+            radius = radius.max(center.dist(p));
+        }
+        BoundingSphere { center, radius }
+    }
+
+    /// True when `p` lies inside or on the sphere (with slack `eps`).
+    #[inline]
+    pub fn contains(&self, p: Vec3, eps: f64) -> bool {
+        self.center.dist2(p) <= (self.radius + eps) * (self.radius + eps)
+    }
+
+    /// Distance between the centers of two spheres.
+    #[inline]
+    pub fn center_dist(&self, o: &BoundingSphere) -> f64 {
+        self.center.dist(o.center)
+    }
+
+    /// Surface-to-surface gap (negative when the spheres overlap).
+    #[inline]
+    pub fn gap(&self, o: &BoundingSphere) -> f64 {
+        self.center_dist(o) - self.radius - o.radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        // Tiny deterministic LCG; avoids a rand dependency in unit tests.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next()) * 10.0).collect()
+    }
+
+    #[test]
+    fn centroid_sphere_contains_all_points() {
+        let pts = cloud(200, 7);
+        let s = BoundingSphere::centered_at_centroid(&pts);
+        for &p in &pts {
+            assert!(s.contains(p, 1e-9));
+        }
+    }
+
+    #[test]
+    fn ritter_contains_all_points_and_is_not_larger_than_diameter_bound() {
+        let pts = cloud(300, 13);
+        let s = BoundingSphere::ritter(&pts);
+        let mut max_pair: f64 = 0.0;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                max_pair = max_pair.max(pts[i].dist(pts[j]));
+            }
+        }
+        for &p in &pts {
+            assert!(s.contains(p, 1e-9));
+        }
+        // Any enclosing sphere must have radius >= half the diameter, and
+        // Ritter's should not exceed the full diameter.
+        assert!(s.radius >= max_pair / 2.0 - 1e-9);
+        assert!(s.radius <= max_pair + 1e-9);
+    }
+
+    #[test]
+    fn single_point_sphere_is_degenerate() {
+        let p = [Vec3::new(1.0, 2.0, 3.0)];
+        let s = BoundingSphere::centered_at_centroid(&p);
+        assert_eq!(s.center, p[0]);
+        assert_eq!(s.radius, 0.0);
+        let r = BoundingSphere::ritter(&p);
+        assert_eq!(r.center, p[0]);
+        assert_eq!(r.radius, 0.0);
+    }
+
+    #[test]
+    fn empty_input_gives_zero_sphere() {
+        let s = BoundingSphere::centered_at_centroid(&[]);
+        assert_eq!(s.radius, 0.0);
+    }
+
+    #[test]
+    fn weighted_centroid_respects_weights() {
+        let pts = [Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)];
+        let s = BoundingSphere::weighted_centroid(&pts, &[3.0, 1.0]);
+        assert!((s.center.x - 2.5).abs() < 1e-12);
+        // Radius must still cover the far point.
+        assert!(s.contains(pts[1], 1e-12));
+    }
+
+    #[test]
+    fn weighted_centroid_zero_weights_falls_back() {
+        let pts = [Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0)];
+        let s = BoundingSphere::weighted_centroid(&pts, &[0.0, 0.0]);
+        assert!((s.center.x - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_sign() {
+        let a = BoundingSphere { center: Vec3::ZERO, radius: 1.0 };
+        let b = BoundingSphere { center: Vec3::new(5.0, 0.0, 0.0), radius: 1.0 };
+        assert!((a.gap(&b) - 3.0).abs() < 1e-12);
+        let c = BoundingSphere { center: Vec3::new(1.5, 0.0, 0.0), radius: 1.0 };
+        assert!(a.gap(&c) < 0.0);
+    }
+
+    #[test]
+    fn symmetric_cloud_centroid_is_origin() {
+        let pts = [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(-1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, -1.0, 0.0),
+        ];
+        let s = BoundingSphere::centered_at_centroid(&pts);
+        assert!(s.center.norm() < 1e-12);
+        assert!((s.radius - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,312 @@
+//! 3-component double-precision vector.
+//!
+//! Deliberately minimal: only the operations the energy kernels need, all
+//! `#[inline]`, no SIMD intrinsics (the compiler autovectorizes the SoA
+//! loops in `polaroct-core`; keeping `Vec3` simple avoids fighting LLVM).
+
+use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
+
+/// A point or direction in 3-space, `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// All components set to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Squared Euclidean norm. The kernels work with `norm2` wherever
+    /// possible to avoid the square root.
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Squared distance to `o`.
+    #[inline]
+    pub fn dist2(self, o: Vec3) -> f64 {
+        (self - o).norm2()
+    }
+
+    #[inline]
+    pub fn dist(self, o: Vec3) -> f64 {
+        self.dist2(o).sqrt()
+    }
+
+    /// Unit vector in the direction of `self`.
+    ///
+    /// # Panics
+    /// Debug-panics on the zero vector.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "normalizing zero vector");
+        self / n
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Linear interpolation: `self + t * (o - self)`.
+    #[inline]
+    pub fn lerp(self, o: Vec3, t: f64) -> Vec3 {
+        self + (o - self) * t
+    }
+
+    /// True if every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Any orthonormal vector perpendicular to `self` (which must be
+    /// non-zero). Used for building local frames on surface triangles.
+    pub fn any_perpendicular(self) -> Vec3 {
+        // Pick the axis least aligned with self to avoid degeneracy.
+        let a = if self.x.abs() <= self.y.abs() && self.x.abs() <= self.z.abs() {
+            Vec3::X
+        } else if self.y.abs() <= self.z.abs() {
+            Vec3::Y
+        } else {
+            Vec3::Z
+        };
+        self.cross(a).normalized()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index {i} out of range"),
+        }
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq_rel;
+
+    #[test]
+    fn dot_of_orthogonal_axes_is_zero() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::Y.dot(Vec3::Z), 0.0);
+    }
+
+    #[test]
+    fn cross_follows_right_hand_rule() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+    }
+
+    #[test]
+    fn cross_is_antisymmetric() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        assert_eq!(a.cross(b), -(b.cross(a)));
+    }
+
+    #[test]
+    fn norm_of_345_triangle() {
+        assert_eq!(Vec3::new(3.0, 4.0, 0.0).norm(), 5.0);
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vec3::new(1.0, -7.0, 2.5).normalized();
+        assert!(approx_eq_rel(v.norm(), 1.0, 1e-14));
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 6.0, 3.0);
+        assert_eq!(a.dist(b), b.dist(a));
+        assert_eq!(a.dist(b), 5.0);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn any_perpendicular_is_orthonormal() {
+        for v in [
+            Vec3::X,
+            Vec3::new(0.3, -0.9, 0.1),
+            Vec3::new(1e-8, 1.0, 1e-8),
+            Vec3::new(-5.0, -5.0, -5.0),
+        ] {
+            let p = v.any_perpendicular();
+            assert!(v.dot(p).abs() < 1e-10, "not perpendicular for {v:?}");
+            assert!(approx_eq_rel(p.norm(), 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn component_min_max() {
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(3.0, 2.0, 0.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 2.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(3.0, 5.0, 0.0));
+        assert_eq!(a.max_component(), 5.0);
+    }
+
+    #[test]
+    fn index_access() {
+        let v = Vec3::new(7.0, 8.0, 9.0);
+        assert_eq!(v[0], 7.0);
+        assert_eq!(v[1], 8.0);
+        assert_eq!(v[2], 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let v = Vec3::new(1.5, 2.5, 3.5);
+        let a: [f64; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+    }
+}

@@ -1,0 +1,65 @@
+//! A single atom record.
+
+use crate::elements::Element;
+use polaroct_geom::Vec3;
+
+/// One atom: position (Å), intrinsic (van der Waals) radius (Å), partial
+/// charge (elementary charges, e) and element kind.
+///
+/// This is the AoS view used at construction/IO boundaries; the algorithms
+/// work on the SoA [`crate::Molecule`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Atom {
+    pub pos: Vec3,
+    pub radius: f64,
+    pub charge: f64,
+    pub element: Element,
+}
+
+impl Atom {
+    /// Atom of `element` at `pos` with the element's Bondi radius.
+    pub fn of_element(element: Element, pos: Vec3, charge: f64) -> Self {
+        Atom { pos, radius: element.vdw_radius(), charge, element }
+    }
+
+    /// Squared center distance to another atom.
+    #[inline]
+    pub fn dist2(&self, o: &Atom) -> f64 {
+        self.pos.dist2(o.pos)
+    }
+
+    /// Do the van der Waals spheres of two atoms overlap?
+    #[inline]
+    pub fn overlaps(&self, o: &Atom) -> bool {
+        let r = self.radius + o.radius;
+        self.dist2(o) < r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_element_uses_bondi_radius() {
+        let a = Atom::of_element(Element::C, Vec3::ZERO, -0.1);
+        assert_eq!(a.radius, 1.70);
+        assert_eq!(a.charge, -0.1);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Atom::of_element(Element::C, Vec3::ZERO, 0.0);
+        let near = Atom::of_element(Element::C, Vec3::new(3.0, 0.0, 0.0), 0.0);
+        let far = Atom::of_element(Element::C, Vec3::new(3.5, 0.0, 0.0), 0.0);
+        assert!(a.overlaps(&near)); // 3.0 < 3.4
+        assert!(!a.overlaps(&far)); // 3.5 > 3.4
+    }
+
+    #[test]
+    fn dist2_matches_vec3() {
+        let a = Atom::of_element(Element::N, Vec3::new(1.0, 2.0, 2.0), 0.0);
+        let b = Atom::of_element(Element::O, Vec3::ZERO, 0.0);
+        assert_eq!(a.dist2(&b), 9.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Chemical elements occurring in proteins, with van der Waals radii.
+//!
+//! Radii are Bondi (1964) values in Ångström — the standard set used by GB
+//! implementations for the intrinsic atomic radius `r_a` that also floors
+//! the effective Born radius (`R_a = max(r_a, ...)` in Fig. 2 of the
+//! paper).
+
+/// Element kinds found in protein structures (plus a catch-all).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Element {
+    H,
+    C,
+    N,
+    O,
+    S,
+    P,
+    /// Anything else (metals, halogens in ligands, ...).
+    Other,
+}
+
+impl Element {
+    /// All concrete variants, in atomic-number order.
+    pub const ALL: [Element; 7] =
+        [Element::H, Element::C, Element::N, Element::O, Element::S, Element::P, Element::Other];
+
+    /// Bondi van der Waals radius in Å.
+    pub fn vdw_radius(self) -> f64 {
+        match self {
+            Element::H => 1.20,
+            Element::C => 1.70,
+            Element::N => 1.55,
+            Element::O => 1.52,
+            Element::S => 1.80,
+            Element::P => 1.80,
+            Element::Other => 1.70,
+        }
+    }
+
+    /// Atomic mass in Dalton (for completeness / future MD use).
+    pub fn mass(self) -> f64 {
+        match self {
+            Element::H => 1.008,
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::S => 32.06,
+            Element::P => 30.974,
+            Element::Other => 12.011,
+        }
+    }
+
+    /// One-letter symbol used by the writers in [`crate::io`].
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::S => "S",
+            Element::P => "P",
+            Element::Other => "X",
+        }
+    }
+
+    /// Parse an element symbol (case-insensitive, first alphabetic token of
+    /// a PDB/PQR atom name). Unknown symbols map to [`Element::Other`].
+    pub fn from_symbol(s: &str) -> Element {
+        let t = s.trim();
+        // PDB atom names like "1HB2" prefix digits; strip them.
+        let first = t.chars().find(|c| c.is_ascii_alphabetic());
+        match first.map(|c| c.to_ascii_uppercase()) {
+            Some('H') => Element::H,
+            Some('C') => Element::C,
+            Some('N') => Element::N,
+            Some('O') => Element::O,
+            Some('S') => Element::S,
+            Some('P') => Element::P,
+            _ => Element::Other,
+        }
+    }
+
+    /// Representative partial-charge scale for the element in a protein
+    /// force field (magnitude only; sign and spread are sampled by the
+    /// generators). Values are typical AMBER ff99 magnitudes.
+    pub fn typical_charge_scale(self) -> f64 {
+        match self {
+            Element::H => 0.15,
+            Element::C => 0.20,
+            Element::N => 0.45,
+            Element::O => 0.55,
+            Element::S => 0.25,
+            Element::P => 0.80,
+            Element::Other => 0.20,
+        }
+    }
+}
+
+/// Heavy-atom composition of an average protein (fractions sum to 1).
+/// Source: average elemental composition of globular proteins
+/// (~C:0.52 N:0.14 O:0.23 S:0.01 weighted to heavy atoms).
+pub const PROTEIN_HEAVY_COMPOSITION: [(Element, f64); 4] = [
+    (Element::C, 0.62),
+    (Element::N, 0.16),
+    (Element::O, 0.21),
+    (Element::S, 0.01),
+];
+
+/// Pick a heavy element from the protein composition given a uniform
+/// sample `u` in [0,1).
+pub fn sample_heavy_element(u: f64) -> Element {
+    let mut acc = 0.0;
+    for &(el, frac) in &PROTEIN_HEAVY_COMPOSITION {
+        acc += frac;
+        if u < acc {
+            return el;
+        }
+    }
+    Element::C
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radii_are_physical() {
+        for el in Element::ALL {
+            let r = el.vdw_radius();
+            assert!((1.0..2.2).contains(&r), "{el:?} radius {r}");
+        }
+    }
+
+    #[test]
+    fn hydrogen_is_smallest() {
+        for el in Element::ALL {
+            if el != Element::H {
+                assert!(el.vdw_radius() > Element::H.vdw_radius());
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        for el in [Element::H, Element::C, Element::N, Element::O, Element::S, Element::P] {
+            assert_eq!(Element::from_symbol(el.symbol()), el);
+        }
+    }
+
+    #[test]
+    fn from_symbol_handles_pdb_names() {
+        assert_eq!(Element::from_symbol("1HB2"), Element::H);
+        assert_eq!(Element::from_symbol(" CA "), Element::C);
+        assert_eq!(Element::from_symbol("OXT"), Element::O);
+        assert_eq!(Element::from_symbol("ZN"), Element::Other);
+        assert_eq!(Element::from_symbol(""), Element::Other);
+    }
+
+    #[test]
+    fn composition_sums_to_one() {
+        let s: f64 = PROTEIN_HEAVY_COMPOSITION.iter().map(|&(_, f)| f).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_heavy_element_covers_all_bins() {
+        assert_eq!(sample_heavy_element(0.0), Element::C);
+        assert_eq!(sample_heavy_element(0.63), Element::N);
+        assert_eq!(sample_heavy_element(0.80), Element::O);
+        assert_eq!(sample_heavy_element(0.995), Element::S);
+        assert_eq!(sample_heavy_element(0.9999999), Element::S);
+    }
+
+    #[test]
+    fn masses_are_positive_and_ordered() {
+        assert!(Element::H.mass() < Element::C.mass());
+        assert!(Element::C.mass() < Element::S.mass());
+    }
+}

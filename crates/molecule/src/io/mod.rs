@@ -1,0 +1,94 @@
+//! Molecule file I/O.
+//!
+//! Two formats:
+//!
+//! * [`xyzrq`] — one atom per line: `x y z radius charge [element]`. The
+//!   native interchange format of this workspace (simple, lossless for the
+//!   fields the algorithms use).
+//! * [`pqr`] — the APBS/AMBER PQR flavor of PDB `ATOM` records (position +
+//!   charge + radius), enough to load real protein inputs prepared with
+//!   pdb2pqr.
+//! * [`pdb`] — plain PDB coordinates (Bondi radii from elements, zero
+//!   charges — supply charges separately).
+
+pub mod pdb;
+pub mod pqr;
+pub mod xyzrq;
+
+use std::fmt;
+
+/// Errors from the molecule readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed record; carries the 1-based line number and a message.
+    Parse { line: usize, message: String },
+    /// The file contained no atoms.
+    Empty,
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IoError::Empty => write!(f, "no atoms found"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+pub(crate) fn parse_f64(tok: &str, line: usize, what: &str) -> Result<f64, IoError> {
+    tok.parse::<f64>().map_err(|_| IoError::Parse {
+        line,
+        message: format!("bad {what}: {tok:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = IoError::Parse { line: 3, message: "bad x".into() };
+        assert_eq!(e.to_string(), "parse error at line 3: bad x");
+        assert_eq!(IoError::Empty.to_string(), "no atoms found");
+    }
+
+    #[test]
+    fn io_error_wraps_source() {
+        use std::error::Error;
+        let e = IoError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "x"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("I/O error"));
+    }
+
+    #[test]
+    fn parse_f64_reports_line() {
+        let e = parse_f64("zzz", 7, "charge").unwrap_err();
+        match e {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 7);
+                assert!(message.contains("charge"));
+            }
+            _ => panic!("wrong variant"),
+        }
+        assert_eq!(parse_f64("1.5", 1, "x").unwrap(), 1.5);
+    }
+}

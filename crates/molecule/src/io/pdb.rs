@@ -1,0 +1,113 @@
+//! Minimal PDB reader (fixed-column `ATOM`/`HETATM` records).
+//!
+//! PDB files carry no charges or radii; the reader assigns Bondi radii
+//! from the element (columns 77–78 when present, else inferred from the
+//! atom name) and zero charges — callers supply charges via a force field
+//! or [`crate::Molecule::charges`] directly. Good enough to pull real
+//! structures into the examples; for charge+radius-complete input use PQR.
+
+use super::IoError;
+use crate::atom::Atom;
+use crate::elements::Element;
+use crate::molecule::Molecule;
+use polaroct_geom::Vec3;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+/// Parse a molecule from PDB text.
+pub fn read<R: Read>(name: impl Into<String>, reader: R) -> Result<Molecule, IoError> {
+    let mut mol = Molecule::with_capacity(name, 0);
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        if !(line.starts_with("ATOM") || line.starts_with("HETATM")) {
+            continue;
+        }
+        if line.len() < 54 {
+            return Err(IoError::Parse {
+                line: lineno,
+                message: format!("ATOM record too short ({} cols)", line.len()),
+            });
+        }
+        // Fixed columns (1-based in the spec): x 31–38, y 39–46, z 47–54,
+        // atom name 13–16, element 77–78.
+        let coord = |a: usize, b: usize, what: &str| -> Result<f64, IoError> {
+            line[a..b].trim().parse::<f64>().map_err(|_| IoError::Parse {
+                line: lineno,
+                message: format!("bad {what}: {:?}", &line[a..b]),
+            })
+        };
+        let x = coord(30, 38, "x")?;
+        let y = coord(38, 46, "y")?;
+        let z = coord(46, 54, "z")?;
+        let element = if line.len() >= 78 && !line[76..78].trim().is_empty() {
+            Element::from_symbol(line[76..78].trim())
+        } else {
+            Element::from_symbol(line[12..16].trim())
+        };
+        mol.push(Atom::of_element(element, Vec3::new(x, y, z), 0.0));
+    }
+    if mol.is_empty() {
+        return Err(IoError::Empty);
+    }
+    Ok(mol)
+}
+
+/// Read a PDB file (name = file stem).
+pub fn read_file(path: impl AsRef<Path>) -> Result<Molecule, IoError> {
+    let path = path.as_ref();
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("molecule").to_string();
+    read(name, std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+HEADER    TEST
+ATOM      1  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N
+ATOM      2  CA  ALA A   1      11.639   6.071  -5.147  1.00  0.00           C
+HETATM    3  O   HOH A   2       9.000   1.000   0.000  1.00  0.00           O
+TER
+END
+";
+
+    #[test]
+    fn parses_fixed_columns() {
+        let m = read("t", SAMPLE.as_bytes()).unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.elements[0], Element::N);
+        assert_eq!(m.elements[1], Element::C);
+        assert!((m.positions[0].x - 11.104).abs() < 1e-9);
+        assert!((m.positions[2].z - 0.0).abs() < 1e-9);
+        // Radii from Bondi table, zero charges.
+        assert_eq!(m.radii[1], Element::C.vdw_radius());
+        assert!(m.charges.iter().all(|&q| q == 0.0));
+    }
+
+    #[test]
+    fn element_falls_back_to_atom_name() {
+        // No element columns (line exactly 54 chars of data).
+        let text = "ATOM      1  CA  ALA A   1      11.639   6.071  -5.147\n";
+        let m = read("t", text.as_bytes()).unwrap();
+        assert_eq!(m.elements[0], Element::C);
+    }
+
+    #[test]
+    fn short_record_errors_with_line() {
+        let e = read("t", "ATOM 1 CA\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn garbage_coordinates_error() {
+        let text = "ATOM      1  CA  ALA A   1      xx.xxx   6.071  -5.147\n";
+        assert!(read("t", text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_pdb_is_error() {
+        assert!(matches!(read("t", "HEADER x\nEND\n".as_bytes()), Err(IoError::Empty)));
+    }
+}

@@ -1,0 +1,150 @@
+//! `xyzrq` — whitespace-separated `x y z radius charge [element]` records.
+//!
+//! Lines starting with `#` and blank lines are skipped. The element column
+//! is optional (defaults to [`Element::Other`]).
+
+use super::{parse_f64, IoError};
+use crate::atom::Atom;
+use crate::elements::Element;
+use crate::molecule::Molecule;
+use polaroct_geom::Vec3;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parse a molecule from an `xyzrq` reader.
+pub fn read<R: Read>(name: impl Into<String>, reader: R) -> Result<Molecule, IoError> {
+    let mut mol = Molecule::with_capacity(name, 0);
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        if toks.len() < 5 {
+            return Err(IoError::Parse {
+                line: lineno,
+                message: format!("expected at least 5 fields, got {}", toks.len()),
+            });
+        }
+        let x = parse_f64(toks[0], lineno, "x")?;
+        let y = parse_f64(toks[1], lineno, "y")?;
+        let z = parse_f64(toks[2], lineno, "z")?;
+        let radius = parse_f64(toks[3], lineno, "radius")?;
+        let charge = parse_f64(toks[4], lineno, "charge")?;
+        if radius <= 0.0 {
+            return Err(IoError::Parse {
+                line: lineno,
+                message: format!("non-positive radius {radius}"),
+            });
+        }
+        let element = toks.get(5).map(|s| Element::from_symbol(s)).unwrap_or(Element::Other);
+        mol.push(Atom { pos: Vec3::new(x, y, z), radius, charge, element });
+    }
+    if mol.is_empty() {
+        return Err(IoError::Empty);
+    }
+    Ok(mol)
+}
+
+/// Read a molecule from a file path (name = file stem).
+pub fn read_file(path: impl AsRef<Path>) -> Result<Molecule, IoError> {
+    let path = path.as_ref();
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("molecule").to_string();
+    let f = std::fs::File::open(path)?;
+    read(name, f)
+}
+
+/// Write a molecule in `xyzrq` format.
+pub fn write<W: Write>(mol: &Molecule, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# polaroct xyzrq: x y z radius charge element ({} atoms)", mol.len())?;
+    for a in mol.atoms() {
+        writeln!(
+            w,
+            "{:.6} {:.6} {:.6} {:.4} {:.6} {}",
+            a.pos.x,
+            a.pos.y,
+            a.pos.z,
+            a.radius,
+            a.charge,
+            a.element.symbol()
+        )?;
+    }
+    Ok(())
+}
+
+/// Write a molecule to a file path.
+pub fn write_file(mol: &Molecule, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write(mol, std::io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_atoms() {
+        let mol = crate::synth::ligand("lig", 25, 4);
+        let mut buf = Vec::new();
+        write(&mol, &mut buf).unwrap();
+        let back = read("lig", buf.as_slice()).unwrap();
+        assert_eq!(back.len(), mol.len());
+        for i in 0..mol.len() {
+            assert!((back.positions[i] - mol.positions[i]).norm() < 1e-5);
+            assert!((back.charges[i] - mol.charges[i]).abs() < 1e-5);
+            assert_eq!(back.elements[i], mol.elements[i]);
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n1 2 3 1.5 0.1 C\n  \n# tail\n4 5 6 1.2 -0.1 O\n";
+        let m = read("t", text.as_bytes()).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.elements[1], Element::O);
+    }
+
+    #[test]
+    fn element_column_optional() {
+        let m = read("t", "0 0 0 1.0 0.0\n".as_bytes()).unwrap();
+        assert_eq!(m.elements[0], Element::Other);
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        let e = read("t", "1 2 3 4\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_numbers_with_line_number() {
+        let e = read("t", "0 0 0 1 0.1 C\n1 2 x 1 0.1 C\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_nonpositive_radius() {
+        let e = read("t", "0 0 0 0.0 0.1\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        assert!(matches!(read("t", "# nothing\n".as_bytes()), Err(IoError::Empty)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("polaroct_xyzrq_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.xyzrq");
+        let mol = crate::synth::ligand("m", 10, 1);
+        write_file(&mol, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.len(), 10);
+        assert_eq!(back.name, "m");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

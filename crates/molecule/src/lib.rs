@@ -1,0 +1,41 @@
+//! # polaroct-molecule
+//!
+//! Molecule representation and input generation for `polaroct`.
+//!
+//! The energy algorithms only consume four per-atom quantities — position,
+//! van der Waals radius, partial charge, and (after the Born phase) the
+//! effective Born radius — so [`Molecule`] stores exactly those in
+//! structure-of-arrays layout for cache-friendly sweeps.
+//!
+//! ## Synthetic benchmark inputs
+//!
+//! The paper evaluates on the ZDock Benchmark Suite 2.0 (84 bound
+//! complexes, 400–16,301 atoms per protein), the Cucumber Mosaic Virus
+//! shell (509,640 atoms) and the Blue Tongue Virus (6M atoms). Those PDB
+//! inputs are not redistributable here, so [`synth`] provides deterministic
+//! generators with matching size/shape statistics:
+//!
+//! * [`synth::protein`] — globular random-coil proteins with protein-like
+//!   packing density and element composition,
+//! * [`synth::capsid`] — hollow icosahedral virus shells,
+//! * [`synth::zdock_suite`] — an 84-entry suite mirroring the ZDock size
+//!   distribution,
+//! * [`synth::ligand`] — drug-sized small molecules for the docking
+//!   example.
+//!
+//! See DESIGN.md §2 for the substitution rationale.
+//!
+//! ## File I/O
+//!
+//! [`io`] reads and writes the simple `xyzr`/`xyzrq` formats and a useful
+//! subset of PQR, so real molecules can be dropped in when available.
+
+pub mod atom;
+pub mod elements;
+pub mod io;
+pub mod molecule;
+pub mod synth;
+
+pub use atom::Atom;
+pub use elements::Element;
+pub use molecule::Molecule;

@@ -1,0 +1,126 @@
+//! ZDock-Benchmark-like protein suite.
+//!
+//! The paper tests on the bound proteins of the ZDock Benchmark Suite 2.0:
+//! 84 complexes, protein sizes "from around 400 to 16,000" atoms (§V). We
+//! mirror that with 84 deterministic synthetic proteins whose sizes span
+//! 400–16,301 log-uniformly. Two paper-called-out sizes are pinned exactly:
+//! 2,260 (Gromacs's best speedup) and 16,301 (the largest molecule, where
+//! OCT_MPI hits ~11x over Amber on 12 cores). Sizes straddling 12k and 13k
+//! are also pinned so the Tinker/GBr⁶ out-of-memory thresholds (§V.D) fall
+//! inside the suite.
+
+use super::protein::protein;
+use crate::molecule::Molecule;
+
+/// Number of proteins in the suite (84 complexes in ZDock 2.0).
+pub const ZDOCK_SUITE_LEN: usize = 84;
+
+/// One suite entry: a name, its atom count, and the generator seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZdockEntry {
+    pub name: String,
+    pub n_atoms: usize,
+    pub seed: u64,
+}
+
+impl ZdockEntry {
+    /// Generate the molecule for this entry.
+    pub fn build(&self) -> Molecule {
+        protein(self.name.clone(), self.n_atoms, self.seed)
+    }
+}
+
+/// The 84 suite sizes, ascending. Log-uniform from 400 to 16,301 with the
+/// paper's landmark sizes substituted at their rank positions.
+pub fn zdock_sizes() -> Vec<usize> {
+    let lo = 400f64;
+    let hi = 16_301f64;
+    let n = ZDOCK_SUITE_LEN;
+    let mut sizes: Vec<usize> = (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            (lo * (hi / lo).powf(t)).round() as usize
+        })
+        .collect();
+    // Pin landmark sizes at the nearest rank (keeps the list sorted).
+    for &landmark in &[2_260usize, 11_800, 12_700, 13_600, 16_301] {
+        let idx = sizes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| s.abs_diff(landmark))
+            .map(|(i, _)| i)
+            .unwrap();
+        sizes[idx] = landmark;
+    }
+    sizes.sort_unstable();
+    sizes
+}
+
+/// The full suite: entries `Z01..Z84`, ascending size, deterministic seeds.
+pub fn zdock_suite() -> Vec<ZdockEntry> {
+    zdock_sizes()
+        .into_iter()
+        .enumerate()
+        .map(|(i, n_atoms)| ZdockEntry {
+            name: format!("Z{:02}", i + 1),
+            n_atoms,
+            // Seed derives from rank, not size, so pinning sizes doesn't
+            // correlate structures.
+            seed: 0x5D0C_C000 + i as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_84_entries() {
+        assert_eq!(zdock_suite().len(), ZDOCK_SUITE_LEN);
+        assert_eq!(zdock_sizes().len(), ZDOCK_SUITE_LEN);
+    }
+
+    #[test]
+    fn sizes_span_the_paper_range_sorted() {
+        let s = zdock_sizes();
+        assert!(s.windows(2).all(|w| w[0] <= w[1]), "sizes sorted");
+        assert_eq!(*s.first().unwrap(), 400);
+        assert_eq!(*s.last().unwrap(), 16_301);
+    }
+
+    #[test]
+    fn landmark_sizes_present() {
+        let s = zdock_sizes();
+        for lm in [2_260usize, 11_800, 12_700, 13_600, 16_301] {
+            assert!(s.contains(&lm), "missing landmark {lm}");
+        }
+    }
+
+    #[test]
+    fn entries_build_molecules_of_declared_size() {
+        let suite = zdock_suite();
+        let e = &suite[0];
+        let m = e.build();
+        assert_eq!(m.len(), e.n_atoms);
+        assert_eq!(m.name, e.name);
+    }
+
+    #[test]
+    fn deterministic_suite() {
+        let a = zdock_suite();
+        let b = zdock_suite();
+        assert_eq!(a, b);
+        // Rebuilding an entry twice gives the same structure.
+        let m1 = a[10].build();
+        let m2 = b[10].build();
+        assert_eq!(m1.positions, m2.positions);
+    }
+
+    #[test]
+    fn names_are_rank_ordered() {
+        let suite = zdock_suite();
+        assert_eq!(suite[0].name, "Z01");
+        assert_eq!(suite[83].name, "Z84");
+    }
+}

@@ -1,0 +1,113 @@
+//! Octree node record.
+
+use polaroct_geom::Vec3;
+
+/// Index of a node within [`crate::Octree::nodes`].
+pub type NodeId = u32;
+
+/// Sentinel for "no children" in [`Node::first_child`].
+pub const NO_CHILD: NodeId = u32::MAX;
+
+/// One octree node.
+///
+/// 48 bytes, stored in a flat array; children of a node are contiguous
+/// (`first_child .. first_child + child_count`), and every node owns the
+/// contiguous Morton-sorted point range `begin..end`.
+#[derive(Clone, Copy, Debug)]
+pub struct Node {
+    /// Geometric center (centroid) of the points under this node — the
+    /// position of the paper's "pseudo-atom"/"pseudo q-point" for far-field
+    /// approximation.
+    pub center: Vec3,
+    /// Radius of the ball centered at `center` enclosing all points under
+    /// the node (the `r_A`/`r_Q` of Fig. 2/3's acceptance tests).
+    pub radius: f64,
+    /// Start of the point range (index into the Morton-sorted arrays).
+    pub begin: u32,
+    /// One past the end of the point range.
+    pub end: u32,
+    /// Index of the first child in the node array, or [`NO_CHILD`].
+    pub first_child: NodeId,
+    /// Number of children (0..=8). Zero means leaf.
+    pub child_count: u8,
+    /// Depth below the root (root = 0).
+    pub depth: u8,
+}
+
+impl Node {
+    /// Number of points under this node.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.end - self.begin) as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.begin == self.end
+    }
+
+    /// True when the node has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.child_count == 0
+    }
+
+    /// Ids of this node's children.
+    #[inline]
+    pub fn children(&self) -> std::ops::Range<NodeId> {
+        if self.is_leaf() {
+            self.first_child..self.first_child // empty
+        } else {
+            self.first_child..self.first_child + self.child_count as NodeId
+        }
+    }
+
+    /// Point range as `usize` for slicing.
+    #[inline]
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.begin as usize..self.end as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf() -> Node {
+        Node {
+            center: Vec3::ZERO,
+            radius: 1.0,
+            begin: 4,
+            end: 9,
+            first_child: NO_CHILD,
+            child_count: 0,
+            depth: 3,
+        }
+    }
+
+    #[test]
+    fn leaf_predicates() {
+        let n = leaf();
+        assert!(n.is_leaf());
+        assert_eq!(n.len(), 5);
+        assert!(!n.is_empty());
+        assert_eq!(n.children().count(), 0);
+        assert_eq!(n.range(), 4..9);
+    }
+
+    #[test]
+    fn internal_children_range() {
+        let mut n = leaf();
+        n.first_child = 10;
+        n.child_count = 3;
+        assert!(!n.is_leaf());
+        let kids: Vec<NodeId> = n.children().collect();
+        assert_eq!(kids, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn node_is_compact() {
+        // Cache-friendliness claim depends on node size staying small.
+        assert!(std::mem::size_of::<Node>() <= 56);
+    }
+}

@@ -1,0 +1,93 @@
+//! Structural statistics for octrees (reported by benches and DESIGN
+//! ablations).
+
+use crate::tree::Octree;
+
+/// Summary of an octree's shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeStats {
+    pub points: usize,
+    pub nodes: usize,
+    pub leaves: usize,
+    pub max_depth: u8,
+    /// Mean points per leaf.
+    pub mean_leaf_occupancy: f64,
+    /// Largest leaf (can exceed leaf capacity only at the depth cap).
+    pub max_leaf_occupancy: usize,
+    /// Heap bytes.
+    pub memory_bytes: usize,
+}
+
+impl TreeStats {
+    pub fn of(tree: &Octree) -> TreeStats {
+        let mut max_depth = 0u8;
+        for n in &tree.nodes {
+            max_depth = max_depth.max(n.depth);
+        }
+        let leaf_sizes: Vec<usize> =
+            tree.leaf_ids.iter().map(|&l| tree.node(l).len()).collect();
+        let leaves = leaf_sizes.len();
+        TreeStats {
+            points: tree.len(),
+            nodes: tree.nodes.len(),
+            leaves,
+            max_depth,
+            mean_leaf_occupancy: tree.len() as f64 / leaves.max(1) as f64,
+            max_leaf_occupancy: leaf_sizes.iter().copied().max().unwrap_or(0),
+            memory_bytes: tree.memory_bytes(),
+        }
+    }
+}
+
+impl std::fmt::Display for TreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "points={} nodes={} leaves={} max_depth={} mean_leaf={:.1} max_leaf={} mem={}B",
+            self.points,
+            self.nodes,
+            self.leaves,
+            self.max_depth,
+            self.mean_leaf_occupancy,
+            self.max_leaf_occupancy,
+            self.memory_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::{build, BuildParams};
+    use polaroct_geom::Vec3;
+
+    #[test]
+    fn stats_of_single_leaf() {
+        let t = build(&[Vec3::ZERO, Vec3::X], BuildParams::default());
+        let s = t.stats();
+        assert_eq!(s.points, 2);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.max_depth, 0);
+        assert_eq!(s.mean_leaf_occupancy, 2.0);
+    }
+
+    #[test]
+    fn stats_track_depth() {
+        let pts: Vec<Vec3> = (0..256)
+            .map(|i| Vec3::new((i % 16) as f64, (i / 16) as f64, 0.0))
+            .collect();
+        let t = build(&pts, BuildParams { leaf_capacity: 4, ..Default::default() });
+        let s = t.stats();
+        assert!(s.max_depth >= 2);
+        assert!(s.max_leaf_occupancy <= 4);
+        assert_eq!(s.points, 256);
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let t = build(&[Vec3::ZERO], BuildParams::default());
+        let line = t.stats().to_string();
+        assert!(line.contains("points=1"));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,352 @@
+//! The linear octree container and its queries.
+
+use crate::node::{Node, NodeId};
+use crate::stats::TreeStats;
+use polaroct_geom::{Aabb, Transform, Vec3};
+
+/// A Morton-ordered linear octree (see the crate docs for the layout).
+#[derive(Clone, Debug)]
+pub struct Octree {
+    /// Cubical domain the Morton codes were derived from.
+    pub domain: Aabb,
+    /// Flat node array; `nodes[0]` is the root.
+    pub nodes: Vec<Node>,
+    /// Point positions in Morton order.
+    pub points: Vec<Vec3>,
+    /// `point_order[i]` = original index of sorted point `i`.
+    pub point_order: Vec<u32>,
+    /// Ids of leaves, ascending (== Morton order of their ranges).
+    pub leaf_ids: Vec<NodeId>,
+}
+
+impl Octree {
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> &Node {
+        &self.nodes[0]
+    }
+
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// Number of points stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of leaves.
+    #[inline]
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_ids.len()
+    }
+
+    /// Positions of the points under `node` (dense slice — this is the
+    /// cache-friendliness the paper banks on).
+    #[inline]
+    pub fn points_of(&self, node: &Node) -> &[Vec3] {
+        &self.points[node.range()]
+    }
+
+    /// Permute a per-point payload array (indexed like the *original*
+    /// input) into this tree's Morton order, so `payload[i]` lines up with
+    /// `self.points[i]`.
+    pub fn permute<T: Copy>(&self, original: &[T]) -> Vec<T> {
+        assert_eq!(original.len(), self.len());
+        self.point_order.iter().map(|&o| original[o as usize]).collect()
+    }
+
+    /// Scatter a Morton-ordered per-point array back to original order.
+    pub fn unpermute<T: Copy + Default>(&self, sorted: &[T]) -> Vec<T> {
+        assert_eq!(sorted.len(), self.len());
+        let mut out = vec![T::default(); sorted.len()];
+        for (i, &o) in self.point_order.iter().enumerate() {
+            out[o as usize] = sorted[i];
+        }
+        out
+    }
+
+    /// Apply a rigid transform to the whole tree in O(M + nodes): points
+    /// and node centers move; radii and the tree topology are invariant.
+    /// This is the paper's §IV.C docking optimization — re-posing a ligand
+    /// costs a pass over the arrays instead of an O(M log M) rebuild.
+    ///
+    /// Note: `domain` is updated to the transformed cube's bounding box;
+    /// Morton codes are *not* recomputed (they are only needed at build
+    /// time).
+    pub fn transform(&mut self, t: &Transform) {
+        for p in &mut self.points {
+            *p = t.apply_point(*p);
+        }
+        for n in &mut self.nodes {
+            n.center = t.apply_point(n.center);
+        }
+        // The rotated cube's AABB:
+        let corners = [
+            self.domain.min,
+            Vec3::new(self.domain.max.x, self.domain.min.y, self.domain.min.z),
+            Vec3::new(self.domain.min.x, self.domain.max.y, self.domain.min.z),
+            Vec3::new(self.domain.min.x, self.domain.min.y, self.domain.max.z),
+            Vec3::new(self.domain.max.x, self.domain.max.y, self.domain.min.z),
+            Vec3::new(self.domain.max.x, self.domain.min.y, self.domain.max.z),
+            Vec3::new(self.domain.min.x, self.domain.max.y, self.domain.max.z),
+            self.domain.max,
+        ];
+        self.domain = Aabb::from_points(corners.iter().map(|&c| t.apply_point(c)));
+    }
+
+    /// Visit every node depth-first (pre-order), with its id.
+    pub fn for_each_node(&self, mut f: impl FnMut(NodeId, &Node)) {
+        let mut stack: Vec<NodeId> = vec![0];
+        while let Some(id) = stack.pop() {
+            let n = &self.nodes[id as usize];
+            f(id, n);
+            for c in n.children() {
+                stack.push(c);
+            }
+        }
+    }
+
+    /// Split the leaves into `parts` contiguous segments of near-equal
+    /// *point* counts (not leaf counts): segment `i` is
+    /// `leaf_ids[ranges[i].clone()]`. This is the paper's EXPLICIT STATIC
+    /// LOAD BALANCING: "Work is divided evenly among processes. The i-th
+    /// process computes ... for the i-th segment of ... leaf nodes".
+    ///
+    /// Balancing by points rather than leaf count keeps per-rank work even
+    /// when leaf occupancy varies.
+    pub fn partition_leaves(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        assert!(parts >= 1);
+        let total: usize = self.leaf_ids.iter().map(|&l| self.nodes[l as usize].len()).sum();
+        let mut ranges = Vec::with_capacity(parts);
+        let mut begin = 0usize;
+        let mut acc = 0usize;
+        let mut assigned = 0usize;
+        for (i, &lid) in self.leaf_ids.iter().enumerate() {
+            acc += self.nodes[lid as usize].len();
+            // Close the current segment once it reaches its fair share of
+            // the remaining points.
+            let remaining_parts = parts - ranges.len();
+            let target = (total - assigned).div_ceil(remaining_parts);
+            if acc >= target && ranges.len() < parts - 1 {
+                ranges.push(begin..i + 1);
+                begin = i + 1;
+                assigned += acc;
+                acc = 0;
+            }
+        }
+        ranges.push(begin..self.leaf_ids.len());
+        while ranges.len() < parts {
+            // More parts than leaves: pad with empty segments.
+            let end = self.leaf_ids.len();
+            ranges.push(end..end);
+        }
+        ranges
+    }
+
+    /// Split the *points* (atoms) into `parts` near-equal contiguous index
+    /// segments — the ATOM-BASED work division of §IV.A.
+    pub fn partition_points(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        assert!(parts >= 1);
+        let n = self.len();
+        (0..parts)
+            .map(|i| {
+                let b = i * n / parts;
+                let e = (i + 1) * n / parts;
+                b..e
+            })
+            .collect()
+    }
+
+    /// Heap bytes held by the tree (§V.B memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.points.len() * std::mem::size_of::<Vec3>()
+            + self.point_order.len() * 4
+            + self.leaf_ids.len() * 4
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> TreeStats {
+        TreeStats::of(self)
+    }
+
+    /// Verify structural invariants (used by tests and debug builds):
+    /// children partition parents, spheres contain points, leaf list is
+    /// exact. Returns a description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("no nodes".into());
+        }
+        let root = self.root();
+        if root.begin != 0 || root.end as usize != self.len() {
+            return Err("root does not cover all points".into());
+        }
+        for (id, n) in self.nodes.iter().enumerate() {
+            if n.begin > n.end || n.end as usize > self.len() {
+                return Err(format!("node {id}: bad range"));
+            }
+            if !n.is_leaf() {
+                let mut cursor = n.begin;
+                for cid in n.children() {
+                    let c = self
+                        .nodes
+                        .get(cid as usize)
+                        .ok_or_else(|| format!("node {id}: child {cid} out of bounds"))?;
+                    if c.begin != cursor {
+                        return Err(format!("node {id}: children not contiguous"));
+                    }
+                    if c.depth != n.depth + 1 {
+                        return Err(format!("node {id}: child depth mismatch"));
+                    }
+                    cursor = c.end;
+                }
+                if cursor != n.end {
+                    return Err(format!("node {id}: children do not cover range"));
+                }
+            }
+            for i in n.range() {
+                if n.center.dist(self.points[i]) > n.radius + 1e-9 {
+                    return Err(format!("node {id}: point {i} outside sphere"));
+                }
+            }
+        }
+        let leaves: Vec<NodeId> = (0..self.nodes.len() as NodeId)
+            .filter(|&i| self.nodes[i as usize].is_leaf())
+            .collect();
+        if leaves != self.leaf_ids {
+            return Err("leaf_ids out of sync".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build, BuildParams};
+    use polaroct_geom::transform::Rotation;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 30.0
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    fn tree(n: usize, seed: u64, cap: usize) -> Octree {
+        build(&cloud(n, seed), BuildParams { leaf_capacity: cap, ..Default::default() })
+    }
+
+    #[test]
+    fn invariants_hold_for_various_sizes() {
+        for (n, cap) in [(1usize, 8usize), (10, 2), (500, 8), (3000, 32)] {
+            let t = tree(n, n as u64, cap);
+            t.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn permute_unpermute_roundtrip() {
+        let pts = cloud(300, 5);
+        let t = build(&pts, BuildParams::default());
+        let payload: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let sorted = t.permute(&payload);
+        let back = t.unpermute(&sorted);
+        assert_eq!(back, payload);
+        // sorted payload lines up with sorted points
+        for i in 0..300 {
+            assert_eq!(sorted[i] as usize, t.point_order[i] as usize);
+        }
+    }
+
+    #[test]
+    fn transform_preserves_topology_and_radii() {
+        let mut t = tree(1000, 9, 16);
+        let radii: Vec<f64> = t.nodes.iter().map(|n| n.radius).collect();
+        let tr = Transform::about_pivot(
+            Rotation::about_axis(Vec3::new(1.0, 1.0, 0.0), 1.1),
+            Vec3::splat(15.0),
+            Vec3::new(50.0, -10.0, 3.0),
+        );
+        t.transform(&tr);
+        // Topology identical, radii identical, invariants still hold.
+        let radii2: Vec<f64> = t.nodes.iter().map(|n| n.radius).collect();
+        assert_eq!(radii, radii2);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn partition_leaves_covers_all_exactly_once() {
+        let t = tree(2000, 21, 16);
+        for parts in [1usize, 2, 3, 7, 12, 64] {
+            let ranges = t.partition_leaves(parts);
+            assert_eq!(ranges.len(), parts);
+            let mut cursor = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, cursor);
+                cursor = r.end;
+            }
+            assert_eq!(cursor, t.leaf_count());
+        }
+    }
+
+    #[test]
+    fn partition_leaves_balances_points() {
+        let t = tree(4000, 33, 16);
+        let parts = 8;
+        let ranges = t.partition_leaves(parts);
+        let loads: Vec<usize> = ranges
+            .iter()
+            .map(|r| t.leaf_ids[r.clone()].iter().map(|&l| t.node(l).len()).sum())
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let avg = 4000 / parts;
+        assert!(max < 2 * avg, "imbalanced: {loads:?}");
+    }
+
+    #[test]
+    fn partition_points_is_even() {
+        let t = tree(1001, 2, 16);
+        let parts = t.partition_points(4);
+        let sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 1001);
+        assert!(sizes.iter().all(|&s| s == 250 || s == 251));
+    }
+
+    #[test]
+    fn more_parts_than_leaves_pads_empty() {
+        let t = tree(5, 3, 8); // single leaf
+        let ranges = t.partition_leaves(4);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges[0], 0..1);
+        assert!(ranges[1..].iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn memory_is_linear() {
+        let t1 = tree(1000, 4, 16);
+        let t2 = tree(4000, 4, 16);
+        let ratio = t2.memory_bytes() as f64 / t1.memory_bytes() as f64;
+        assert!(ratio < 5.0, "memory ratio {ratio}");
+    }
+
+    #[test]
+    fn for_each_node_visits_every_node_once() {
+        let t = tree(700, 8, 8);
+        let mut seen = vec![0u32; t.nodes.len()];
+        t.for_each_node(|id, _| seen[id as usize] += 1);
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,269 @@
+//! A Chase–Lev work-stealing pool over index-space tasks.
+//!
+//! Semantics mirror a `cilk_for` over `0..n`: the index range is split
+//! lazily; each worker pops from the bottom of its own deque and steals
+//! from the *top* of a random victim's deque when idle (stealing the
+//! oldest — and therefore largest — subrange, which is also the
+//! least-recently-touched data, the cache-friendliness argument of §V.A).
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A contiguous index subrange of the task space.
+type Chunk = (usize, usize);
+
+/// Counters exposed after a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Successful steals across all workers.
+    pub steals: usize,
+    /// Tasks executed in total (== `n` of the run).
+    pub tasks: usize,
+}
+
+/// A fixed-width work-stealing thread pool.
+///
+/// The pool is created per call site (cheap: threads are scoped); `width`
+/// is the number of workers `p`. On a host with fewer cores the pool still
+/// *works* — the OS time-slices — it just can't show real speedup, which
+/// is why the cluster experiments use [`crate::sim`] for timing instead.
+pub struct WorkStealingPool {
+    width: usize,
+    /// Minimum indices per executed chunk (the `grain`): controls the
+    /// task-creation overhead exactly like cilk's grain size.
+    grain: usize,
+}
+
+impl WorkStealingPool {
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 1);
+        WorkStealingPool { width, grain: 1 }
+    }
+
+    /// Set the splitting grain (indices per leaf task).
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        assert!(grain >= 1);
+        self.grain = grain;
+        self
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Execute `body(i)` for every `i in 0..n`, dynamically load-balanced.
+    /// `body` must be safe to call concurrently for distinct indices.
+    pub fn run<F>(&self, n: usize, body: F) -> PoolMetrics
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return PoolMetrics::default();
+        }
+        if self.width == 1 {
+            for i in 0..n {
+                body(i);
+            }
+            return PoolMetrics { steals: 0, tasks: n };
+        }
+
+        let injector: Injector<Chunk> = Injector::new();
+        injector.push((0, n));
+        let steals = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+
+        let workers: Vec<Worker<Chunk>> =
+            (0..self.width).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<Chunk>> = workers.iter().map(|w| w.stealer()).collect();
+
+        std::thread::scope(|scope| {
+            for (wid, worker) in workers.into_iter().enumerate() {
+                let injector = &injector;
+                let stealers = &stealers;
+                let steals = &steals;
+                let done = &done;
+                let body = &body;
+                let grain = self.grain;
+                let width = self.width;
+                scope.spawn(move || {
+                    // Cheap deterministic xorshift for victim selection.
+                    let mut rng_state = (wid as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                    let mut next_victim = move || {
+                        rng_state ^= rng_state << 13;
+                        rng_state ^= rng_state >> 7;
+                        rng_state ^= rng_state << 17;
+                        (rng_state as usize) % width
+                    };
+                    loop {
+                        // 1. Own deque first.
+                        let chunk = worker.pop().or_else(|| {
+                            // 2. Global injector.
+                            loop {
+                                match injector.steal() {
+                                    Steal::Success(c) => return Some(c),
+                                    Steal::Empty => return None,
+                                    Steal::Retry => continue,
+                                }
+                            }
+                        });
+                        let chunk = match chunk {
+                            Some(c) => Some(c),
+                            None => {
+                                // 3. Steal from a random victim's top.
+                                let mut found = None;
+                                for _ in 0..4 * width {
+                                    let v = next_victim();
+                                    if v == wid {
+                                        continue;
+                                    }
+                                    match stealers[v].steal() {
+                                        Steal::Success(c) => {
+                                            steals.fetch_add(1, Ordering::Relaxed);
+                                            found = Some(c);
+                                            break;
+                                        }
+                                        Steal::Empty | Steal::Retry => continue,
+                                    }
+                                }
+                                found
+                            }
+                        };
+                        match chunk {
+                            Some((lo, hi)) => {
+                                let mut hi = hi;
+                                // Lazy binary splitting: keep half for
+                                // thieves while the chunk is large.
+                                while hi - lo > grain {
+                                    let mid = lo + (hi - lo) / 2;
+                                    worker.push((mid, hi));
+                                    hi = mid;
+                                }
+                                for i in lo..hi {
+                                    body(i);
+                                }
+                                done.fetch_add(hi - lo, Ordering::Release);
+                                // Drain what we pushed (or let thieves).
+                            }
+                            None => {
+                                if done.load(Ordering::Acquire) >= n {
+                                    break;
+                                }
+                                // Yield to the OS rather than spin: on
+                                // machines with fewer cores than workers a
+                                // busy-wait would starve the worker that
+                                // actually holds the remaining work.
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        PoolMetrics { steals: steals.load(Ordering::Relaxed), tasks: n }
+    }
+
+    /// Map `0..n` through `f`, collecting results in index order.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + Default + Clone,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut out = vec![T::default(); n];
+        {
+            let slots = SyncSlice(out.as_mut_ptr(), n);
+            self.run(n, |i| {
+                // SAFETY: each index is executed exactly once, so every
+                // slot is written by at most one thread.
+                unsafe { slots.write(i, f(i)) };
+            });
+        }
+        out
+    }
+}
+
+/// Send+Sync wrapper allowing disjoint-index writes from the pool.
+struct SyncSlice<T>(*mut T, usize);
+unsafe impl<T: Send> Send for SyncSlice<T> {}
+unsafe impl<T: Send> Sync for SyncSlice<T> {}
+impl<T> SyncSlice<T> {
+    /// SAFETY: caller guarantees `i < len` and that no two calls share `i`.
+    unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.1);
+        unsafe { self.0.add(i).write(v) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_every_index_exactly_once() {
+        let n = 10_000;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let pool = WorkStealingPool::new(4);
+        let m = pool.run(n, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(m.tasks, n);
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn single_worker_is_sequential() {
+        let pool = WorkStealingPool::new(1);
+        let sum = AtomicU64::new(0);
+        let m = pool.run(1000, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+        assert_eq!(m.steals, 0);
+    }
+
+    #[test]
+    fn zero_tasks_is_a_noop() {
+        let pool = WorkStealingPool::new(4);
+        let m = pool.run(0, |_| panic!("must not run"));
+        assert_eq!(m, PoolMetrics::default());
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        let pool = WorkStealingPool::new(3);
+        let v = pool.map(257, |i| i * i);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * i);
+        }
+    }
+
+    #[test]
+    fn grain_respected_and_results_identical() {
+        let pool = WorkStealingPool::new(2).with_grain(64);
+        let v = pool.map(1000, |i| i + 1);
+        assert_eq!(v[999], 1000);
+    }
+
+    #[test]
+    fn uneven_task_costs_still_complete() {
+        // A few heavy tasks among many light ones — stealing must cover.
+        let n = 512;
+        let done = AtomicUsize::new(0);
+        let pool = WorkStealingPool::new(4);
+        pool.run(n, |i| {
+            if i % 100 == 0 {
+                // Simulated heavy task.
+                let mut acc = 0u64;
+                for k in 0..50_000u64 {
+                    acc = acc.wrapping_add(k * k);
+                }
+                std::hint::black_box(acc);
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), n);
+    }
+}

@@ -1,0 +1,119 @@
+//! Parallel reductions on the work-stealing pool.
+//!
+//! The drivers mostly reduce through the simulated MPI collectives, but
+//! in-process users (examples, tools) want a plain parallel fold over
+//! index space with deterministic results. [`WorkStealingPool::reduce`]
+//! gives an order-insensitive (commutative + associative) reduction;
+//! [`WorkStealingPool::sum_f64`] adds a deterministic pairwise summation
+//! that is *independent of scheduling* (fixed tree shape), so repeated
+//! runs agree bitwise.
+
+use crate::pool::WorkStealingPool;
+use parking_lot::Mutex;
+
+impl WorkStealingPool {
+    /// Reduce `f(0) ⊕ f(1) ⊕ ... ⊕ f(n−1)` with a commutative+associative
+    /// `combine`. Result order is unspecified, so `combine` must be
+    /// insensitive to it (use [`Self::sum_f64`] for floats when bitwise
+    /// determinism matters).
+    pub fn reduce<T, F, C>(&self, n: usize, identity: T, f: F, combine: C) -> T
+    where
+        T: Send + Clone,
+        F: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        if n == 0 {
+            return identity;
+        }
+        let acc = Mutex::new(identity);
+        self.run(n, |i| {
+            let v = f(i);
+            let mut guard = acc.lock();
+            let cur = guard.clone();
+            *guard = combine(cur, v);
+        });
+        acc.into_inner()
+    }
+
+    /// Deterministic pairwise (tree) summation of `f(i)` over `0..n`:
+    /// leaves are computed in parallel, the combination tree has a fixed
+    /// shape, so the result is bit-identical across runs and pool widths.
+    pub fn sum_f64<F>(&self, n: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Sync,
+    {
+        let leaves = self.map(n, &f);
+        pairwise_sum(&leaves)
+    }
+}
+
+/// Fixed-shape pairwise summation (better error growth than sequential:
+/// O(log n) vs O(n) worst-case accumulated rounding).
+pub fn pairwise_sum(xs: &[f64]) -> f64 {
+    match xs.len() {
+        0 => 0.0,
+        1 => xs[0],
+        2 => xs[0] + xs[1],
+        n => {
+            let mid = n / 2;
+            pairwise_sum(&xs[..mid]) + pairwise_sum(&xs[mid..])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_matches_sequential_for_exact_values() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert_eq!(pairwise_sum(&xs), 499_500.0);
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn pairwise_is_more_accurate_than_naive_on_adversarial_input() {
+        // Alternating large/small values accumulate error sequentially.
+        let xs: Vec<f64> = (0..100_000)
+            .map(|i| if i % 2 == 0 { 1e16 } else { 1.0 })
+            .collect();
+        let seq: f64 = xs.iter().sum();
+        let pair = pairwise_sum(&xs);
+        // Exact value: 5e4 * 1e16 + 5e4.
+        let exact = 5e4 * 1e16 + 5e4;
+        assert!((pair - exact).abs() <= (seq - exact).abs());
+    }
+
+    #[test]
+    fn pool_reduce_counts() {
+        let pool = WorkStealingPool::new(4);
+        let total = pool.reduce(1000, 0usize, |i| i, |a, b| a + b);
+        assert_eq!(total, 499_500);
+    }
+
+    #[test]
+    fn pool_reduce_empty_returns_identity() {
+        let pool = WorkStealingPool::new(3);
+        assert_eq!(pool.reduce(0, 42i64, |_| 0, |a, b| a + b), 42);
+    }
+
+    #[test]
+    fn sum_f64_deterministic_across_widths() {
+        let f = |i: usize| ((i as f64) * 0.1).sin() * 1e8;
+        let s1 = WorkStealingPool::new(1).sum_f64(5000, f);
+        let s4 = WorkStealingPool::new(4).sum_f64(5000, f);
+        // Bitwise identical: fixed tree shape regardless of scheduling.
+        assert_eq!(s1.to_bits(), s4.to_bits());
+    }
+
+    #[test]
+    fn reduce_max() {
+        let pool = WorkStealingPool::new(2);
+        let m = pool.reduce(257, f64::NEG_INFINITY, |i| (i as f64 * 37.0) % 101.0, f64::max);
+        let brute =
+            (0..257).map(|i| (i as f64 * 37.0) % 101.0).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(m, brute);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: the work-stealing makespan simulator respects the
+//! classic scheduling bounds for arbitrary task-cost distributions.
+
+use polaroct_sched::{StealSimParams, StealSimulator};
+use proptest::prelude::*;
+
+fn sim(p: usize, seed: u64) -> StealSimulator {
+    StealSimulator::new(StealSimParams { workers: p, seed, ..Default::default() })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn makespan_within_classic_bounds(
+        costs in prop::collection::vec(1e-6f64..1e-2, 1..300),
+        p in 1usize..16,
+        seed in 0u64..100,
+    ) {
+        let out = sim(p, seed).simulate(&costs);
+        let t1: f64 = costs.iter().sum();
+        let cmax = costs.iter().cloned().fold(0.0f64, f64::max);
+        // Lower bounds: work/p and the largest single task.
+        prop_assert!(out.makespan >= t1 / p as f64 - 1e-12);
+        prop_assert!(out.makespan >= cmax - 1e-12);
+        // Upper bound: generous Graham-style 2x(T1/p) + span + overheads.
+        let params = StealSimParams::default();
+        let overhead = out.steals as f64 * params.steal_cost
+            + costs.len() as f64 * params.task_overhead;
+        let grain = (costs.len() / (8 * p)).max(1);
+        let span = cmax * grain as f64 * 2.0;
+        prop_assert!(
+            out.makespan <= 2.0 * t1 / p as f64 + span + overhead + cmax + 1e-9,
+            "makespan {} vs t1/p {} cmax {cmax}",
+            out.makespan,
+            t1 / p as f64
+        );
+    }
+
+    #[test]
+    fn single_worker_is_exact_serial(costs in prop::collection::vec(1e-6f64..1e-2, 0..100)) {
+        let out = sim(1, 7).simulate(&costs);
+        let t1: f64 = costs.iter().sum();
+        let expected = t1 + costs.len() as f64 * StealSimParams::default().task_overhead;
+        prop_assert!((out.makespan - expected).abs() < 1e-12);
+        prop_assert_eq!(out.steals, 0);
+    }
+
+    #[test]
+    fn determinism(costs in prop::collection::vec(1e-5f64..1e-3, 1..100), p in 1usize..8) {
+        let a = sim(p, 42).simulate(&costs);
+        let b = sim(p, 42).simulate(&costs);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_workers_never_hugely_worse(costs in prop::collection::vec(1e-5f64..1e-3, 16..200)) {
+        // Not strictly monotone (random stealing), but p=8 should never be
+        // slower than serial.
+        let t1: f64 = costs.iter().sum();
+        let out = sim(8, 3).simulate(&costs);
+        prop_assert!(out.makespan <= t1 * 1.01 + 1e-6);
+    }
+
+    #[test]
+    fn utilization_in_unit_interval(
+        costs in prop::collection::vec(1e-6f64..1e-2, 1..200),
+        p in 1usize..12,
+    ) {
+        let u = sim(p, 11).simulate(&costs).utilization;
+        prop_assert!(u > 0.0 && u <= 1.0 + 1e-12);
+    }
+}

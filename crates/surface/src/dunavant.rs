@@ -1,0 +1,196 @@
+//! Dunavant symmetric Gaussian quadrature rules for triangles.
+//!
+//! The paper cites Dunavant (1985), "High degree efficient symmetrical
+//! Gaussian quadrature rules for the triangle", for its surface
+//! integration. A rule of degree `d` integrates all bivariate polynomials
+//! of total degree ≤ `d` exactly over the triangle. Points are given in
+//! barycentric coordinates; weights are normalized to sum to 1 (i.e. they
+//! are fractions of the triangle's area).
+
+/// A quadrature rule: barycentric points and matching area-fraction
+/// weights.
+#[derive(Clone, Debug)]
+pub struct DunavantRule {
+    /// Polynomial degree of exactness.
+    pub degree: u32,
+    /// Barycentric coordinates (sum to 1) of each quadrature point.
+    pub points: Vec<[f64; 3]>,
+    /// Weights, summing to 1.
+    pub weights: Vec<f64>,
+}
+
+impl DunavantRule {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Push all distinct permutations of a barycentric multiplicity class.
+fn push_class(points: &mut Vec<[f64; 3]>, weights: &mut Vec<f64>, bary: [f64; 3], w: f64) {
+    let perms: &[[usize; 3]] =
+        &[[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+    let mut seen: Vec<[f64; 3]> = Vec::new();
+    for &p in perms {
+        let cand = [bary[p[0]], bary[p[1]], bary[p[2]]];
+        if !seen.iter().any(|s| {
+            (s[0] - cand[0]).abs() < 1e-14
+                && (s[1] - cand[1]).abs() < 1e-14
+                && (s[2] - cand[2]).abs() < 1e-14
+        }) {
+            seen.push(cand);
+        }
+    }
+    for c in seen {
+        points.push(c);
+        weights.push(w);
+    }
+}
+
+/// The Dunavant rule of the requested `degree` (1..=5 supported; higher
+/// degrees clamp to 5 — the Born integrand is smooth away from the
+/// molecule, so degree 5 is already overkill in practice).
+pub fn rule(degree: u32) -> DunavantRule {
+    let mut points = Vec::new();
+    let mut weights = Vec::new();
+    let degree = degree.clamp(1, 5);
+    match degree {
+        1 => {
+            // 1 point: centroid.
+            push_class(&mut points, &mut weights, [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0], 1.0);
+        }
+        2 => {
+            // 3 points.
+            push_class(&mut points, &mut weights, [2.0 / 3.0, 1.0 / 6.0, 1.0 / 6.0], 1.0 / 3.0);
+        }
+        3 => {
+            // 4 points (has a negative centroid weight — standard).
+            push_class(&mut points, &mut weights, [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0], -27.0 / 48.0);
+            push_class(&mut points, &mut weights, [0.6, 0.2, 0.2], 25.0 / 48.0);
+        }
+        4 => {
+            // 6 points, two symmetry classes.
+            push_class(
+                &mut points,
+                &mut weights,
+                [0.108_103_018_168_070, 0.445_948_490_915_965, 0.445_948_490_915_965],
+                0.223_381_589_678_011,
+            );
+            push_class(
+                &mut points,
+                &mut weights,
+                [0.816_847_572_980_459, 0.091_576_213_509_771, 0.091_576_213_509_771],
+                0.109_951_743_655_322,
+            );
+        }
+        _ => {
+            // Degree 5: 7 points.
+            push_class(&mut points, &mut weights, [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0], 0.225);
+            push_class(
+                &mut points,
+                &mut weights,
+                [0.059_715_871_789_770, 0.470_142_064_105_115, 0.470_142_064_105_115],
+                0.132_394_152_788_506,
+            );
+            push_class(
+                &mut points,
+                &mut weights,
+                [0.797_426_985_353_087, 0.101_286_507_323_456, 0.101_286_507_323_456],
+                0.125_939_180_544_827,
+            );
+        }
+    }
+    DunavantRule { degree, points, weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Integrate x^a y^b over the reference triangle (0,0)-(1,0)-(0,1)
+    /// using a rule; exact value is a! b! / (a+b+2)!.
+    fn integrate_monomial(r: &DunavantRule, a: u32, b: u32) -> f64 {
+        // Reference triangle area = 1/2; rule weights are area fractions.
+        let mut sum = 0.0;
+        for (bary, w) in r.points.iter().zip(&r.weights) {
+            // Map barycentric to (x, y) on the reference triangle with
+            // vertices v0=(0,0), v1=(1,0), v2=(0,1).
+            let x = bary[1];
+            let y = bary[2];
+            sum += w * x.powi(a as i32) * y.powi(b as i32);
+        }
+        sum * 0.5
+    }
+
+    fn exact_monomial(a: u32, b: u32) -> f64 {
+        fn fact(n: u32) -> f64 {
+            (1..=n).map(|k| k as f64).product()
+        }
+        fact(a) * fact(b) / fact(a + b + 2)
+    }
+
+    #[test]
+    fn expected_point_counts() {
+        assert_eq!(rule(1).len(), 1);
+        assert_eq!(rule(2).len(), 3);
+        assert_eq!(rule(3).len(), 4);
+        assert_eq!(rule(4).len(), 6);
+        assert_eq!(rule(5).len(), 7);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for d in 1..=5 {
+            let r = rule(d);
+            let s: f64 = r.weights.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "degree {d}: weight sum {s}");
+        }
+    }
+
+    #[test]
+    fn barycentric_points_are_valid() {
+        for d in 1..=5 {
+            for p in &rule(d).points {
+                assert!((p[0] + p[1] + p[2] - 1.0).abs() < 1e-12);
+                // Dunavant rules up to degree 5 have interior points.
+                assert!(p.iter().all(|&c| c > 0.0 && c < 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn rules_are_exact_to_their_degree() {
+        for d in 1..=5u32 {
+            let r = rule(d);
+            for a in 0..=d {
+                for b in 0..=(d - a) {
+                    let got = integrate_monomial(&r, a, b);
+                    let want = exact_monomial(a, b);
+                    assert!(
+                        (got - want).abs() < 1e-12,
+                        "degree {d} fails on x^{a} y^{b}: got {got}, want {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_3_fails_on_degree_4_monomial() {
+        // Sanity: exactness claims are tight.
+        let r = rule(3);
+        let got = integrate_monomial(&r, 4, 0);
+        let want = exact_monomial(4, 0);
+        assert!((got - want).abs() > 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_degrees_clamp() {
+        assert_eq!(rule(0).degree, 1);
+        assert_eq!(rule(9).degree, 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Icosphere: a unit sphere triangulated by recursive subdivision of a
+//! regular icosahedron. Subdivision level `L` yields `20·4^L` triangles
+//! with near-uniform area — the triangulated surface the Dunavant rules
+//! are applied to.
+
+use polaroct_geom::Vec3;
+use std::collections::HashMap;
+
+/// A triangulated unit sphere.
+#[derive(Clone, Debug)]
+pub struct Icosphere {
+    /// Unit-length vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Counter-clockwise (outward-facing) vertex index triples.
+    pub triangles: Vec<[u32; 3]>,
+}
+
+impl Icosphere {
+    /// Build an icosphere at subdivision `level` (0 = plain icosahedron,
+    /// 20 faces; each level quadruples the face count).
+    pub fn new(level: u32) -> Self {
+        assert!(level <= 7, "icosphere level {level} would be enormous");
+        let mut sphere = Self::icosahedron();
+        for _ in 0..level {
+            sphere = sphere.subdivide();
+        }
+        sphere
+    }
+
+    /// Number of faces at a given level without building it.
+    pub fn face_count(level: u32) -> usize {
+        20usize << (2 * level)
+    }
+
+    fn icosahedron() -> Self {
+        // Golden-ratio construction; vertices normalized to unit length.
+        let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
+        let raw = [
+            (-1.0, phi, 0.0),
+            (1.0, phi, 0.0),
+            (-1.0, -phi, 0.0),
+            (1.0, -phi, 0.0),
+            (0.0, -1.0, phi),
+            (0.0, 1.0, phi),
+            (0.0, -1.0, -phi),
+            (0.0, 1.0, -phi),
+            (phi, 0.0, -1.0),
+            (phi, 0.0, 1.0),
+            (-phi, 0.0, -1.0),
+            (-phi, 0.0, 1.0),
+        ];
+        let vertices: Vec<Vec3> =
+            raw.iter().map(|&(x, y, z)| Vec3::new(x, y, z).normalized()).collect();
+        // The 20 canonical faces, wound counter-clockwise seen from
+        // outside.
+        let triangles: Vec<[u32; 3]> = vec![
+            [0, 11, 5],
+            [0, 5, 1],
+            [0, 1, 7],
+            [0, 7, 10],
+            [0, 10, 11],
+            [1, 5, 9],
+            [5, 11, 4],
+            [11, 10, 2],
+            [10, 7, 6],
+            [7, 1, 8],
+            [3, 9, 4],
+            [3, 4, 2],
+            [3, 2, 6],
+            [3, 6, 8],
+            [3, 8, 9],
+            [4, 9, 5],
+            [2, 4, 11],
+            [6, 2, 10],
+            [8, 6, 7],
+            [9, 8, 1],
+        ];
+        Icosphere { vertices, triangles }
+    }
+
+    /// One 4-to-1 subdivision step (midpoints projected back to the
+    /// sphere).
+    fn subdivide(&self) -> Self {
+        let mut vertices = self.vertices.clone();
+        let mut midpoint_cache: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut triangles = Vec::with_capacity(self.triangles.len() * 4);
+
+        let mut midpoint = |a: u32, b: u32, vertices: &mut Vec<Vec3>| -> u32 {
+            let key = if a < b { (a, b) } else { (b, a) };
+            *midpoint_cache.entry(key).or_insert_with(|| {
+                let m = ((vertices[a as usize] + vertices[b as usize]) * 0.5).normalized();
+                vertices.push(m);
+                (vertices.len() - 1) as u32
+            })
+        };
+
+        for &[a, b, c] in &self.triangles {
+            let ab = midpoint(a, b, &mut vertices);
+            let bc = midpoint(b, c, &mut vertices);
+            let ca = midpoint(c, a, &mut vertices);
+            triangles.push([a, ab, ca]);
+            triangles.push([b, bc, ab]);
+            triangles.push([c, ca, bc]);
+            triangles.push([ab, bc, ca]);
+        }
+        Icosphere { vertices, triangles }
+    }
+
+    /// Planar area of triangle `t`.
+    pub fn triangle_area(&self, t: usize) -> f64 {
+        let [a, b, c] = self.triangles[t];
+        let (pa, pb, pc) =
+            (self.vertices[a as usize], self.vertices[b as usize], self.vertices[c as usize]);
+        (pb - pa).cross(pc - pa).norm() * 0.5
+    }
+
+    /// Total planar (inscribed-polyhedron) area; approaches `4π` as the
+    /// level grows.
+    pub fn total_area(&self) -> f64 {
+        (0..self.triangles.len()).map(|t| self.triangle_area(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icosahedron_has_12_vertices_20_faces() {
+        let s = Icosphere::new(0);
+        assert_eq!(s.vertices.len(), 12);
+        assert_eq!(s.triangles.len(), 20);
+    }
+
+    #[test]
+    fn subdivision_counts() {
+        for level in 0..4u32 {
+            let s = Icosphere::new(level);
+            assert_eq!(s.triangles.len(), Icosphere::face_count(level));
+            // Euler: V = 2 + E - F, E = 3F/2  =>  V = 2 + F/2
+            assert_eq!(s.vertices.len(), 2 + s.triangles.len() / 2);
+        }
+    }
+
+    #[test]
+    fn vertices_are_unit_length() {
+        let s = Icosphere::new(2);
+        for v in &s.vertices {
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn faces_wind_outward() {
+        // For a sphere around the origin, the triangle normal must point
+        // away from the origin (positive dot with the centroid).
+        for level in 0..3u32 {
+            let s = Icosphere::new(level);
+            for &[a, b, c] in &s.triangles {
+                let (pa, pb, pc) =
+                    (s.vertices[a as usize], s.vertices[b as usize], s.vertices[c as usize]);
+                let n = (pb - pa).cross(pc - pa);
+                let centroid = (pa + pb + pc) / 3.0;
+                assert!(n.dot(centroid) > 0.0, "inward-facing triangle at level {level}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_area_converges_to_sphere_area() {
+        let four_pi = 4.0 * std::f64::consts::PI;
+        let a0 = Icosphere::new(0).total_area();
+        let a2 = Icosphere::new(2).total_area();
+        let a3 = Icosphere::new(3).total_area();
+        assert!(a0 < a2 && a2 < a3 && a3 < four_pi);
+        assert!((four_pi - a3) / four_pi < 0.01, "level 3 within 1% of 4π");
+    }
+
+    #[test]
+    fn no_degenerate_triangles() {
+        let s = Icosphere::new(2);
+        for t in 0..s.triangles.len() {
+            assert!(s.triangle_area(t) > 1e-6);
+        }
+    }
+
+    #[test]
+    fn shared_edges_share_midpoints() {
+        // Subdivision must not duplicate vertices: vertex count follows
+        // Euler exactly (checked above); also no two vertices coincide.
+        let s = Icosphere::new(1);
+        for i in 0..s.vertices.len() {
+            for j in (i + 1)..s.vertices.len() {
+                assert!(s.vertices[i].dist2(s.vertices[j]) > 1e-12);
+            }
+        }
+    }
+}

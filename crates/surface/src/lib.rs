@@ -1,0 +1,39 @@
+//! # polaroct-surface
+//!
+//! Molecular-surface quadrature for the surface-based r⁶ Born-radius
+//! approximation (Eq. 4 of the paper):
+//!
+//! ```text
+//! 1/R_i³ ≈ (1/4π) Σ_k  w_k · (r_k − x_i)·n_k / |r_k − x_i|⁶
+//! ```
+//!
+//! The paper triangulates a Gaussian-quadrature representation of the
+//! molecular surface, yielding per-point positions `r_k`, outward unit
+//! normals `n_k`, and weights `w_k` ("A constant number of quadrature
+//! points per triangle are needed for high accuracy"). We reproduce that
+//! pipeline from scratch:
+//!
+//! 1. [`icosphere`] — triangulate each atom's sphere by subdividing an
+//!    icosahedron,
+//! 2. [`dunavant`] — Dunavant symmetric Gaussian quadrature rules on
+//!    triangles (the paper cites Dunavant 1985 for exactly this),
+//! 3. [`cell_list`] — a uniform grid for buried-point tests,
+//! 4. [`sas`] — assemble the exposed (solvent-accessible) surface: keep
+//!    quadrature points not buried inside any other atom, normals pointing
+//!    outward, weights scaled so each full sphere integrates to `4πr²`.
+//!
+//! For CMV the paper reports 1.93M quadrature points over 509,640 atoms
+//! (~3.8 per atom): the default parameters here land in the same regime
+//! (icosahedron × 1-point rule = 20 candidate points per atom, of which
+//! roughly a quarter survive burial filtering in a packed interior).
+
+pub mod area;
+pub mod cell_list;
+pub mod dunavant;
+pub mod icosphere;
+pub mod sas;
+
+pub use cell_list::CellList;
+pub use dunavant::{rule, DunavantRule};
+pub use icosphere::Icosphere;
+pub use sas::{surface_quadrature, QuadratureSet, SurfaceParams};

@@ -1,0 +1,294 @@
+//! Exposed-surface quadrature assembly.
+//!
+//! For every atom, a triangulated sphere template (icosphere × Dunavant
+//! rule) is scaled to the atom's van der Waals radius; points buried
+//! inside any other atom are discarded. What remains approximates the
+//! molecule's exposed (van der Waals / solvent-accessible) surface with
+//! positions `r_k`, **outward** unit normals `n_k` and weights `w_k` whose
+//! per-sphere sum is exactly `4πr²` — so the divergence-theorem identity
+//! behind the r⁶ Born integral holds to quadrature accuracy.
+
+use crate::cell_list::CellList;
+use crate::dunavant::{rule, DunavantRule};
+use crate::icosphere::Icosphere;
+use polaroct_geom::Vec3;
+use polaroct_molecule::Molecule;
+
+/// Parameters for [`surface_quadrature`].
+#[derive(Clone, Copy, Debug)]
+pub struct SurfaceParams {
+    /// Icosphere subdivision level (0 ⇒ 20 triangles per atom).
+    pub icosphere_level: u32,
+    /// Dunavant rule degree (1 ⇒ 1 point per triangle).
+    pub quadrature_degree: u32,
+    /// Probe radius added to every atom when testing burial (0 = plain
+    /// van der Waals surface; 1.4 Å ≈ water-probe SAS).
+    pub probe_radius: f64,
+    /// Slack subtracted from the burying sphere's radius so boundary
+    /// points (exactly on two spheres) survive.
+    pub burial_slack: f64,
+}
+
+impl Default for SurfaceParams {
+    fn default() -> Self {
+        SurfaceParams {
+            icosphere_level: 0,
+            quadrature_degree: 1,
+            probe_radius: 0.0,
+            burial_slack: 1e-9,
+        }
+    }
+}
+
+impl SurfaceParams {
+    /// Candidate quadrature points per atom before burial filtering.
+    pub fn points_per_atom(&self) -> usize {
+        Icosphere::face_count(self.icosphere_level) * rule(self.quadrature_degree).len()
+    }
+}
+
+/// The sampled surface: SoA arrays of equal length.
+#[derive(Clone, Debug, Default)]
+pub struct QuadratureSet {
+    /// Point positions `r_k` (Å).
+    pub positions: Vec<Vec3>,
+    /// Outward unit surface normals `n_k`.
+    pub normals: Vec<Vec3>,
+    /// Quadrature weights `w_k` (Å²); Σ over an unburied sphere = `4πr²`.
+    pub weights: Vec<f64>,
+    /// Index of the atom each point came from (diagnostics/tests).
+    pub source_atom: Vec<u32>,
+}
+
+impl QuadratureSet {
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Total weight ≈ exposed surface area (Å²).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Heap bytes (memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.positions.len() * std::mem::size_of::<Vec3>() * 2
+            + self.weights.len() * 8
+            + self.source_atom.len() * 4
+    }
+}
+
+/// The per-atom template: unit directions and unit-sphere weights
+/// (summing to 4π).
+struct SphereTemplate {
+    dirs: Vec<Vec3>,
+    weights: Vec<f64>,
+}
+
+fn sphere_template(level: u32, degree: u32) -> SphereTemplate {
+    let ico = Icosphere::new(level);
+    let r: DunavantRule = rule(degree);
+    let mut dirs = Vec::with_capacity(ico.triangles.len() * r.len());
+    let mut weights = Vec::with_capacity(dirs.capacity());
+    for (t, &[a, b, c]) in ico.triangles.iter().enumerate() {
+        let (pa, pb, pc) =
+            (ico.vertices[a as usize], ico.vertices[b as usize], ico.vertices[c as usize]);
+        let area = ico.triangle_area(t);
+        for (bary, w) in r.points.iter().zip(&r.weights) {
+            let p = pa * bary[0] + pb * bary[1] + pc * bary[2];
+            // Project onto the sphere; the weight stays proportional to
+            // the *planar* patch area and is re-normalized below.
+            dirs.push(p.normalized());
+            weights.push(w * area);
+        }
+    }
+    // Normalize so the unit-sphere weights sum to exactly 4π: the
+    // triangulation underestimates the sphere area, and this global
+    // correction removes that bias (making an isolated atom's Born radius
+    // exact — see tests in polaroct-core).
+    let four_pi = 4.0 * std::f64::consts::PI;
+    let sum: f64 = weights.iter().sum();
+    let scale = four_pi / sum;
+    for w in &mut weights {
+        *w *= scale;
+    }
+    SphereTemplate { dirs, weights }
+}
+
+/// Sample the exposed surface of `mol`.
+///
+/// Runs in `O(M · points_per_atom · neighbors)` using a cell list for the
+/// burial tests. Deterministic (no randomness).
+pub fn surface_quadrature(mol: &Molecule, params: SurfaceParams) -> QuadratureSet {
+    assert!(!mol.is_empty(), "cannot sample the surface of an empty molecule");
+    let template = sphere_template(params.icosphere_level, params.quadrature_degree);
+
+    let r_max: f64 =
+        mol.radii.iter().cloned().fold(0.0f64, f64::max) + params.probe_radius;
+    // Cell size must cover the largest burial query radius.
+    let cells = CellList::new(&mol.positions, (2.0 * r_max).max(1.0));
+
+    let mut out = QuadratureSet::default();
+    out.positions.reserve(mol.len() * template.dirs.len() / 3);
+
+    for i in 0..mol.len() {
+        let xi = mol.positions[i];
+        let ri = mol.radii[i] + params.probe_radius;
+        let r2scale = ri * ri;
+        for (u, &w) in template.dirs.iter().zip(&template.weights) {
+            let p = xi + *u * ri;
+            // Buried inside any *other* atom (inflated by the probe)?
+            let mut buried = false;
+            cells.for_neighbors(p, r_max, |j| {
+                if buried || j as usize == i {
+                    return;
+                }
+                let rj = mol.radii[j as usize] + params.probe_radius - params.burial_slack;
+                if p.dist2(mol.positions[j as usize]) < rj * rj {
+                    buried = true;
+                }
+            });
+            if !buried {
+                out.positions.push(p);
+                out.normals.push(*u);
+                out.weights.push(w * r2scale);
+                out.source_atom.push(i as u32);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaroct_molecule::{synth, Atom, Element, Molecule};
+
+    fn single_atom(r: f64) -> Molecule {
+        Molecule::from_atoms(
+            "one",
+            [Atom { pos: Vec3::ZERO, radius: r, charge: 0.0, element: Element::C }],
+        )
+    }
+
+    #[test]
+    fn isolated_atom_total_weight_is_sphere_area() {
+        for r in [1.2, 1.7, 2.0] {
+            let q = surface_quadrature(&single_atom(r), SurfaceParams::default());
+            let want = 4.0 * std::f64::consts::PI * r * r;
+            assert!((q.total_weight() - want).abs() < 1e-9 * want, "r={r}");
+            assert_eq!(q.len(), SurfaceParams::default().points_per_atom());
+        }
+    }
+
+    #[test]
+    fn normals_are_outward_units() {
+        let q = surface_quadrature(&single_atom(1.7), SurfaceParams::default());
+        for (p, n) in q.positions.iter().zip(&q.normals) {
+            assert!((n.norm() - 1.0).abs() < 1e-12);
+            // For a sphere at the origin, outward normal == direction.
+            assert!(n.dot(*p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn points_lie_on_their_sphere() {
+        let q = surface_quadrature(&single_atom(1.5), SurfaceParams::default());
+        for p in &q.positions {
+            assert!((p.norm() - 1.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overlapping_pair_loses_buried_points() {
+        let mol = Molecule::from_atoms(
+            "pair",
+            [
+                Atom { pos: Vec3::ZERO, radius: 1.7, charge: 0.0, element: Element::C },
+                Atom {
+                    pos: Vec3::new(1.5, 0.0, 0.0),
+                    radius: 1.7,
+                    charge: 0.0,
+                    element: Element::C,
+                },
+            ],
+        );
+        let params = SurfaceParams { icosphere_level: 2, ..Default::default() };
+        let q = surface_quadrature(&mol, params);
+        let isolated = 2 * params.points_per_atom();
+        assert!(q.len() < isolated, "no points were buried");
+        // Exposed area strictly between one sphere and two full spheres.
+        let one = 4.0 * std::f64::consts::PI * 1.7 * 1.7;
+        assert!(q.total_weight() > one);
+        assert!(q.total_weight() < 2.0 * one);
+        // Every survivor is outside the other atom.
+        for (k, p) in q.positions.iter().enumerate() {
+            let other = 1 - q.source_atom[k] as usize;
+            assert!(p.dist(mol.positions[other]) >= 1.7 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn distant_pair_keeps_everything() {
+        let mol = Molecule::from_atoms(
+            "far",
+            [
+                Atom { pos: Vec3::ZERO, radius: 1.5, charge: 0.0, element: Element::C },
+                Atom {
+                    pos: Vec3::new(50.0, 0.0, 0.0),
+                    radius: 1.5,
+                    charge: 0.0,
+                    element: Element::C,
+                },
+            ],
+        );
+        let q = surface_quadrature(&mol, SurfaceParams::default());
+        assert_eq!(q.len(), 2 * SurfaceParams::default().points_per_atom());
+    }
+
+    #[test]
+    fn probe_radius_inflates_the_surface() {
+        let q0 = surface_quadrature(&single_atom(1.5), SurfaceParams::default());
+        let q1 = surface_quadrature(
+            &single_atom(1.5),
+            SurfaceParams { probe_radius: 1.4, ..Default::default() },
+        );
+        assert!(q1.total_weight() > q0.total_weight());
+        let want = 4.0 * std::f64::consts::PI * 2.9 * 2.9;
+        assert!((q1.total_weight() - want).abs() < 1e-9 * want);
+    }
+
+    #[test]
+    fn protein_surface_scales_sublinearly_with_atoms() {
+        // Buried interior atoms contribute nothing: q-points per atom must
+        // drop below the isolated-atom count.
+        let m = synth::protein("p", 1500, 3);
+        let q = surface_quadrature(&m, SurfaceParams::default());
+        let per_atom = q.len() as f64 / 1500.0;
+        let isolated = SurfaceParams::default().points_per_atom() as f64;
+        assert!(per_atom < 0.8 * isolated, "per-atom {per_atom} vs isolated {isolated}");
+        assert!(q.len() > 0);
+    }
+
+    #[test]
+    fn higher_level_refines_same_area() {
+        let m = single_atom(1.7);
+        let a0 = surface_quadrature(&m, SurfaceParams::default()).total_weight();
+        let a2 = surface_quadrature(
+            &m,
+            SurfaceParams { icosphere_level: 2, ..Default::default() },
+        )
+        .total_weight();
+        assert!((a0 - a2).abs() < 1e-9, "normalization makes area level-independent");
+    }
+
+    #[test]
+    fn memory_accounting_nonzero() {
+        let q = surface_quadrature(&single_atom(1.0), SurfaceParams::default());
+        assert!(q.memory_bytes() >= q.len() * (24 * 2 + 8 + 4));
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-crate integration: the full pipeline from synthetic molecule to
+//! energy, exercised through the public meta-crate API.
+
+use polaroct::prelude::*;
+
+fn small_system(n: usize, seed: u64) -> (polaroct::molecule::Molecule, GbSystem) {
+    let mol = polaroct::molecule::synth::protein("itest", n, seed);
+    let params = ApproxParams::default();
+    let sys = GbSystem::prepare(&mol, &params);
+    (mol, sys)
+}
+
+#[test]
+fn pipeline_produces_physical_energy() {
+    let (_, sys) = small_system(300, 1);
+    let params = ApproxParams::default();
+    let cfg = DriverConfig::default();
+    let r = run_serial(&sys, &params, &cfg);
+    // Polarization energy of a neutral protein: negative, finite, and in
+    // a physically plausible range (a few kcal/mol per atom).
+    assert!(r.energy_kcal < 0.0);
+    assert!(r.energy_kcal > -100.0 * 300.0);
+    assert_eq!(r.born_radii.len(), 300);
+    for &b in &r.born_radii {
+        assert!((1.0..=1000.0).contains(&b), "Born radius {b}");
+    }
+}
+
+#[test]
+fn surface_to_octree_payload_consistency() {
+    // Quadrature weights must survive the Morton permutation: total
+    // surface area is identical before and after prepare().
+    let mol = polaroct::molecule::synth::protein("area", 200, 2);
+    let params = ApproxParams::default();
+    let quad = polaroct::surface::surface_quadrature(&mol, params.surface);
+    let sys = GbSystem::prepare(&mol, &params);
+    let direct: f64 = quad.weights.iter().sum();
+    let permuted: f64 = sys.q_weight.iter().sum();
+    assert!((direct - permuted).abs() < 1e-9 * direct);
+}
+
+#[test]
+fn energy_invariant_under_rigid_motion() {
+    // E_pol depends only on internal geometry: translating + rotating the
+    // whole molecule must not change it beyond roundoff-level wiggle from
+    // different octree cells.
+    use polaroct::geom::transform::Rotation;
+    use polaroct::geom::{Transform, Vec3};
+    let mol = polaroct::molecule::synth::protein("rigid", 250, 3);
+    let params = ApproxParams::default();
+    let cfg = DriverConfig::default();
+    let e0 = run_serial(&GbSystem::prepare(&mol, &params), &params, &cfg).energy_kcal;
+    let t = Transform::about_pivot(
+        Rotation::about_axis(Vec3::new(1.0, 2.0, 3.0), 1.234),
+        mol.centroid(),
+        Vec3::new(100.0, -50.0, 20.0),
+    );
+    let moved = mol.transformed(&t);
+    let e1 = run_serial(&GbSystem::prepare(&moved, &params), &params, &cfg).energy_kcal;
+    // The octree decomposition changes under rotation, so allow the
+    // ε-level tolerance rather than bitwise equality.
+    assert!(
+        ((e0 - e1) / e0).abs() < 0.01,
+        "rigid motion changed E_pol: {e0} vs {e1}"
+    );
+}
+
+#[test]
+fn complex_energy_is_not_sum_of_parts() {
+    // Bringing a ligand next to a receptor changes burial: E(complex) !=
+    // E(receptor) + E(ligand) — the docking signal the paper motivates.
+    let receptor = polaroct::molecule::synth::protein("r", 400, 5);
+    let ligand = polaroct::molecule::synth::ligand("l", 30, 6);
+    let params = ApproxParams::default();
+    let cfg = DriverConfig::default();
+    let e_r = run_serial(&GbSystem::prepare(&receptor, &params), &params, &cfg).energy_kcal;
+    let e_l = run_serial(&GbSystem::prepare(&ligand, &params), &params, &cfg).energy_kcal;
+
+    let mut complex = receptor.clone();
+    // Dock the ligand touching the receptor surface.
+    let shift = receptor.bbox().circumradius() + 2.0;
+    let t = polaroct::geom::Transform::translation(
+        receptor.centroid() + polaroct::geom::Vec3::new(shift, 0.0, 0.0) - ligand.centroid(),
+    );
+    complex.extend_from(&ligand.transformed(&t));
+    let e_c = run_serial(&GbSystem::prepare(&complex, &params), &params, &cfg).energy_kcal;
+    let delta = e_c - e_r - e_l;
+    assert!(delta.abs() > 1e-3, "binding ΔE unexpectedly zero");
+}
+
+#[test]
+fn io_roundtrip_preserves_energy() {
+    let mol = polaroct::molecule::synth::ligand("io", 40, 7);
+    let params = ApproxParams::default();
+    let cfg = DriverConfig::default();
+    let e0 = run_serial(&GbSystem::prepare(&mol, &params), &params, &cfg).energy_kcal;
+
+    let mut buf = Vec::new();
+    polaroct::molecule::io::xyzrq::write(&mol, &mut buf).unwrap();
+    let back = polaroct::molecule::io::xyzrq::read("io", buf.as_slice()).unwrap();
+    let e1 = run_serial(&GbSystem::prepare(&back, &params), &params, &cfg).energy_kcal;
+    // xyzrq stores 6 decimals; energies agree to ~1e-4 relative.
+    assert!(((e0 - e1) / e0).abs() < 1e-4, "{e0} vs {e1}");
+}
+
+#[test]
+fn preprocessing_is_reusable_across_epsilon() {
+    // §IV.C step 1: "Once the octrees have been built, we can approximate
+    // for any ε without reconstructing them."
+    let (_, sys) = small_system(300, 9);
+    let cfg = DriverConfig::default();
+    let naive = run_naive(&sys, &ApproxParams::default(), &cfg);
+    for eps in [0.1, 0.5, 0.9] {
+        let params = ApproxParams::default().with_eps(0.9, eps);
+        let r = run_serial(&sys, &params, &cfg);
+        let err = ((r.energy_kcal - naive.energy_kcal) / naive.energy_kcal).abs();
+        assert!(err < 0.01, "eps={eps}: err {err}");
+    }
+}
