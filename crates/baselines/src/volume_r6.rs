@@ -190,16 +190,25 @@ mod tests {
 
     #[test]
     fn agrees_roughly_with_burial_ordering() {
-        let mol = synth::protein("p", 250, 3);
+        // Median (not mean) per quartile: a few deeply buried atoms have
+        // near-singular 1/R³ and their huge radii would dominate a mean,
+        // turning the comparison into a coin flip. 1000 atoms so the
+        // globule actually has a buried core (a 250-atom coil need not).
+        let mol = synth::protein("p", 1000, 3);
         let (r, _) = born_radii_volume_r6(&mol);
         let c = mol.centroid();
         let mut pairs: Vec<(f64, f64)> =
             mol.positions.iter().map(|p| p.dist(c)).zip(r.iter().copied()).collect();
         pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
         let q = pairs.len() / 4;
-        let inner: f64 = pairs[..q].iter().map(|x| x.1).sum::<f64>() / q as f64;
-        let outer: f64 = pairs[pairs.len() - q..].iter().map(|x| x.1).sum::<f64>() / q as f64;
-        assert!(inner > outer);
+        let median = |xs: &[(f64, f64)]| {
+            let mut v: Vec<f64> = xs.iter().map(|x| x.1).collect();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let inner = median(&pairs[..q]);
+        let outer = median(&pairs[pairs.len() - q..]);
+        assert!(inner > outer, "buried median {inner} !> exposed median {outer}");
     }
 
     #[test]

@@ -19,7 +19,9 @@ fn bench_scalars(c: &mut Criterion) {
 
     let es: Vec<f64> = (1..1000).map(|i| -(i as f64) * 0.03).collect();
     let mut g = c.benchmark_group("exp");
-    g.bench_function("std", |b| b.iter(|| es.iter().map(|&x| black_box(x).exp()).sum::<f64>()));
+    g.bench_function("std", |b| {
+        b.iter(|| es.iter().map(|&x| black_box(x).exp()).sum::<f64>())
+    });
     g.bench_function("fast", |b| {
         b.iter(|| es.iter().map(|&x| exp_fast(black_box(x))).sum::<f64>())
     });
@@ -27,7 +29,11 @@ fn bench_scalars(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("invcbrt");
     g.bench_function("std_powf", |b| {
-        b.iter(|| xs.iter().map(|&x| black_box(x).powf(-1.0 / 3.0)).sum::<f64>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&x| black_box(x).powf(-1.0 / 3.0))
+                .sum::<f64>()
+        })
     });
     g.bench_function("fast", |b| {
         b.iter(|| xs.iter().map(|&x| invcbrt_fast(black_box(x))).sum::<f64>())
@@ -38,8 +44,9 @@ fn bench_scalars(c: &mut Criterion) {
 fn bench_gb_kernel(c: &mut Criterion) {
     use polaroct_core::gb::inv_f_gb;
     use polaroct_geom::fastmath::MathMode;
-    let pairs: Vec<(f64, f64, f64)> =
-        (0..1000).map(|i| (1.0 + i as f64 * 0.1, 1.5, 2.0)).collect();
+    let pairs: Vec<(f64, f64, f64)> = (0..1000)
+        .map(|i| (1.0 + i as f64 * 0.1, 1.5, 2.0))
+        .collect();
     let mut g = c.benchmark_group("inv_f_gb");
     g.bench_function("exact", |b| {
         b.iter(|| {

@@ -18,11 +18,15 @@ fn bench_born(c: &mut Criterion) {
     let sys = prepared(2_000);
     let mut g = c.benchmark_group("born_radii");
     g.sample_size(10);
-    g.bench_function("naive_exact", |b| b.iter(|| born_radii_naive(&sys, MathMode::Exact)));
+    g.bench_function("naive_exact", |b| {
+        b.iter(|| born_radii_naive(&sys, MathMode::Exact))
+    });
     for &eps in &[0.1f64, 0.5, 0.9] {
-        g.bench_with_input(BenchmarkId::new("octree", format!("eps{eps}")), &eps, |b, &eps| {
-            b.iter(|| born_radii_octree(&sys, eps, MathMode::Exact))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("octree", format!("eps{eps}")),
+            &eps,
+            |b, &eps| b.iter(|| born_radii_octree(&sys, eps, MathMode::Exact)),
+        );
     }
     g.finish();
 }
@@ -32,12 +36,16 @@ fn bench_epol(c: &mut Criterion) {
     let (born, _) = born_radii_naive(&sys, MathMode::Exact);
     let mut g = c.benchmark_group("epol");
     g.sample_size(10);
-    g.bench_function("naive_exact", |b| b.iter(|| epol_naive_raw(&sys, &born, MathMode::Exact)));
+    g.bench_function("naive_exact", |b| {
+        b.iter(|| epol_naive_raw(&sys, &born, MathMode::Exact))
+    });
     for &eps in &[0.1f64, 0.5, 0.9] {
         let bins = ChargeBins::build(&sys, &born, eps);
-        g.bench_with_input(BenchmarkId::new("octree", format!("eps{eps}")), &eps, |b, &eps| {
-            b.iter(|| epol_octree_raw(&sys, &bins, &born, eps, MathMode::Exact))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("octree", format!("eps{eps}")),
+            &eps,
+            |b, &eps| b.iter(|| epol_octree_raw(&sys, &bins, &born, eps, MathMode::Exact)),
+        );
     }
     g.finish();
 }

@@ -12,9 +12,11 @@ fn bench_construction(c: &mut Criterion) {
     let mut g = c.benchmark_group("nblist_vs_octree_build");
     g.sample_size(10);
     for &cutoff in &[6.0f64, 12.0, 18.0] {
-        g.bench_with_input(BenchmarkId::new("nblist", format!("{cutoff}A")), &cutoff, |b, &cut| {
-            b.iter(|| NbList::build(&mol, cut))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("nblist", format!("{cutoff}A")),
+            &cutoff,
+            |b, &cut| b.iter(|| NbList::build(&mol, cut)),
+        );
     }
     // One octree bar for comparison: independent of any cutoff.
     g.bench_function("octree_any_cutoff", |b| {

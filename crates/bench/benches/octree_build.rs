@@ -20,7 +20,15 @@ fn bench_build(c: &mut Criterion) {
     let mol = synth::protein("b", 8_000, 9);
     for &cap in &[8usize, 32, 128] {
         g.bench_with_input(BenchmarkId::new("cap", cap), &cap, |b, &cap| {
-            b.iter(|| build(&mol.positions, BuildParams { leaf_capacity: cap, ..Default::default() }))
+            b.iter(|| {
+                build(
+                    &mol.positions,
+                    BuildParams {
+                        leaf_capacity: cap,
+                        ..Default::default()
+                    },
+                )
+            })
         });
     }
     g.finish();

@@ -26,7 +26,10 @@ fn bench_steal_sim(c: &mut Criterion) {
     for &tasks in &[1_000usize, 10_000, 100_000] {
         let costs: Vec<f64> = (0..tasks).map(|i| 1e-6 * ((i % 17) + 1) as f64).collect();
         g.bench_with_input(BenchmarkId::new("tasks", tasks), &costs, |b, costs| {
-            let sim = StealSimulator::new(StealSimParams { workers: 12, ..Default::default() });
+            let sim = StealSimulator::new(StealSimParams {
+                workers: 12,
+                ..Default::default()
+            });
             b.iter(|| sim.simulate(costs))
         });
     }

@@ -42,8 +42,14 @@ fn main() {
         t.push(vec![
             entry.name.clone(),
             entry.n_atoms.to_string(),
-            format!("{:+.4}", energy_error_pct(exact.energy_kcal, naive.energy_kcal)),
-            format!("{:+.4}", energy_error_pct(approx.energy_kcal, naive.energy_kcal)),
+            format!(
+                "{:+.4}",
+                energy_error_pct(exact.energy_kcal, naive.energy_kcal)
+            ),
+            format!(
+                "{:+.4}",
+                energy_error_pct(approx.energy_kcal, naive.energy_kcal)
+            ),
             format!("{:.5}", exact.time),
             format!("{:.5}", approx.time),
             format!("{speedup:.3}"),

@@ -57,8 +57,7 @@ fn main() {
                 .fold(0.0f64, f64::max)
         };
         let (prac, prac_near, _) = born_with_mac(&sys, params.born_mac_multiplier());
-        let (cons, cons_near, _) =
-            born_with_mac(&sys, params.born_mac_multiplier_conservative());
+        let (cons, cons_near, _) = born_with_mac(&sys, params.born_mac_multiplier_conservative());
         eprintln!(
             "[mac] {} ({}): practical err {:.4}% ({} near) vs conservative {:.4}% ({} near; naive {})",
             entry.name,

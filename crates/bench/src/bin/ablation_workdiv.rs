@@ -33,7 +33,13 @@ fn main() {
     let mut atom_errs = Vec::new();
     for p in [1usize, 2, 4, 8, 16, 32] {
         let node = run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(p), WorkDivision::NodeNode);
-        let atom = run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(p), WorkDivision::AtomBased);
+        let atom = run_oct_mpi(
+            &sys,
+            &params,
+            &cfg,
+            &mpi_cluster(p),
+            WorkDivision::AtomBased,
+        );
         let ne = energy_error_pct(node.energy_kcal, naive.energy_kcal);
         let ae = energy_error_pct(atom.energy_kcal, naive.energy_kcal);
         node_errs.push(ne);

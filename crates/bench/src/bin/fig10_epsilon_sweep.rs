@@ -15,7 +15,10 @@ fn main() {
     let suite = suite();
 
     // Naive references once per molecule (ε-independent).
-    eprintln!("[fig10] computing naive references for {} molecules...", suite.len());
+    eprintln!(
+        "[fig10] computing naive references for {} molecules...",
+        suite.len()
+    );
     let mut prepared = Vec::new();
     for entry in &suite {
         let mol = entry.build();

@@ -14,8 +14,8 @@
 use polaroct_baselines::{GbPackage, PackageContext, PackageOutcome};
 use polaroct_bench::{cmv_atoms, fmt_time, hybrid_cluster, mpi_cluster, std_config, Table};
 use polaroct_core::{
-    energy_error_pct, run_naive, run_oct_cilk, run_oct_hybrid, run_oct_mpi, ApproxParams,
-    GbSystem, WorkDivision,
+    energy_error_pct, run_naive, run_oct_cilk, run_oct_hybrid, run_oct_mpi, ApproxParams, GbSystem,
+    WorkDivision,
 };
 use polaroct_geom::fastmath::MathMode;
 use polaroct_molecule::synth;
@@ -28,12 +28,28 @@ fn main() {
     eprintln!("[fig11] generating CMV-scale capsid ({n} atoms)...");
     let mol = synth::capsid("CMV-shell", n, 0xC3F);
     let sys = GbSystem::prepare(&mol, &params);
-    eprintln!("[fig11] {} atoms, {} q-points", sys.n_atoms(), sys.n_qpoints());
+    eprintln!(
+        "[fig11] {} atoms, {} q-points",
+        sys.n_atoms(),
+        sys.n_qpoints()
+    );
 
     // Full-size runs.
     let cilk12 = run_oct_cilk(&sys, &params, &cfg, 12);
-    let mpi12 = run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(12), WorkDivision::NodeNode);
-    let mpi144 = run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(144), WorkDivision::NodeNode);
+    let mpi12 = run_oct_mpi(
+        &sys,
+        &params,
+        &cfg,
+        &mpi_cluster(12),
+        WorkDivision::NodeNode,
+    );
+    let mpi144 = run_oct_mpi(
+        &sys,
+        &params,
+        &cfg,
+        &mpi_cluster(144),
+        WorkDivision::NodeNode,
+    );
     let hyb12 = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12));
     let hyb144 = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(144));
 
@@ -60,12 +76,21 @@ fn main() {
 
     // Error vs naive at a tractable scale.
     eprintln!("[fig11] scaled naive reference for % difference...");
-    let n_small = if polaroct_bench::quick_mode() { 5_000 } else { 60_000 };
+    let n_small = if polaroct_bench::quick_mode() {
+        5_000
+    } else {
+        60_000
+    };
     let small = synth::capsid("CMV-scaled", n_small, 0xC3F);
     let sys_small = GbSystem::prepare(&small, &params);
     let naive_small = run_naive(&sys_small, &params, &cfg);
-    let oct_small =
-        run_oct_mpi(&sys_small, &params, &cfg, &mpi_cluster(12), WorkDivision::NodeNode);
+    let oct_small = run_oct_mpi(
+        &sys_small,
+        &params,
+        &cfg,
+        &mpi_cluster(12),
+        WorkDivision::NodeNode,
+    );
     let cilk_small = run_oct_cilk(&sys_small, &params, &cfg, 12);
     let amber_small = match amber.run(&small, &PackageContext::new(mpi_cluster(12))) {
         PackageOutcome::Ok(r) => r,
@@ -87,23 +112,25 @@ fn main() {
             "pct_diff_naive_scaled",
         ],
     );
-    let row = |name: &str,
-               t12: f64,
-               t144: Option<f64>,
-               e: f64,
-               err: Option<f64>|
-     -> Vec<String> {
+    let row = |name: &str, t12: f64, t144: Option<f64>, e: f64, err: Option<f64>| -> Vec<String> {
         vec![
             name.into(),
             fmt_time(t12),
             t144.map(fmt_time).unwrap_or("X".into()),
             format!("{:.0}", amber12.time / t12),
-            t144.map(|t| format!("{:.0}", amber144.time / t)).unwrap_or("X".into()),
+            t144.map(|t| format!("{:.0}", amber144.time / t))
+                .unwrap_or("X".into()),
             format!("{e:.3e}"),
             err.map(|e| format!("{e:+.2}%")).unwrap_or("-".into()),
         ]
     };
-    t.push(row("OCT_CILK", cilk12.time, None, cilk12.energy_kcal, Some(err_cilk)));
+    t.push(row(
+        "OCT_CILK",
+        cilk12.time,
+        None,
+        cilk12.energy_kcal,
+        Some(err_cilk),
+    ));
     t.push(row(
         "Amber",
         amber12.time,
@@ -118,7 +145,13 @@ fn main() {
         hyb12.energy_kcal,
         Some(err_oct),
     ));
-    t.push(row("OCT_MPI", mpi12.time, Some(mpi144.time), mpi12.energy_kcal, Some(err_oct)));
+    t.push(row(
+        "OCT_MPI",
+        mpi12.time,
+        Some(mpi144.time),
+        mpi12.energy_kcal,
+        Some(err_oct),
+    ));
     t.emit();
     println!("# Tinker OOM at CMV: {tinker_oom} (paper: yes); GBr6 OOM: {gbr6_oom} (paper: yes)");
     println!(

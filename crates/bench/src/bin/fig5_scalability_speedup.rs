@@ -37,7 +37,13 @@ fn main() {
     let mut base_mpi = 0.0;
     let mut base_hyb = 0.0;
     for &cores in &core_counts {
-        let mpi = run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(cores), WorkDivision::NodeNode);
+        let mpi = run_oct_mpi(
+            &sys,
+            &params,
+            &cfg,
+            &mpi_cluster(cores),
+            WorkDivision::NodeNode,
+        );
         let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(cores));
         if cores == 12 {
             base_mpi = mpi.time;

@@ -26,13 +26,23 @@ fn main() {
     let mut t = Table::new(
         "fig6_scalability_minmax",
         &[
-            "cores", "mpi_min_s", "mpi_max_s", "hybrid_min_s", "hybrid_max_s",
+            "cores",
+            "mpi_min_s",
+            "mpi_max_s",
+            "hybrid_min_s",
+            "hybrid_max_s",
             "hybrid_min_wins",
         ],
     );
 
     for cores in (12..=288).step_by(24) {
-        let mpi = run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(cores), WorkDivision::NodeNode);
+        let mpi = run_oct_mpi(
+            &sys,
+            &params,
+            &cfg,
+            &mpi_cluster(cores),
+            WorkDivision::NodeNode,
+        );
         let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(cores));
         let (mpi_min, mpi_max) = noise.min_max(
             mpi.compute,

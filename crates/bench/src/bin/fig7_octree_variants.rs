@@ -29,7 +29,13 @@ fn main() {
         let mol = entry.build();
         let sys = GbSystem::prepare(&mol, &params);
         let cilk = run_oct_cilk(&sys, &params, &cfg, 12);
-        let mpi = run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(12), WorkDivision::NodeNode);
+        let mpi = run_oct_mpi(
+            &sys,
+            &params,
+            &cfg,
+            &mpi_cluster(12),
+            WorkDivision::NodeNode,
+        );
         let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12));
         eprintln!(
             "[fig7] {} ({} atoms): CILK {} | MPI {} | MPI+CILK {}",
@@ -52,7 +58,13 @@ fn main() {
     rows.sort_by(|a, b| a.cilk.total_cmp(&b.cilk));
     let mut t = Table::new(
         "fig7_octree_variants",
-        &["molecule", "atoms", "t_oct_cilk_s", "t_oct_mpi_s", "t_oct_hybrid_s"],
+        &[
+            "molecule",
+            "atoms",
+            "t_oct_cilk_s",
+            "t_oct_mpi_s",
+            "t_oct_hybrid_s",
+        ],
     );
     for r in &rows {
         t.push(vec![
@@ -66,9 +78,18 @@ fn main() {
     t.emit();
 
     // Observed crossovers for EXPERIMENTS.md.
-    let cilk_wins = rows.iter().filter(|r| r.cilk < r.mpi).map(|r| r.atoms).max().unwrap_or(0);
-    let mpi_wins =
-        rows.iter().filter(|r| r.mpi < r.hybrid).map(|r| r.atoms).max().unwrap_or(0);
+    let cilk_wins = rows
+        .iter()
+        .filter(|r| r.cilk < r.mpi)
+        .map(|r| r.atoms)
+        .max()
+        .unwrap_or(0);
+    let mpi_wins = rows
+        .iter()
+        .filter(|r| r.mpi < r.hybrid)
+        .map(|r| r.atoms)
+        .max()
+        .unwrap_or(0);
     println!("# crossover: largest molecule where OCT_CILK beats OCT_MPI = {cilk_wins} atoms (paper: ~2500)");
     println!("# crossover: largest molecule where OCT_MPI beats hybrid = {mpi_wins} atoms (paper: ~7500)");
 }

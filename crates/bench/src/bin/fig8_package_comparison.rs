@@ -52,8 +52,14 @@ fn main() {
     for entry in suite() {
         let mol = entry.build();
         let sys = GbSystem::prepare(&mol, &params);
-        let oct_mpi =
-            run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(12), WorkDivision::NodeNode).time;
+        let oct_mpi = run_oct_mpi(
+            &sys,
+            &params,
+            &cfg,
+            &mpi_cluster(12),
+            WorkDivision::NodeNode,
+        )
+        .time;
         let oct_hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12)).time;
         let oct_cilk = run_oct_cilk(&sys, &params, &cfg, 12).time;
 

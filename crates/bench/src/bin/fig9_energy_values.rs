@@ -34,8 +34,13 @@ fn main() {
         let mol = entry.build();
         let sys = GbSystem::prepare(&mol, &params);
         let naive = run_naive(&sys, &params, &cfg);
-        let oct =
-            run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(12), WorkDivision::NodeNode);
+        let oct = run_oct_mpi(
+            &sys,
+            &params,
+            &cfg,
+            &mpi_cluster(12),
+            WorkDivision::NodeNode,
+        );
         let energies: Vec<Option<f64>> = pkgs
             .iter()
             .map(|p| match p.run(&mol, &ctx12) {

@@ -19,7 +19,13 @@ fn main() {
 
     let mut t = Table::new(
         "mem_replication",
-        &["nodes", "cores", "mpi_gb_per_node", "hybrid_gb_per_node", "ratio"],
+        &[
+            "nodes",
+            "cores",
+            "mpi_gb_per_node",
+            "hybrid_gb_per_node",
+            "ratio",
+        ],
     );
     let gb = |b: usize| b as f64 / (1u64 << 30) as f64;
     for nodes in [1usize, 2, 4, 8, 12] {

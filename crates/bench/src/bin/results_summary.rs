@@ -61,21 +61,13 @@ fn claims() -> Vec<(&'static str, &'static str, Check)> {
             "~520x",
             check_fig11,
         ),
-        (
-            "mem: 12x1 vs 2x6 per-node memory ratio",
-            "5.86x",
-            check_mem,
-        ),
+        ("mem: 12x1 vs 2x6 per-node memory ratio", "5.86x", check_mem),
         (
             "workdiv: node-node error constant in P, atom-based varies",
             "constant vs varying",
             check_workdiv,
         ),
-        (
-            "approx-math: mean speedup",
-            "1.42x",
-            check_approx_math,
-        ),
+        ("approx-math: mean speedup", "1.42x", check_approx_math),
     ]
 }
 
@@ -157,7 +149,10 @@ fn check_fig8(dir: &Path) -> Option<(String, bool)> {
     let sp_i = col(&h, "oct_mpi")?;
     let last = rows.last()?;
     let sp: f64 = f(last, sp_i)?;
-    Some((format!("{sp:.1}x at {} atoms", last[1]), (3.0..60.0).contains(&sp)))
+    Some((
+        format!("{sp:.1}x at {} atoms", last[1]),
+        (3.0..60.0).contains(&sp),
+    ))
 }
 
 fn check_fig9(dir: &Path) -> Option<(String, bool)> {
@@ -187,9 +182,7 @@ fn check_fig10(dir: &Path) -> Option<(String, bool)> {
     let first_t = f(rows.first()?, t_i)?;
     let last_t = f(rows.last()?, t_i)?;
     Some((
-        format!(
-            "err spread {first_std:.4}%→{last_std:.4}%, time {first_t:.3}s→{last_t:.3}s"
-        ),
+        format!("err spread {first_std:.4}%→{last_std:.4}%, time {first_t:.3}s→{last_t:.3}s"),
         last_std > first_std && last_t < first_t,
     ))
 }

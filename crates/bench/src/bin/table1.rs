@@ -9,9 +9,15 @@ use polaroct_cluster::machine::MachineSpec;
 fn main() {
     let m = MachineSpec::lonestar4();
     let mut t = Table::new("table1_environment", &["attribute", "simulated_value"]);
-    t.push(vec!["Processors".into(), "3.33 GHz hexa-core Intel Westmere (simulated)".into()]);
+    t.push(vec![
+        "Processors".into(),
+        "3.33 GHz hexa-core Intel Westmere (simulated)".into(),
+    ]);
     t.push(vec!["Cores/node".into(), m.cores_per_node().to_string()]);
-    t.push(vec!["RAM size".into(), format!("{} GB", m.dram_per_node >> 30)]);
+    t.push(vec![
+        "RAM size".into(),
+        format!("{} GB", m.dram_per_node >> 30),
+    ]);
     t.push(vec![
         "Cluster interconnect".into(),
         format!(
@@ -22,7 +28,11 @@ fn main() {
     ]);
     t.push(vec![
         "Cache".into(),
-        format!("{} MB L3 per socket, {} sockets", m.l3_per_socket >> 20, m.sockets),
+        format!(
+            "{} MB L3 per socket, {} sockets",
+            m.l3_per_socket >> 20,
+            m.sockets
+        ),
     ]);
     t.push(vec![
         "Parallelism platform".into(),
@@ -32,7 +42,9 @@ fn main() {
         "Build host".into(),
         format!(
             "{} logical cores, {}",
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
             std::env::consts::ARCH
         ),
     ]);

@@ -6,11 +6,23 @@ use polaroct_bench::Table;
 fn main() {
     let mut t = Table::new("table2_packages", &["package", "gb_model", "parallelism"]);
     for p in all_packages() {
-        t.push(vec![p.name().into(), p.gb_model().into(), p.parallelism().into()]);
+        t.push(vec![
+            p.name().into(),
+            p.gb_model().into(),
+            p.parallelism().into(),
+        ]);
     }
     // Our implementations (Table II lower half).
-    t.push(vec!["OCT_CILK".into(), "STILL".into(), "Shared (work stealing)".into()]);
-    t.push(vec!["OCT_MPI".into(), "STILL".into(), "Distributed (simulated MPI)".into()]);
+    t.push(vec![
+        "OCT_CILK".into(),
+        "STILL".into(),
+        "Shared (work stealing)".into(),
+    ]);
+    t.push(vec![
+        "OCT_MPI".into(),
+        "STILL".into(),
+        "Distributed (simulated MPI)".into(),
+    ]);
     t.push(vec![
         "OCT_MPI+CILK".into(),
         "STILL".into(),

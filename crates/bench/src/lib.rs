@@ -18,7 +18,9 @@ use std::io::Write;
 
 /// True when `POLAROCT_QUICK` is set to a non-empty, non-"0" value.
 pub fn quick_mode() -> bool {
-    std::env::var("POLAROCT_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    std::env::var("POLAROCT_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
 }
 
 /// The evaluation suite, honoring quick mode.
@@ -52,7 +54,10 @@ pub fn btv_atoms() -> usize {
     }
     if quick_mode() {
         50_000
-    } else if std::env::var("POLAROCT_FULL").map(|v| v == "1").unwrap_or(false) {
+    } else if std::env::var("POLAROCT_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         6_000_000
     } else {
         1_000_000

@@ -22,6 +22,7 @@
 //! pseudo-particle aggregates — §IV.A's observation).
 
 use crate::naive::born_radius_from_integral;
+use crate::soa::QLeafSoa;
 use crate::system::GbSystem;
 use polaroct_cluster::simtime::OpCounts;
 use polaroct_geom::fastmath::MathMode;
@@ -108,7 +109,12 @@ impl QLeafView {
         for i in lo..hi {
             r2 = r2.max(c.dist2(sys.qtree.points[i]));
         }
-        Some(QLeafView { center: c, radius: r2.sqrt(), normal_sum: ns, range: lo..hi })
+        Some(QLeafView {
+            center: c,
+            radius: r2.sqrt(),
+            normal_sum: ns,
+            range: lo..hi,
+        })
     }
 }
 
@@ -121,10 +127,25 @@ pub fn approx_integrals(
     eps_born: f64,
     acc: &mut BornAccumulators,
 ) -> OpCounts {
+    let mut scratch = QLeafSoa::default();
+    approx_integrals_scratch(sys, q_leaf, eps_born, acc, &mut scratch)
+}
+
+/// [`approx_integrals`] with a caller-owned SoA scratch buffer, so a sweep
+/// over many leaves (serial driver, or one worker's block in the threaded
+/// driver) reuses the gather allocations.
+pub fn approx_integrals_scratch(
+    sys: &GbSystem,
+    q_leaf: NodeId,
+    eps_born: f64,
+    acc: &mut BornAccumulators,
+    scratch: &mut QLeafSoa,
+) -> OpCounts {
     let view = QLeafView::whole(sys, q_leaf);
+    scratch.gather(sys, view.range.clone());
     let mut ops = OpCounts::default();
     let mac = mac_multiplier(eps_born);
-    recurse(sys, 0, &view, mac, acc, &mut ops);
+    recurse(sys, 0, &view, scratch, mac, acc, &mut ops);
     ops
 }
 
@@ -137,8 +158,10 @@ pub fn approx_integrals_custom_mac(
     acc: &mut BornAccumulators,
 ) -> OpCounts {
     let view = QLeafView::whole(sys, q_leaf);
+    let mut soa = QLeafSoa::default();
+    soa.gather(sys, view.range.clone());
     let mut ops = OpCounts::default();
-    recurse(sys, 0, &view, mac, acc, &mut ops);
+    recurse(sys, 0, &view, &soa, mac, acc, &mut ops);
     ops
 }
 
@@ -153,8 +176,10 @@ pub fn approx_integrals_clipped(
 ) -> OpCounts {
     let mut ops = OpCounts::default();
     if let Some(view) = QLeafView::clipped(sys, q_leaf, clip) {
+        let mut soa = QLeafSoa::default();
+        soa.gather(sys, view.range.clone());
         let mac = mac_multiplier(eps_born);
-        recurse(sys, 0, &view, mac, acc, &mut ops);
+        recurse(sys, 0, &view, &soa, mac, acc, &mut ops);
     }
     ops
 }
@@ -171,6 +196,7 @@ fn recurse(
     sys: &GbSystem,
     a_id: NodeId,
     q: &QLeafView,
+    q_soa: &QLeafSoa,
     mac: f64,
     acc: &mut BornAccumulators,
     ops: &mut OpCounts,
@@ -188,23 +214,15 @@ fn recurse(
         return;
     }
     if a.is_leaf() {
-        // Exact leaf-leaf block.
+        // Exact leaf-leaf block over the gathered SoA image of `q`.
         for ai in a.range() {
-            let xa = sys.atoms.points[ai];
-            let mut s = 0.0;
-            for qi in q.range.clone() {
-                let dv = sys.qtree.points[qi] - xa;
-                let d2 = dv.norm2();
-                let inv2 = 1.0 / d2;
-                s += sys.q_weight[qi] * sys.q_normal[qi].dot(dv) * inv2 * inv2 * inv2;
-            }
-            acc.atom[ai] += s;
+            acc.atom[ai] += q_soa.born_term(sys.atoms.points[ai]);
         }
         ops.born_near += (a.len() * q.range.len()) as u64;
         return;
     }
     for c in a.children() {
-        recurse(sys, c, q, mac, acc, ops);
+        recurse(sys, c, q, q_soa, mac, acc, ops);
     }
 }
 
@@ -259,18 +277,20 @@ fn push_recurse(
 /// Full-tree Born radii via the octree approximation (single process):
 /// `APPROX-INTEGRALS` over every quadrature leaf + one full push. The
 /// building block for the serial and shared-memory drivers.
-pub fn born_radii_octree(
-    sys: &GbSystem,
-    eps_born: f64,
-    math: MathMode,
-) -> (Vec<f64>, OpCounts) {
+pub fn born_radii_octree(sys: &GbSystem, eps_born: f64, math: MathMode) -> (Vec<f64>, OpCounts) {
     let mut acc = BornAccumulators::zeros(sys);
     let mut ops = OpCounts::default();
     for &q_leaf in &sys.qtree.leaf_ids {
         ops.add(&approx_integrals(sys, q_leaf, eps_born, &mut acc));
     }
     let mut out = vec![0.0; sys.n_atoms()];
-    ops.add(&push_integrals_to_atoms(sys, &acc, 0..sys.n_atoms(), math, &mut out));
+    ops.add(&push_integrals_to_atoms(
+        sys,
+        &acc,
+        0..sys.n_atoms(),
+        math,
+        &mut out,
+    ));
     (out, ops)
 }
 
@@ -329,7 +349,10 @@ mod tests {
             tight.born_near + tight.born_far >= loose.born_near + loose.born_far,
             "tight ε should do at least as much work"
         );
-        assert!(tight.born_near > loose.born_near, "tight ε does more exact work");
+        assert!(
+            tight.born_near > loose.born_near,
+            "tight ε does more exact work"
+        );
     }
 
     #[test]
@@ -400,7 +423,10 @@ mod tests {
         // MAC disabled (ε→0 forces exact) results must match naive.
         let mol = synth::protein("p", 120, 13);
         let params = ApproxParams {
-            surface: SurfaceParams { icosphere_level: 1, ..Default::default() },
+            surface: SurfaceParams {
+                icosphere_level: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let sys = GbSystem::prepare(&mol, &params);
@@ -409,8 +435,20 @@ mod tests {
         let mut acc = BornAccumulators::zeros(&sys);
         let mut ops = OpCounts::default();
         for &q in &sys.qtree.leaf_ids {
-            ops.add(&approx_integrals_clipped(&sys, q, &(0..mid), 1e-7, &mut acc));
-            ops.add(&approx_integrals_clipped(&sys, q, &(mid..nq), 1e-7, &mut acc));
+            ops.add(&approx_integrals_clipped(
+                &sys,
+                q,
+                &(0..mid),
+                1e-7,
+                &mut acc,
+            ));
+            ops.add(&approx_integrals_clipped(
+                &sys,
+                q,
+                &(mid..nq),
+                1e-7,
+                &mut acc,
+            ));
         }
         let mut out = vec![0.0; sys.n_atoms()];
         push_integrals_to_atoms(&sys, &acc, 0..sys.n_atoms(), MathMode::Exact, &mut out);

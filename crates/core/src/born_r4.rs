@@ -60,8 +60,7 @@ fn recurse(
     let sep = (a.radius + q.radius) * mac;
     if r2 > sep * sep && r2 > 0.0 {
         let inv2 = 1.0 / r2;
-        acc.node[a_id as usize] +=
-            sys.q_node_normal[q_leaf as usize].dot(d) * inv2 * inv2;
+        acc.node[a_id as usize] += sys.q_node_normal[q_leaf as usize].dot(d) * inv2 * inv2;
         ops.born_far += 1;
         return;
     }
@@ -121,10 +120,18 @@ mod tests {
     fn isolated_atom_recovers_radius() {
         let mol = Molecule::from_atoms(
             "one",
-            [Atom { pos: Vec3::ZERO, radius: 1.7, charge: 0.0, element: Element::C }],
+            [Atom {
+                pos: Vec3::ZERO,
+                radius: 1.7,
+                charge: 0.0,
+                element: Element::C,
+            }],
         );
         let params = ApproxParams {
-            surface: SurfaceParams { icosphere_level: 2, ..Default::default() },
+            surface: SurfaceParams {
+                icosphere_level: 2,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let sys = GbSystem::prepare(&mol, &params);
@@ -165,7 +172,10 @@ mod tests {
         }
         assert!(diffs > 0, "r4 and r6 should differ somewhere");
         let mean_ratio = sum_ratio / r6.len() as f64;
-        assert!((0.5..2.0).contains(&mean_ratio), "mean r4/r6 ratio {mean_ratio}");
+        assert!(
+            (0.5..2.0).contains(&mean_ratio),
+            "mean r4/r6 ratio {mean_ratio}"
+        );
     }
 
     #[test]

@@ -40,8 +40,7 @@ pub struct DataDistPlan {
 impl DataDistPlan {
     /// Memory saving factor vs full replication.
     pub fn memory_saving(&self) -> f64 {
-        self.replicated_bytes as f64
-            / (self.owned_bytes_per_rank + self.halo_bytes_per_rank) as f64
+        self.replicated_bytes as f64 / (self.owned_bytes_per_rank + self.halo_bytes_per_rank) as f64
     }
 }
 
@@ -155,6 +154,10 @@ mod tests {
         let sys = GbSystem::prepare(&mol, &params);
         let plan = plan_data_distribution(&sys, &params, &cluster(8));
         assert!(plan.exchange_time > 0.0);
-        assert!(plan.exchange_time < 10.0, "exchange {}s", plan.exchange_time);
+        assert!(
+            plan.exchange_time < 10.0,
+            "exchange {}s",
+            plan.exchange_time
+        );
     }
 }

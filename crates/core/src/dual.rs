@@ -54,8 +54,7 @@ fn born_recurse(
     let sep = (a.radius + q.radius) * mac;
     if r2 > sep * sep && r2 > 0.0 {
         let inv2 = 1.0 / r2;
-        acc.node[a_id as usize] +=
-            sys.q_node_normal[q_id as usize].dot(d) * inv2 * inv2 * inv2;
+        acc.node[a_id as usize] += sys.q_node_normal[q_id as usize].dot(d) * inv2 * inv2 * inv2;
         ops.born_far += 1;
         return;
     }
@@ -134,7 +133,11 @@ fn epol_recurse(
 
     let r2 = u.center.dist2(v.center);
     let sep = (u.radius + v.radius) * mac;
-    if r2 > sep * sep {
+    // `sep > 0` excludes pairs of point-like (single-atom) nodes: those
+    // would otherwise count as "far" for every ε, and the binned kernel's
+    // resolution is capped (see `ChargeBins::build`) — evaluating the one
+    // exact pair is just as cheap and keeps tiny-ε traversals exact.
+    if sep > 0.0 && r2 > sep * sep {
         // Far: bin × bin (both sides may be internal nodes).
         let qu = bins.of(u_id);
         let qv = bins.of(v_id);
@@ -292,6 +295,9 @@ mod tests {
         let (dual, _) = epol_dual_raw(&sys, &bins, &born, 0.9, MathMode::Exact);
         // Both are ε-approximations of the same sum: within 2ε of each
         // other trivially, but in practice within ~1%.
-        assert!(((single - dual) / single).abs() < 0.02, "{single} vs {dual}");
+        assert!(
+            ((single - dual) / single).abs() < 0.02,
+            "{single} vs {dual}"
+        );
     }
 }

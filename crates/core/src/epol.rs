@@ -17,7 +17,7 @@
 //! All functions return the **raw** ordered-pair sum; drivers convert via
 //! [`crate::gb::epol_from_raw_sum`].
 
-use crate::gb::inv_f_gb;
+use crate::soa::AtomSoa;
 use crate::system::GbSystem;
 use polaroct_cluster::simtime::OpCounts;
 use polaroct_geom::fastmath::MathMode;
@@ -50,6 +50,7 @@ impl ChargeBins {
         let r_max = born.iter().cloned().fold(0.0f64, f64::max);
         assert!(r_min > 0.0, "non-positive Born radius");
         let log1e = (1.0 + eps_epol).ln();
+        let inv_log1e = 1.0 / log1e;
         // Cap the bin count: for pathologically small ε the MAC
         // (1 + 2/ε) already forces exact evaluation everywhere, so the
         // (never-consulted) bin table must not be allowed to explode.
@@ -57,10 +58,9 @@ impl ChargeBins {
         let m_eps = if r_max <= r_min {
             1
         } else {
-            (((r_max / r_min).ln() / log1e).floor() as usize + 1).min(MAX_BINS)
+            (((r_max / r_min).ln() * inv_log1e).floor() as usize + 1).min(MAX_BINS)
         };
 
-        let inv_log1e = 1.0 / log1e;
         let atom_bin: Vec<u16> = born
             .iter()
             .map(|&r| {
@@ -78,11 +78,23 @@ impl ChargeBins {
             }
         }
 
-        let rr_table: Vec<f64> = (0..(2 * m_eps).max(1))
-            .map(|s| r_min * r_min * (1.0 + eps_epol).powi(s as i32))
-            .collect();
+        // `R_min²(1+ε)^s` by running product — one multiply per entry
+        // instead of an O(log s) `powi` each.
+        let mut rr_table = Vec::with_capacity((2 * m_eps).max(1));
+        let mut rr = r_min * r_min;
+        for _ in 0..(2 * m_eps).max(1) {
+            rr_table.push(rr);
+            rr *= 1.0 + eps_epol;
+        }
 
-        ChargeBins { m_eps, r_min, inv_log1e, per_node, rr_table, atom_bin }
+        ChargeBins {
+            m_eps,
+            r_min,
+            inv_log1e,
+            per_node,
+            rr_table,
+            atom_bin,
+        }
     }
 
     /// Bin index a Born radius falls into.
@@ -116,9 +128,25 @@ pub fn approx_epol_leaf(
     eps_epol: f64,
     math: MathMode,
 ) -> (f64, OpCounts) {
+    let mut scratch = AtomSoa::default();
+    approx_epol_leaf_scratch(sys, bins, born, v_leaf, eps_epol, math, &mut scratch)
+}
+
+/// [`approx_epol_leaf`] with a caller-owned SoA scratch buffer, so a
+/// sweep over many leaves reuses the gather allocations.
+#[allow(clippy::too_many_arguments)]
+pub fn approx_epol_leaf_scratch(
+    sys: &GbSystem,
+    bins: &ChargeBins,
+    born: &[f64],
+    v_leaf: NodeId,
+    eps_epol: f64,
+    math: MathMode,
+    scratch: &mut AtomSoa,
+) -> (f64, OpCounts) {
     let mut ops = OpCounts::default();
     let mac = 1.0 + 2.0 / eps_epol;
-    let v = VLeafView::whole(sys, bins, v_leaf);
+    let v = VLeafView::whole(sys, bins, born, v_leaf, scratch);
     let raw = epol_recurse(sys, bins, born, 0, &v, mac, math, &mut ops);
     (raw, ops)
 }
@@ -137,7 +165,8 @@ pub fn approx_epol_leaf_clipped(
 ) -> (f64, OpCounts) {
     let mut ops = OpCounts::default();
     let mac = 1.0 + 2.0 / eps_epol;
-    match VLeafView::clipped(sys, bins, v_leaf, clip) {
+    let mut scratch = AtomSoa::default();
+    match VLeafView::clipped(sys, bins, born, v_leaf, clip, &mut scratch) {
         Some(v) => {
             let raw = epol_recurse(sys, bins, born, 0, &v, mac, math, &mut ops);
             (raw, ops)
@@ -146,32 +175,44 @@ pub fn approx_epol_leaf_clipped(
     }
 }
 
-/// A (possibly clipped) target leaf with its bin sums.
-struct VLeafView {
+/// A (possibly clipped) target leaf with its bin sums and the SoA gather
+/// of its atoms (positions, charges, Born radii) for the exact kernel.
+struct VLeafView<'a> {
     center: polaroct_geom::Vec3,
     radius: f64,
     range: Range<usize>,
     /// `q_V[k]`; borrowed for whole leaves, recomputed for clipped ones.
     bins: Vec<f64>,
+    soa: &'a AtomSoa,
 }
 
-impl VLeafView {
-    fn whole(sys: &GbSystem, bins: &ChargeBins, leaf: NodeId) -> VLeafView {
+impl<'a> VLeafView<'a> {
+    fn whole(
+        sys: &GbSystem,
+        bins: &ChargeBins,
+        born: &[f64],
+        leaf: NodeId,
+        scratch: &'a mut AtomSoa,
+    ) -> VLeafView<'a> {
         let n = sys.atoms.node(leaf);
+        scratch.gather(sys, born, n.range());
         VLeafView {
             center: n.center,
             radius: n.radius,
             range: n.range(),
             bins: bins.of(leaf).to_vec(),
+            soa: scratch,
         }
     }
 
     fn clipped(
         sys: &GbSystem,
         bins: &ChargeBins,
+        born: &[f64],
         leaf: NodeId,
         clip: &Range<usize>,
-    ) -> Option<VLeafView> {
+        scratch: &'a mut AtomSoa,
+    ) -> Option<VLeafView<'a>> {
         let n = sys.atoms.node(leaf);
         let lo = n.range().start.max(clip.start);
         let hi = n.range().end.min(clip.end);
@@ -179,7 +220,7 @@ impl VLeafView {
             return None;
         }
         if lo == n.range().start && hi == n.range().end {
-            return Some(VLeafView::whole(sys, bins, leaf));
+            return Some(VLeafView::whole(sys, bins, born, leaf, scratch));
         }
         let mut c = polaroct_geom::Vec3::ZERO;
         for i in lo..hi {
@@ -192,7 +233,14 @@ impl VLeafView {
             r2 = r2.max(c.dist2(sys.atoms.points[i]));
             qv[bins.atom_bin[i] as usize] += sys.charge[i];
         }
-        Some(VLeafView { center: c, radius: r2.sqrt(), range: lo..hi, bins: qv })
+        scratch.gather(sys, born, lo..hi);
+        Some(VLeafView {
+            center: c,
+            radius: r2.sqrt(),
+            range: lo..hi,
+            bins: qv,
+            soa: scratch,
+        })
     }
 }
 
@@ -212,17 +260,12 @@ fn epol_recurse(
 
     if u.is_leaf() {
         // Exact leaf-leaf block (includes u == v self terms when the
-        // ranges overlap — exactly the ordered-pair semantics of Eq. 2).
+        // ranges overlap — exactly the ordered-pair semantics of Eq. 2),
+        // via the chunked SoA STILL kernel over `v`'s gathered image.
         let mut raw = 0.0;
         for ui in u.range() {
-            let xu = sys.atoms.points[ui];
-            let (qu, ru) = (sys.charge[ui], born[ui]);
-            let mut acc = 0.0;
-            for vi in v.range.clone() {
-                let r2 = xu.dist2(sys.atoms.points[vi]);
-                acc += sys.charge[vi] * inv_f_gb(r2, ru, born[vi], math);
-            }
-            raw += qu * acc;
+            let term = v.soa.still_term(sys.atoms.points[ui], born[ui], math);
+            raw += sys.charge[ui] * term;
         }
         ops.epol_near += (u.len() * v.range.len()) as u64;
         return raw;
@@ -271,8 +314,9 @@ pub fn epol_octree_raw(
 ) -> (f64, OpCounts) {
     let mut raw = 0.0;
     let mut ops = OpCounts::default();
+    let mut scratch = AtomSoa::default();
     for &v in &sys.atoms.leaf_ids {
-        let (r, o) = approx_epol_leaf(sys, bins, born, v, eps_epol, math);
+        let (r, o) = approx_epol_leaf_scratch(sys, bins, born, v, eps_epol, math, &mut scratch);
         raw += r;
         ops.add(&o);
     }
@@ -308,8 +352,7 @@ mod tests {
                 continue;
             }
             for k in 0..bins.m_eps {
-                let kid_sum: f64 =
-                    node.children().map(|c| bins.of(c)[k]).sum();
+                let kid_sum: f64 = node.children().map(|c| bins.of(c)[k]).sum();
                 assert!(
                     (bins.of(id as u32)[k] - kid_sum).abs() < 1e-9,
                     "node {id} bin {k}"
@@ -356,7 +399,10 @@ mod tests {
             let (raw, _) = epol_octree_raw(&sys, &bins, &born, eps, math);
             ((raw - naive_raw) / naive_raw).abs()
         };
-        assert!(err(0.1) <= err(0.9) + 1e-12, "ε=0.1 must not be worse than ε=0.9");
+        assert!(
+            err(0.1) <= err(0.9) + 1e-12,
+            "ε=0.1 must not be worse than ε=0.9"
+        );
     }
 
     #[test]
@@ -386,6 +432,37 @@ mod tests {
             }
         }
         assert!((total - sum).abs() < 1e-9 * total.abs().max(1.0));
+    }
+
+    #[test]
+    fn bin_of_round_trips_at_bin_boundaries() {
+        let (sys, _) = sys_and_born(100, 2);
+        // Synthetic radii spanning several bins.
+        let born: Vec<f64> = (0..sys.n_atoms()).map(|i| 1.0 + 0.05 * i as f64).collect();
+        let eps = 0.3;
+        let bins = ChargeBins::build(&sys, &born, eps);
+        assert!(bins.m_eps > 3, "need several bins for a boundary test");
+        // The running-product table matches the closed form.
+        for (s, &rr) in bins.rr_table.iter().enumerate() {
+            let direct = bins.r_min * bins.r_min * (1.0 + eps).powi(s as i32);
+            assert!(((rr - direct) / direct).abs() < 1e-12, "rr_table[{s}]");
+        }
+        for k in 0..bins.m_eps {
+            let edge = bins.r_min * (1.0 + eps).powi(k as i32);
+            // Just inside bin k's lower edge → k; just below it → k−1
+            // (clamped at 0); the geometric midpoint → k.
+            assert_eq!(bins.bin_of(edge * (1.0 + 1e-9)), k, "above edge {k}");
+            assert_eq!(
+                bins.bin_of(edge * (1.0 - 1e-9)),
+                k.saturating_sub(1),
+                "below edge {k}"
+            );
+            let mid = edge * (1.0 + eps).sqrt();
+            assert_eq!(bins.bin_of(mid), k, "midpoint of bin {k}");
+        }
+        // Out-of-range radii clamp to the end bins.
+        assert_eq!(bins.bin_of(bins.r_min * 0.5), 0);
+        assert_eq!(bins.bin_of(born[sys.n_atoms() - 1] * 10.0), bins.m_eps - 1);
     }
 
     #[test]

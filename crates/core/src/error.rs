@@ -25,7 +25,13 @@ impl ErrorStats {
     pub fn of(samples: &[f64]) -> ErrorStats {
         let n = samples.len();
         if n == 0 {
-            return ErrorStats { mean: 0.0, std: 0.0, min: 0.0, max: 0.0, n: 0 };
+            return ErrorStats {
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                n: 0,
+            };
         }
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
@@ -41,8 +47,11 @@ impl ErrorStats {
 
 impl std::fmt::Display for ErrorStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:+.4}% ± {:.4}% (min {:+.4}%, max {:+.4}%, n={})",
-            self.mean, self.std, self.min, self.max, self.n)
+        write!(
+            f,
+            "{:+.4}% ± {:.4}% (min {:+.4}%, max {:+.4}%, n={})",
+            self.mean, self.std, self.min, self.max, self.n
+        )
     }
 }
 

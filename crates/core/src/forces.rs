@@ -65,7 +65,10 @@ pub fn forces_naive(
         }
         forces[i] += fi;
     }
-    let ops = OpCounts { epol_near: (m * (m - 1) / 2) as u64, ..Default::default() };
+    let ops = OpCounts {
+        epol_near: (m * (m - 1) / 2) as u64,
+        ..Default::default()
+    };
     (forces, ops)
 }
 
@@ -110,7 +113,13 @@ pub fn forces_cutoff(
         });
         forces[i] += fi;
     }
-    (forces, OpCounts { epol_near: ops, ..Default::default() })
+    (
+        forces,
+        OpCounts {
+            epol_near: ops,
+            ..Default::default()
+        },
+    )
 }
 
 /// Map Morton-ordered forces back to the molecule's original atom order.
@@ -219,7 +228,12 @@ mod tests {
         let mol = Molecule::from_atoms(
             "pair",
             [
-                Atom { pos: Vec3::ZERO, radius: 1.5, charge: 1.0, element: Element::N },
+                Atom {
+                    pos: Vec3::ZERO,
+                    radius: 1.5,
+                    charge: 1.0,
+                    element: Element::N,
+                },
                 Atom {
                     pos: Vec3::new(6.0, 0.0, 0.0),
                     radius: 1.5,
@@ -239,7 +253,11 @@ mod tests {
         let e_near = energy_at(&sys, &sys.atoms.points, &born, 80.0);
         let mut apart = sys.atoms.points.clone();
         // Move atom with larger x further out.
-        let far_idx = if sys.atoms.points[0].x > sys.atoms.points[1].x { 0 } else { 1 };
+        let far_idx = if sys.atoms.points[0].x > sys.atoms.points[1].x {
+            0
+        } else {
+            1
+        };
         apart[far_idx].x += 0.01;
         let e_far = energy_at(&sys, &apart, &born, 80.0);
         let fd_force_x = -(e_far - e_near) / 0.01;

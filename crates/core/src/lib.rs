@@ -47,12 +47,14 @@ pub mod gb;
 pub mod md;
 pub mod naive;
 pub mod params;
+pub mod soa;
 pub mod steal;
 pub mod system;
 pub mod workdiv;
 
 pub use drivers::{
-    run_naive, run_oct_cilk, run_oct_hybrid, run_oct_mpi, run_serial, RunReport,
+    fork_join_makespan, run_naive, run_oct_cilk, run_oct_hybrid, run_oct_mpi, run_oct_threads,
+    run_serial, PhaseTimes, RunReport,
 };
 pub use error::{energy_error_pct, ErrorStats};
 pub use gb::{f_gb, COULOMB_KCAL};

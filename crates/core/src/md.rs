@@ -34,7 +34,12 @@ pub struct MdParams {
 
 impl Default for MdParams {
     fn default() -> Self {
-        MdParams { dt_fs: 1.0, cutoff: 20.0, born_refresh_every: 5, restraint_k: 1.0 }
+        MdParams {
+            dt_fs: 1.0,
+            cutoff: 20.0,
+            born_refresh_every: 5,
+            restraint_k: 1.0,
+        }
     }
 }
 
@@ -101,7 +106,11 @@ pub fn run_md(mol: &Molecule, approx: &ApproxParams, md: &MdParams, steps: usize
         .zip(&start)
         .map(|(p, s)| p.dist(*s))
         .fold(0.0f64, f64::max);
-    MdReport { energies, max_displacement, positions: pos }
+    MdReport {
+        energies,
+        max_displacement,
+        positions: pos,
+    }
 }
 
 /// GB forces at `pos` (approximating with the radii/octree snapshot from
@@ -163,13 +172,19 @@ mod tests {
         let loose = run_md(
             &mol,
             &ApproxParams::default(),
-            &MdParams { restraint_k: 0.1, ..Default::default() },
+            &MdParams {
+                restraint_k: 0.1,
+                ..Default::default()
+            },
             15,
         );
         let tight = run_md(
             &mol,
             &ApproxParams::default(),
-            &MdParams { restraint_k: 20.0, ..Default::default() },
+            &MdParams {
+                restraint_k: 20.0,
+                ..Default::default()
+            },
             15,
         );
         assert!(

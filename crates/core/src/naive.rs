@@ -50,7 +50,10 @@ pub fn born_radii_naive(sys: &GbSystem, math: MathMode) -> (Vec<f64>, OpCounts) 
         }
         radii.push(born_radius_from_integral(s, sys.radius[a], math));
     }
-    let ops = OpCounts { born_near: (m * n) as u64, ..Default::default() };
+    let ops = OpCounts {
+        born_near: (m * n) as u64,
+        ..Default::default()
+    };
     (radii, ops)
 }
 
@@ -71,10 +74,17 @@ pub fn born_radii_naive_r4(sys: &GbSystem, _math: MathMode) -> (Vec<f64>, OpCoun
             let inv2 = 1.0 / d2;
             s += sys.q_weight[k] * sys.q_normal[k].dot(d) * inv2 * inv2;
         }
-        let r = if s <= 0.0 { BORN_RADIUS_MAX } else { four_pi / s };
+        let r = if s <= 0.0 {
+            BORN_RADIUS_MAX
+        } else {
+            four_pi / s
+        };
         radii.push(r.clamp(sys.radius[a], BORN_RADIUS_MAX));
     }
-    let ops = OpCounts { born_near: (m * n) as u64, ..Default::default() };
+    let ops = OpCounts {
+        born_near: (m * n) as u64,
+        ..Default::default()
+    };
     (radii, ops)
 }
 
@@ -96,7 +106,10 @@ pub fn epol_naive_raw(sys: &GbSystem, born: &[f64], math: MathMode) -> (f64, OpC
             raw += 2.0 * qi * sys.charge[j] * inv_f_gb(r2, ri, born[j], math);
         }
     }
-    let ops = OpCounts { epol_near: (m * m) as u64, ..Default::default() };
+    let ops = OpCounts {
+        epol_near: (m * m) as u64,
+        ..Default::default()
+    };
     (raw, ops)
 }
 
@@ -118,10 +131,18 @@ mod tests {
     fn one_ion(r: f64, q: f64) -> GbSystem {
         let mol = Molecule::from_atoms(
             "ion",
-            [Atom { pos: Vec3::new(1.0, -2.0, 0.5), radius: r, charge: q, element: Element::O }],
+            [Atom {
+                pos: Vec3::new(1.0, -2.0, 0.5),
+                radius: r,
+                charge: q,
+                element: Element::O,
+            }],
         );
         let params = ApproxParams {
-            surface: SurfaceParams { icosphere_level: 2, ..Default::default() },
+            surface: SurfaceParams {
+                icosphere_level: 2,
+                ..Default::default()
+            },
             ..Default::default()
         };
         GbSystem::prepare(&mol, &params)
@@ -162,7 +183,12 @@ mod tests {
         let mol = Molecule::from_atoms(
             "pair",
             [
-                Atom { pos: Vec3::ZERO, radius: 1.5, charge: 1.0, element: Element::N },
+                Atom {
+                    pos: Vec3::ZERO,
+                    radius: 1.5,
+                    charge: 1.0,
+                    element: Element::N,
+                },
                 Atom {
                     pos: Vec3::new(100.0, 0.0, 0.0),
                     radius: 1.5,
@@ -172,7 +198,10 @@ mod tests {
             ],
         );
         let params = ApproxParams {
-            surface: SurfaceParams { icosphere_level: 2, ..Default::default() },
+            surface: SurfaceParams {
+                icosphere_level: 2,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let sys = GbSystem::prepare(&mol, &params);
@@ -202,19 +231,34 @@ mod tests {
         };
         // Correlate burial depth with Born radius: innermost quartile mean
         // must exceed outermost quartile mean.
-        let mut by_depth: Vec<(f64, f64)> =
-            sys.atoms.points.iter().map(|p| p.dist(centroid)).zip(born.iter().copied()).collect();
+        let mut by_depth: Vec<(f64, f64)> = sys
+            .atoms
+            .points
+            .iter()
+            .map(|p| p.dist(centroid))
+            .zip(born.iter().copied())
+            .collect();
         by_depth.sort_by(|a, b| a.0.total_cmp(&b.0));
         let q = by_depth.len() / 4;
         let inner: f64 = by_depth[..q].iter().map(|x| x.1).sum::<f64>() / q as f64;
-        let outer: f64 = by_depth[by_depth.len() - q..].iter().map(|x| x.1).sum::<f64>() / q as f64;
+        let outer: f64 = by_depth[by_depth.len() - q..]
+            .iter()
+            .map(|x| x.1)
+            .sum::<f64>()
+            / q as f64;
         assert!(inner > outer, "buried {inner} <= surface {outer}");
     }
 
     #[test]
     fn born_radius_floor_and_clamp() {
-        assert_eq!(born_radius_from_integral(-1.0, 1.5, MathMode::Exact), BORN_RADIUS_MAX);
-        assert_eq!(born_radius_from_integral(0.0, 1.5, MathMode::Exact), BORN_RADIUS_MAX);
+        assert_eq!(
+            born_radius_from_integral(-1.0, 1.5, MathMode::Exact),
+            BORN_RADIUS_MAX
+        );
+        assert_eq!(
+            born_radius_from_integral(0.0, 1.5, MathMode::Exact),
+            BORN_RADIUS_MAX
+        );
         // Huge integral => tiny radius => floored at intrinsic.
         assert_eq!(born_radius_from_integral(1e12, 1.5, MathMode::Exact), 1.5);
     }

@@ -1,0 +1,250 @@
+//! SoA (structure-of-arrays) leaf kernels.
+//!
+//! The octree traversals spend almost all of their near-field time in two
+//! inner loops: the exact leaf–leaf block of `APPROX-INTEGRALS` (r⁶ surface
+//! integrand) and the exact leaf block of `APPROX-E_pol` (STILL pair
+//! kernel). Evaluating them through `Vec3`-of-structs accessors defeats
+//! auto-vectorization: the lanes are interleaved in memory and the
+//! transcendentals (`exp`, `rsqrt`) are emitted one call at a time.
+//!
+//! This module gathers a leaf's ranges once into flat, reusable scratch
+//! arrays and evaluates the kernels over fixed-width chunks, with the
+//! `exp`/`rsqrt` batched through `MathMode::{exp_slice, rsqrt_slice}` so
+//! LLVM sees straight-line loops over independent lanes. Both the serial
+//! and the threaded drivers route through these kernels, which also makes
+//! their per-leaf partial sums identical by construction (term order is
+//! the gathered index order — see `run_oct_threads`' determinism note).
+
+use crate::system::GbSystem;
+use polaroct_geom::fastmath::MathMode;
+use polaroct_geom::Vec3;
+use std::ops::Range;
+
+/// Chunk width for the batched STILL kernel. Wide enough to fill 512-bit
+/// vector units several times over, small enough to live on the stack.
+pub const CHUNK: usize = 64;
+
+/// Gathered image of one quadrature-leaf range: positions plus
+/// weight-premultiplied normals (`w_q · n_q`), so the r⁶ integrand needs
+/// one dot product and no extra scale per pair.
+#[derive(Default, Clone, Debug)]
+pub struct QLeafSoa {
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+    pub z: Vec<f64>,
+    pub wnx: Vec<f64>,
+    pub wny: Vec<f64>,
+    pub wnz: Vec<f64>,
+}
+
+impl QLeafSoa {
+    /// Refill from a q-point range. Reuses the allocations, so one scratch
+    /// instance serves a whole sweep of leaves.
+    pub fn gather(&mut self, sys: &GbSystem, range: Range<usize>) {
+        self.x.clear();
+        self.y.clear();
+        self.z.clear();
+        self.wnx.clear();
+        self.wny.clear();
+        self.wnz.clear();
+        for i in range {
+            let p = sys.qtree.points[i];
+            let wn = sys.q_normal[i] * sys.q_weight[i];
+            self.x.push(p.x);
+            self.y.push(p.y);
+            self.z.push(p.z);
+            self.wnx.push(wn.x);
+            self.wny.push(wn.y);
+            self.wnz.push(wn.z);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Exact r⁶ surface term of this leaf at one atom position:
+    /// `Σ_q (w_q n_q)·(p_q − p_a) / |p_q − p_a|⁶`, in gathered order.
+    ///
+    /// Pure mul/add/div — no transcendentals — so a single flat loop
+    /// auto-vectorizes as-is.
+    #[inline]
+    pub fn born_term(&self, xa: Vec3) -> f64 {
+        let n = self.len();
+        let (xs, ys, zs) = (&self.x[..n], &self.y[..n], &self.z[..n]);
+        let (wx, wy, wz) = (&self.wnx[..n], &self.wny[..n], &self.wnz[..n]);
+        let mut s = 0.0;
+        for i in 0..n {
+            let dx = xs[i] - xa.x;
+            let dy = ys[i] - xa.y;
+            let dz = zs[i] - xa.z;
+            let d2 = dx * dx + dy * dy + dz * dz;
+            let inv2 = 1.0 / d2;
+            s += (wx[i] * dx + wy[i] * dy + wz[i] * dz) * (inv2 * inv2 * inv2);
+        }
+        s
+    }
+}
+
+/// Gathered image of one atoms range: positions, charges and Born radii —
+/// the operands of the STILL pair kernel.
+#[derive(Default, Clone, Debug)]
+pub struct AtomSoa {
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+    pub z: Vec<f64>,
+    pub q: Vec<f64>,
+    pub r: Vec<f64>,
+}
+
+impl AtomSoa {
+    /// Refill from an atom range (Morton order) and its Born radii.
+    pub fn gather(&mut self, sys: &GbSystem, born: &[f64], range: Range<usize>) {
+        self.x.clear();
+        self.y.clear();
+        self.z.clear();
+        self.q.clear();
+        self.r.clear();
+        for i in range {
+            let p = sys.atoms.points[i];
+            self.x.push(p.x);
+            self.y.push(p.y);
+            self.z.push(p.z);
+            self.q.push(sys.charge[i]);
+            self.r.push(born[i]);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Exact STILL sum of one source atom `(x_u, R_u)` against this range:
+    /// `Σ_v q_v / f_GB(r_uv², R_u, R_v)`, accumulated in gathered order.
+    ///
+    /// Works chunk-by-chunk: distances and exponent arguments are staged
+    /// into stack buffers, then `exp` and `rsqrt` run over the whole chunk
+    /// via the batched [`MathMode`] slice ops. Per element the arithmetic
+    /// is exactly `crate::gb::inv_f_gb` (same operations, same order), so
+    /// the result is bit-identical to the scalar loop.
+    #[inline]
+    pub fn still_term(&self, xu: Vec3, ru: f64, math: MathMode) -> f64 {
+        let n = self.len();
+        let mut acc = 0.0;
+        let mut d2b = [0.0f64; CHUNK];
+        let mut rrb = [0.0f64; CHUNK];
+        let mut eb = [0.0f64; CHUNK];
+        let mut base = 0;
+        while base < n {
+            let m = CHUNK.min(n - base);
+            let xs = &self.x[base..base + m];
+            let ys = &self.y[base..base + m];
+            let zs = &self.z[base..base + m];
+            let rs = &self.r[base..base + m];
+            let qs = &self.q[base..base + m];
+            for i in 0..m {
+                let dx = xs[i] - xu.x;
+                let dy = ys[i] - xu.y;
+                let dz = zs[i] - xu.z;
+                let d2 = dx * dx + dy * dy + dz * dz;
+                let rr = ru * rs[i];
+                d2b[i] = d2;
+                rrb[i] = rr;
+                eb[i] = -d2 / (4.0 * rr);
+            }
+            math.exp_slice(&mut eb[..m]);
+            for i in 0..m {
+                eb[i] = d2b[i] + rrb[i] * eb[i];
+            }
+            math.rsqrt_slice(&mut eb[..m]);
+            for i in 0..m {
+                acc += qs[i] * eb[i];
+            }
+            base += m;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gb::inv_f_gb;
+    use crate::naive::born_radii_naive;
+    use crate::params::ApproxParams;
+    use polaroct_molecule::synth;
+
+    fn system(n: usize, seed: u64) -> GbSystem {
+        GbSystem::prepare(&synth::protein("p", n, seed), &ApproxParams::default())
+    }
+
+    #[test]
+    fn still_term_bit_identical_to_scalar_kernel() {
+        let sys = system(200, 17);
+        let (born, _) = born_radii_naive(&sys, MathMode::Exact);
+        for math in [MathMode::Exact, MathMode::Approx] {
+            let mut soa = AtomSoa::default();
+            // Range longer than one chunk to exercise the chunk loop.
+            soa.gather(&sys, &born, 0..sys.n_atoms());
+            for ui in [0usize, 57, 199] {
+                let xu = sys.atoms.points[ui];
+                let ru = born[ui];
+                let mut scalar = 0.0;
+                for vi in 0..sys.n_atoms() {
+                    let d2 = xu.dist2(sys.atoms.points[vi]);
+                    scalar += sys.charge[vi] * inv_f_gb(d2, ru, born[vi], math);
+                }
+                let batched = soa.still_term(xu, ru, math);
+                assert_eq!(
+                    scalar.to_bits(),
+                    batched.to_bits(),
+                    "u={ui} {math:?}: {scalar} vs {batched}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn born_term_matches_scalar_reference() {
+        let sys = system(150, 23);
+        let mut soa = QLeafSoa::default();
+        let nq = sys.n_qpoints();
+        soa.gather(&sys, 0..nq);
+        assert_eq!(soa.len(), nq);
+        let xa = sys.atoms.points[31];
+        let mut scalar = 0.0;
+        for qi in 0..nq {
+            let dv = sys.qtree.points[qi] - xa;
+            let d2 = dv.norm2();
+            let inv2 = 1.0 / d2;
+            scalar += sys.q_weight[qi] * sys.q_normal[qi].dot(dv) * inv2 * inv2 * inv2;
+        }
+        let batched = soa.born_term(xa);
+        // Weight premultiplication reassociates one product per term —
+        // equal to roundoff, not bitwise.
+        assert!(
+            ((scalar - batched) / scalar).abs() < 1e-12,
+            "{scalar} vs {batched}"
+        );
+    }
+
+    #[test]
+    fn gather_reuses_and_empties() {
+        let sys = system(64, 3);
+        let (born, _) = born_radii_naive(&sys, MathMode::Exact);
+        let mut soa = AtomSoa::default();
+        soa.gather(&sys, &born, 0..10);
+        assert_eq!(soa.len(), 10);
+        soa.gather(&sys, &born, 5..5);
+        assert!(soa.is_empty());
+        assert_eq!(soa.still_term(Vec3::ZERO, 1.0, MathMode::Exact), 0.0);
+    }
+}

@@ -62,6 +62,7 @@ pub fn run_oct_mpi_steal(
     cluster: &ClusterSpec,
 ) -> RunReport {
     assert_eq!(cluster.placement.threads_per_process, 1);
+    let wall = std::time::Instant::now();
     let p = cluster.placement.processes;
     let mem = MemoryModel::new(sys.memory_bytes());
     let slowdown = mem.slowdown(cluster);
@@ -88,8 +89,7 @@ pub fn run_oct_mpi_steal(
 
     // ---- Phase 4: push (atoms evenly; already balanced, no stealing).
     let mut born = vec![0.0; sys.n_atoms()];
-    let push_ops =
-        push_integrals_to_atoms(sys, &acc, 0..sys.n_atoms(), params.math, &mut born);
+    let push_ops = push_integrals_to_atoms(sys, &acc, 0..sys.n_atoms(), params.math, &mut born);
     total_ops.add(&push_ops);
     time += secs(&push_ops) / p as f64;
     // Step 5 allgather.
@@ -122,6 +122,8 @@ pub fn run_oct_mpi_steal(
         ops: total_ops,
         memory_per_process: sys.memory_bytes(),
         cores: p,
+        wall_seconds: wall.elapsed().as_secs_f64(),
+        phases: crate::drivers::PhaseTimes::default(),
     }
 }
 

@@ -50,14 +50,20 @@ impl GbSystem {
 
         let atoms = build(
             &mol.positions,
-            BuildParams { leaf_capacity: params.leaf_cap_atoms, ..Default::default() },
+            BuildParams {
+                leaf_capacity: params.leaf_cap_atoms,
+                ..Default::default()
+            },
         );
         let charge = atoms.permute(&mol.charges);
         let radius = atoms.permute(&mol.radii);
 
         let qtree = build(
             &quad.positions,
-            BuildParams { leaf_capacity: params.leaf_cap_qpoints, ..Default::default() },
+            BuildParams {
+                leaf_capacity: params.leaf_cap_qpoints,
+                ..Default::default()
+            },
         );
         let q_normal = qtree.permute(&quad.normals);
         let q_weight = qtree.permute(&quad.weights);

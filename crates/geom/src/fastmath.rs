@@ -55,6 +55,49 @@ impl MathMode {
             MathMode::Approx => invcbrt_fast(x),
         }
     }
+
+    /// In-place `x[i] ← 1/sqrt(x[i])` over a slice.
+    ///
+    /// Identical per element to [`MathMode::rsqrt`]; the mode dispatch is
+    /// hoisted out of the loop so each arm is a branch-free loop LLVM can
+    /// auto-vectorize (`vsqrtpd` + division in the exact arm, the
+    /// Newton-refined bit hack in the approximate arm).
+    #[inline]
+    pub fn rsqrt_slice(self, xs: &mut [f64]) {
+        match self {
+            MathMode::Exact => {
+                for x in xs.iter_mut() {
+                    *x = 1.0 / x.sqrt();
+                }
+            }
+            MathMode::Approx => {
+                for x in xs.iter_mut() {
+                    *x = rsqrt_fast(*x);
+                }
+            }
+        }
+    }
+
+    /// In-place `x[i] ← exp(x[i])` over a slice.
+    ///
+    /// Identical per element to [`MathMode::exp`]. The approximate arm is
+    /// fully branch-free polynomial + bit arithmetic in the GB exponent
+    /// range and vectorizes; the exact arm is a tight libm loop.
+    #[inline]
+    pub fn exp_slice(self, xs: &mut [f64]) {
+        match self {
+            MathMode::Exact => {
+                for x in xs.iter_mut() {
+                    *x = x.exp();
+                }
+            }
+            MathMode::Approx => {
+                for x in xs.iter_mut() {
+                    *x = exp_fast(*x);
+                }
+            }
+        }
+    }
 }
 
 /// Fast `1/sqrt(x)` for positive finite `x`.
@@ -217,7 +260,7 @@ mod tests {
 
     #[test]
     fn cbrt_fast_matches_std() {
-        for &x in &[0.0, 1.0, 8.0, 27.0, 3.1415, 1e9] {
+        for &x in &[0.0, 1.0, 8.0, 27.0, std::f64::consts::PI, 1e9] {
             let e = (cbrt_fast(x) - x.cbrt()).abs();
             assert!(e <= 1e-9 * x.cbrt().max(1.0), "x={x}");
         }
@@ -237,5 +280,34 @@ mod tests {
     #[test]
     fn default_mode_is_exact() {
         assert_eq!(MathMode::default(), MathMode::Exact);
+    }
+
+    #[test]
+    fn slice_variants_match_scalar_bitwise() {
+        let inputs: Vec<f64> = (1..40).map(|i| 0.03 * i as f64).collect();
+        for mode in [MathMode::Exact, MathMode::Approx] {
+            let mut rs = inputs.clone();
+            mode.rsqrt_slice(&mut rs);
+            let mut es: Vec<f64> = inputs.iter().map(|x| -x).collect();
+            mode.exp_slice(&mut es);
+            for (i, &x) in inputs.iter().enumerate() {
+                assert_eq!(
+                    rs[i].to_bits(),
+                    mode.rsqrt(x).to_bits(),
+                    "rsqrt {mode:?} x={x}"
+                );
+                assert_eq!(
+                    es[i].to_bits(),
+                    mode.exp(-x).to_bits(),
+                    "exp {mode:?} x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_variants_empty_ok() {
+        MathMode::Exact.rsqrt_slice(&mut []);
+        MathMode::Approx.exp_slice(&mut []);
     }
 }

@@ -51,7 +51,11 @@ pub fn encode_cells(cx: u64, cy: u64, cz: u64) -> u64 {
 /// Recover the three cell coordinates from a Morton code.
 #[inline]
 pub fn decode_cells(code: u64) -> (u64, u64, u64) {
-    (compact1by2(code), compact1by2(code >> 1), compact1by2(code >> 2))
+    (
+        compact1by2(code),
+        compact1by2(code >> 1),
+        compact1by2(code >> 2),
+    )
 }
 
 /// Quantizer mapping points in a cubical domain onto Morton cells.
@@ -176,7 +180,10 @@ mod tests {
         let below = q.cell_of(Vec3::splat(-5.0));
         let above = q.cell_of(Vec3::splat(5.0));
         assert_eq!(below, (0, 0, 0));
-        assert_eq!(above, (CELLS_PER_AXIS - 1, CELLS_PER_AXIS - 1, CELLS_PER_AXIS - 1));
+        assert_eq!(
+            above,
+            (CELLS_PER_AXIS - 1, CELLS_PER_AXIS - 1, CELLS_PER_AXIS - 1)
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl BoundingSphere {
     /// Returns a zero sphere at the origin for an empty slice.
     pub fn centered_at_centroid(points: &[Vec3]) -> Self {
         if points.is_empty() {
-            return BoundingSphere { center: Vec3::ZERO, radius: 0.0 };
+            return BoundingSphere {
+                center: Vec3::ZERO,
+                radius: 0.0,
+            };
         }
         let mut c = Vec3::ZERO;
         for &p in points {
@@ -42,7 +45,10 @@ impl BoundingSphere {
         for &p in points {
             r2 = r2.max(c.dist2(p));
         }
-        BoundingSphere { center: c, radius: r2.sqrt() }
+        BoundingSphere {
+            center: c,
+            radius: r2.sqrt(),
+        }
     }
 
     /// Like [`Self::centered_at_centroid`] but with a *weighted* centroid
@@ -64,14 +70,20 @@ impl BoundingSphere {
         for &p in points {
             r2 = r2.max(c.dist2(p));
         }
-        BoundingSphere { center: c, radius: r2.sqrt() }
+        BoundingSphere {
+            center: c,
+            radius: r2.sqrt(),
+        }
     }
 
     /// Ritter's approximate minimum enclosing sphere (within ~5–20% of
     /// optimal). Not used on the hot path; serves as a tightness oracle.
     pub fn ritter(points: &[Vec3]) -> Self {
         if points.is_empty() {
-            return BoundingSphere { center: Vec3::ZERO, radius: 0.0 };
+            return BoundingSphere {
+                center: Vec3::ZERO,
+                radius: 0.0,
+            };
         }
         // Pass 1: find a far pair (x -> furthest y -> furthest z).
         let x = points[0];
@@ -134,7 +146,9 @@ mod tests {
             s ^= s << 17;
             (s as f64 / u64::MAX as f64) * 2.0 - 1.0
         };
-        (0..n).map(|_| Vec3::new(next(), next(), next()) * 10.0).collect()
+        (0..n)
+            .map(|_| Vec3::new(next(), next(), next()) * 10.0)
+            .collect()
     }
 
     #[test]
@@ -200,10 +214,19 @@ mod tests {
 
     #[test]
     fn gap_sign() {
-        let a = BoundingSphere { center: Vec3::ZERO, radius: 1.0 };
-        let b = BoundingSphere { center: Vec3::new(5.0, 0.0, 0.0), radius: 1.0 };
+        let a = BoundingSphere {
+            center: Vec3::ZERO,
+            radius: 1.0,
+        };
+        let b = BoundingSphere {
+            center: Vec3::new(5.0, 0.0, 0.0),
+            radius: 1.0,
+        };
         assert!((a.gap(&b) - 3.0).abs() < 1e-12);
-        let c = BoundingSphere { center: Vec3::new(1.5, 0.0, 0.0), radius: 1.0 };
+        let c = BoundingSphere {
+            center: Vec3::new(1.5, 0.0, 0.0),
+            radius: 1.0,
+        };
         assert!(a.gap(&c) < 0.0);
     }
 

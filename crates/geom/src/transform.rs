@@ -17,7 +17,9 @@ pub struct Rotation {
 }
 
 impl Rotation {
-    pub const IDENTITY: Rotation = Rotation { rows: [Vec3::X, Vec3::Y, Vec3::Z] };
+    pub const IDENTITY: Rotation = Rotation {
+        rows: [Vec3::X, Vec3::Y, Vec3::Z],
+    };
 
     /// Rotation by `angle` radians about the (normalized) `axis`
     /// (Rodrigues' formula).
@@ -46,7 +48,11 @@ impl Rotation {
     /// Apply to a vector.
     #[inline]
     pub fn apply(&self, v: Vec3) -> Vec3 {
-        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
     }
 
     /// Transpose = inverse for rotations.
@@ -74,9 +80,21 @@ impl std::ops::Mul for Rotation {
         let ot = o.transpose();
         Rotation {
             rows: [
-                Vec3::new(self.rows[0].dot(ot.rows[0]), self.rows[0].dot(ot.rows[1]), self.rows[0].dot(ot.rows[2])),
-                Vec3::new(self.rows[1].dot(ot.rows[0]), self.rows[1].dot(ot.rows[1]), self.rows[1].dot(ot.rows[2])),
-                Vec3::new(self.rows[2].dot(ot.rows[0]), self.rows[2].dot(ot.rows[1]), self.rows[2].dot(ot.rows[2])),
+                Vec3::new(
+                    self.rows[0].dot(ot.rows[0]),
+                    self.rows[0].dot(ot.rows[1]),
+                    self.rows[0].dot(ot.rows[2]),
+                ),
+                Vec3::new(
+                    self.rows[1].dot(ot.rows[0]),
+                    self.rows[1].dot(ot.rows[1]),
+                    self.rows[1].dot(ot.rows[2]),
+                ),
+                Vec3::new(
+                    self.rows[2].dot(ot.rows[0]),
+                    self.rows[2].dot(ot.rows[1]),
+                    self.rows[2].dot(ot.rows[2]),
+                ),
             ],
         }
     }
@@ -90,21 +108,32 @@ pub struct Transform {
 }
 
 impl Transform {
-    pub const IDENTITY: Transform =
-        Transform { rotation: Rotation::IDENTITY, translation: Vec3::ZERO };
+    pub const IDENTITY: Transform = Transform {
+        rotation: Rotation::IDENTITY,
+        translation: Vec3::ZERO,
+    };
 
     pub fn translation(t: Vec3) -> Self {
-        Transform { rotation: Rotation::IDENTITY, translation: t }
+        Transform {
+            rotation: Rotation::IDENTITY,
+            translation: t,
+        }
     }
 
     pub fn rotation(r: Rotation) -> Self {
-        Transform { rotation: r, translation: Vec3::ZERO }
+        Transform {
+            rotation: r,
+            translation: Vec3::ZERO,
+        }
     }
 
     /// Rotation about `pivot` followed by translation `t`.
     pub fn about_pivot(r: Rotation, pivot: Vec3, t: Vec3) -> Self {
         // R(p - pivot) + pivot + t  ==  Rp + (pivot - R pivot + t)
-        Transform { rotation: r, translation: pivot - r.apply(pivot) + t }
+        Transform {
+            rotation: r,
+            translation: pivot - r.apply(pivot) + t,
+        }
     }
 
     /// Apply to a point.
@@ -130,7 +159,10 @@ impl Transform {
     /// Inverse transform.
     pub fn inverse(&self) -> Transform {
         let rt = self.rotation.transpose();
-        Transform { rotation: rt, translation: -rt.apply(self.translation) }
+        Transform {
+            rotation: rt,
+            translation: -rt.apply(self.translation),
+        }
     }
 }
 
@@ -177,7 +209,11 @@ mod tests {
     #[test]
     fn euler_zyx_identity_when_all_zero() {
         let r = Rotation::from_euler_zyx(0.0, 0.0, 0.0);
-        assert_vec_eq(r.apply(Vec3::new(1.0, 2.0, 3.0)), Vec3::new(1.0, 2.0, 3.0), 1e-15);
+        assert_vec_eq(
+            r.apply(Vec3::new(1.0, 2.0, 3.0)),
+            Vec3::new(1.0, 2.0, 3.0),
+            1e-15,
+        );
     }
 
     #[test]
@@ -208,7 +244,11 @@ mod tests {
             translation: Vec3::new(0.0, 2.0, 0.0),
         };
         let p = Vec3::new(3.0, 1.0, -1.0);
-        assert_vec_eq(t1.compose(&t2).apply_point(p), t1.apply_point(t2.apply_point(p)), 1e-12);
+        assert_vec_eq(
+            t1.compose(&t2).apply_point(p),
+            t1.apply_point(t2.apply_point(p)),
+            1e-12,
+        );
     }
 
     #[test]

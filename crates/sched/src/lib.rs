@@ -29,4 +29,4 @@ pub mod reduce;
 pub mod sim;
 
 pub use pool::{PoolMetrics, WorkStealingPool};
-pub use sim::{SimOutcome, StealSimulator, StealSimParams};
+pub use sim::{SimOutcome, StealSimParams, StealSimulator};

@@ -64,7 +64,10 @@ impl WorkStealingPool {
             for i in 0..n {
                 body(i);
             }
-            return PoolMetrics { steals: 0, tasks: n };
+            return PoolMetrics {
+                steals: 0,
+                tasks: n,
+            };
         }
 
         let injector: Injector<Chunk> = Injector::new();
@@ -72,8 +75,7 @@ impl WorkStealingPool {
         let steals = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
 
-        let workers: Vec<Worker<Chunk>> =
-            (0..self.width).map(|_| Worker::new_lifo()).collect();
+        let workers: Vec<Worker<Chunk>> = (0..self.width).map(|_| Worker::new_lifo()).collect();
         let stealers: Vec<Stealer<Chunk>> = workers.iter().map(|w| w.stealer()).collect();
 
         std::thread::scope(|scope| {
@@ -160,7 +162,10 @@ impl WorkStealingPool {
             }
         });
 
-        PoolMetrics { steals: steals.load(Ordering::Relaxed), tasks: n }
+        PoolMetrics {
+            steals: steals.load(Ordering::Relaxed),
+            tasks: n,
+        }
     }
 
     /// Map `0..n` through `f`, collecting results in index order.
@@ -245,6 +250,29 @@ mod tests {
         let pool = WorkStealingPool::new(2).with_grain(64);
         let v = pool.map(1000, |i| i + 1);
         assert_eq!(v[999], 1000);
+    }
+
+    #[test]
+    fn map_of_zero_tasks_is_empty() {
+        let pool = WorkStealingPool::new(4);
+        let v: Vec<usize> = pool.map(0, |_| panic!("must not run"));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn grain_larger_than_n_runs_everything() {
+        // One chunk never splits — a single worker executes all of it.
+        let pool = WorkStealingPool::new(4).with_grain(100);
+        let counts: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        let m = pool.run(5, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(m.tasks, 5);
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+        let v = pool.map(5, |i| i * 10);
+        assert_eq!(v, vec![0, 10, 20, 30, 40]);
     }
 
     #[test]

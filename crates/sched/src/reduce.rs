@@ -111,9 +111,15 @@ mod tests {
     #[test]
     fn reduce_max() {
         let pool = WorkStealingPool::new(2);
-        let m = pool.reduce(257, f64::NEG_INFINITY, |i| (i as f64 * 37.0) % 101.0, f64::max);
-        let brute =
-            (0..257).map(|i| (i as f64 * 37.0) % 101.0).fold(f64::NEG_INFINITY, f64::max);
+        let m = pool.reduce(
+            257,
+            f64::NEG_INFINITY,
+            |i| (i as f64 * 37.0) % 101.0,
+            f64::max,
+        );
+        let brute = (0..257)
+            .map(|i| (i as f64 * 37.0) % 101.0)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(m, brute);
     }
 }

@@ -92,7 +92,12 @@ impl StealSimulator {
         let n = costs.len();
         let total_work: f64 = costs.iter().sum();
         if n == 0 {
-            return SimOutcome { makespan: 0.0, total_work: 0.0, steals: 0, utilization: 1.0 };
+            return SimOutcome {
+                makespan: 0.0,
+                total_work: 0.0,
+                steals: 0,
+                utilization: 1.0,
+            };
         }
 
         // Prefix sums for O(1) range-cost lookups.
@@ -112,7 +117,11 @@ impl StealSimulator {
         let mut rng = ChaCha8Rng::seed_from_u64(self.params.seed);
         // Deques: index 0 = top (steal end), back = bottom (owner end).
         let mut deques: Vec<Vec<RangeItem>> = vec![Vec::new(); p];
-        deques[0].push(RangeItem { lo: 0, hi: n, available_at: 0.0 });
+        deques[0].push(RangeItem {
+            lo: 0,
+            hi: n,
+            available_at: 0.0,
+        });
         let mut clocks = vec![0.0f64; p];
         let mut steals = 0usize;
 
@@ -140,8 +149,7 @@ impl StealSimulator {
                     (item, t)
                 }
                 None => {
-                    let busy: Vec<usize> =
-                        (0..p).filter(|&v| !deques[v].is_empty()).collect();
+                    let busy: Vec<usize> = (0..p).filter(|&v| !deques[v].is_empty()).collect();
                     debug_assert!(!busy.is_empty());
                     let v = busy[rng.gen_range(0..busy.len())];
                     let item = deques[v].remove(0); // top of victim's deque
@@ -157,7 +165,14 @@ impl StealSimulator {
             while hi - lo > grain {
                 let mid = lo + (hi - lo) / 2;
                 // The upper half becomes stealable "now".
-                deques[w].insert(0, RangeItem { lo: mid, hi, available_at: t });
+                deques[w].insert(
+                    0,
+                    RangeItem {
+                        lo: mid,
+                        hi,
+                        available_at: t,
+                    },
+                );
                 hi = mid;
             }
             t += range_cost(lo, hi) + self.params.task_overhead * (hi - lo) as f64;
@@ -169,7 +184,11 @@ impl StealSimulator {
             makespan,
             total_work,
             steals,
-            utilization: if makespan > 0.0 { total_work / (p as f64 * makespan) } else { 1.0 },
+            utilization: if makespan > 0.0 {
+                total_work / (p as f64 * makespan)
+            } else {
+                1.0
+            },
         }
     }
 
@@ -191,7 +210,10 @@ mod tests {
     use super::*;
 
     fn sim(p: usize) -> StealSimulator {
-        StealSimulator::new(StealSimParams { workers: p, ..Default::default() })
+        StealSimulator::new(StealSimParams {
+            workers: p,
+            ..Default::default()
+        })
     }
 
     fn uniform(n: usize, c: f64) -> Vec<f64> {
@@ -214,7 +236,10 @@ mod tests {
         for p in [2usize, 4, 8] {
             let out = sim(p).simulate(&costs);
             let total: f64 = costs.iter().sum();
-            assert!(out.makespan >= total / p as f64 - 1e-12, "p={p}: below T1/p");
+            assert!(
+                out.makespan >= total / p as f64 - 1e-12,
+                "p={p}: below T1/p"
+            );
             assert!(out.makespan >= 0.5 - 1e-12, "p={p}: below max task");
         }
     }
@@ -246,12 +271,18 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let costs: Vec<f64> = (0..500).map(|i| ((i * 37 % 11) + 1) as f64 * 1e-4).collect();
+        let costs: Vec<f64> = (0..500)
+            .map(|i| ((i * 37 % 11) + 1) as f64 * 1e-4)
+            .collect();
         let a = sim(6).simulate(&costs);
         let b = sim(6).simulate(&costs);
         assert_eq!(a, b);
-        let c = StealSimulator::new(StealSimParams { workers: 6, seed: 999, ..Default::default() })
-            .simulate(&costs);
+        let c = StealSimulator::new(StealSimParams {
+            workers: 6,
+            seed: 999,
+            ..Default::default()
+        })
+        .simulate(&costs);
         // Different seed may differ, but bounds still hold.
         assert!(c.makespan >= a.total_work / 6.0 - 1e-12);
     }

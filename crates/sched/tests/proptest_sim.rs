@@ -5,7 +5,11 @@ use polaroct_sched::{StealSimParams, StealSimulator};
 use proptest::prelude::*;
 
 fn sim(p: usize, seed: u64) -> StealSimulator {
-    StealSimulator::new(StealSimParams { workers: p, seed, ..Default::default() })
+    StealSimulator::new(StealSimParams {
+        workers: p,
+        seed,
+        ..Default::default()
+    })
 }
 
 proptest! {

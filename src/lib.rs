@@ -55,8 +55,8 @@ pub use polaroct_surface as surface;
 pub mod prelude {
     pub use polaroct_cluster::machine::{ClusterSpec, MachineSpec, Placement};
     pub use polaroct_core::drivers::{
-        run_naive, run_oct_cilk, run_oct_hybrid, run_oct_mpi, run_serial, DriverConfig,
-        RunReport,
+        fork_join_makespan, run_naive, run_oct_cilk, run_oct_hybrid, run_oct_mpi,
+        run_oct_threads, run_serial, DriverConfig, PhaseTimes, RunReport,
     };
     pub use polaroct_core::{ApproxParams, GbSystem, WorkDivision};
     pub use polaroct_geom::fastmath::MathMode;

@@ -1,0 +1,160 @@
+//! Offline shim for `crossbeam-channel`.
+//!
+//! A bounded MPMC channel built on `Mutex` + `Condvar`, exposing the
+//! subset of the crossbeam-channel API the simulated-MPI fabric uses:
+//! [`bounded`], cloneable [`Sender`] / [`Receiver`] that send and receive
+//! through `&self`. The fabric holds both endpoints of every channel for
+//! the whole run, so disconnect semantics (the part of crossbeam this
+//! shim does not reproduce) are unreachable in-tree.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Error returned by [`Sender::send`] (never produced by this shim while
+/// both endpoints are alive — kept for API compatibility).
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] on a disconnected, empty channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+struct Chan<T> {
+    queue: Mutex<VecDeque<T>>,
+    cap: usize,
+    /// Signaled when an item is taken (senders blocked on a full queue).
+    not_full: Condvar,
+    /// Signaled when an item arrives (receivers blocked on empty).
+    not_empty: Condvar,
+}
+
+/// Create a bounded channel with capacity `cap` (`cap >= 1`).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap >= 1, "zero-capacity rendezvous channels are not supported by the shim");
+    let chan = Arc::new(Chan {
+        queue: Mutex::new(VecDeque::with_capacity(cap)),
+        cap,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+}
+
+/// The sending half; cloneable and usable through `&self`.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Block until there is room, then enqueue `value`.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut q = self.chan.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        while q.len() >= self.chan.cap {
+            q = self.chan.not_full.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+        q.push_back(value);
+        drop(q);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { chan: Arc::clone(&self.chan) }
+    }
+}
+
+/// The receiving half; cloneable and usable through `&self`.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Block until an item is available and dequeue it.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.chan.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            q = self.chan.not_empty.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive (None when currently empty).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut q = self.chan.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let v = q.pop_front();
+        if v.is_some() {
+            self.chan.not_full.notify_one();
+        }
+        v
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver { chan: Arc::clone(&self.chan) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_in_order() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn capacity_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(10).unwrap();
+        let t = std::thread::spawn(move || {
+            // Blocks until the main thread receives the first item.
+            tx.send(20).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(10));
+        assert_eq!(rx.recv(), Ok(20));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn cross_thread_ping_pong() {
+        let (tx_a, rx_a) = bounded(1);
+        let (tx_b, rx_b) = bounded(1);
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx_a.send(i).unwrap();
+                assert_eq!(rx_b.recv(), Ok(i * 2));
+            }
+        });
+        for _ in 0..100 {
+            let v: i32 = rx_a.recv().unwrap();
+            tx_b.send(v * 2).unwrap();
+        }
+        t.join().unwrap();
+    }
+}

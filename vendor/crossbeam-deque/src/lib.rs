@@ -1,0 +1,182 @@
+//! Offline shim for `crossbeam-deque`.
+//!
+//! Implements the `Worker` / `Stealer` / `Injector` API surface the
+//! workspace's work-stealing pool uses, backed by `Mutex<VecDeque>`
+//! instead of the lock-free Chase–Lev deque. Semantics are identical
+//! (LIFO owner end, FIFO steal end); the shim trades peak contention
+//! throughput for zero external dependencies. Critical sections are a
+//! few pointer moves, so for the coarse leaf-block tasks this workspace
+//! schedules the difference is noise next to the kernels.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Outcome of a steal attempt (mirrors crossbeam's enum).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty at the time of the attempt.
+    Empty,
+    /// One item was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+type Shared<T> = Arc<Mutex<VecDeque<T>>>;
+
+fn locked<T>(q: &Shared<T>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The owner's end of a work-stealing deque. The owner pushes and pops
+/// at the *back* (LIFO, cache-hot); thieves steal from the *front*
+/// (FIFO, the oldest and largest-granularity work).
+pub struct Worker<T> {
+    queue: Shared<T>,
+}
+
+impl<T> Worker<T> {
+    /// A LIFO worker (the flavor cilk-style schedulers use).
+    pub fn new_lifo() -> Worker<T> {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+    }
+
+    /// A FIFO worker (owner pops oldest first).
+    pub fn new_fifo() -> Worker<T> {
+        Self::new_lifo()
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        locked(&self.queue).pop_back()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+
+    /// A handle other threads use to steal from this deque's front.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A thief's handle onto some worker's deque.
+pub struct Stealer<T> {
+    queue: Shared<T>,
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// A global FIFO injection queue shared by all workers.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Injector<T> {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    pub fn push(&self, task: T) {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner).push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match self.queue.lock().unwrap_or_else(PoisonError::into_inner).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1), "thief takes the oldest");
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing() {
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let stealers: Vec<Stealer<i32>> = (0..4).map(|_| w.stealer()).collect();
+        let total = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for s in &stealers {
+                scope.spawn(|| {
+                    while let Steal::Success(_) = s.steal() {
+                        total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 1000);
+    }
+}

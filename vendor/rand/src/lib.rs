@@ -1,0 +1,210 @@
+//! Offline shim for `rand` 0.8.
+//!
+//! Provides the trait surface this workspace uses — [`RngCore`],
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen_range`] over half-open
+//! ranges of `f64` and the integer types — with no external dependencies.
+//! Generators live in the `rand_chacha` shim (and any in-tree impl of
+//! [`RngCore`]). Sequences are deterministic per seed but do **not**
+//! bit-match upstream rand's output; nothing in-tree pins upstream
+//! sequences (the seed repo never built offline, so no recorded results
+//! depend on them).
+
+use std::ops::Range;
+
+/// The core source of randomness: 32/64-bit uniform words.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let w = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&w[..rem.len()]);
+        }
+    }
+}
+
+/// Construction from seeds. Only `seed_from_u64` is exercised in-tree;
+/// `from_seed` is the required constructor it derives from.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a 64-bit state into a full seed via SplitMix64 (the same
+    /// construction upstream rand uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        let bytes = seed.as_mut();
+        let mut i = 0;
+        while i < bytes.len() {
+            let w = sm.next_u64().to_le_bytes();
+            let take = (bytes.len() - i).min(8);
+            bytes[i..i + take].copy_from_slice(&w[..take]);
+            i += take;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — seed expander and a perfectly serviceable small PRNG.
+pub struct SplitMix64 {
+    pub state: u64,
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly from a `Range`.
+pub trait SampleUniform: Sized {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = range.start + unit * (range.end - range.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= range.end {
+            range.end - (range.end - range.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                // Debiased multiply-shift (Lemire); span << 2^64 in-tree so
+                // the rejection loop terminates essentially immediately.
+                loop {
+                    let x = rng.next_u64();
+                    let hi = ((x as u128 * span as u128) >> 64) as u64;
+                    let lo = (x as u128 * span as u128) as u64;
+                    if lo >= span || lo >= (u64::MAX - span + 1) % span {
+                        return range.start + hi as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = range.end.wrapping_sub(range.start) as $u as u64;
+                let off = u64::sample_range(rng, 0..span);
+                range.start.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i64 => u64, i32 => u32, isize => usize);
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn gen(&mut self) -> f64 {
+        f64::sample_range(self, 0.0..1.0)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        f64::sample_range(self, 0.0..1.0) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = SplitMix64 { state: 7 };
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn usize_range_hits_all_values() {
+        let mut rng = SplitMix64 { state: 1 };
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64 { state: 42 };
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64 { state: 42 };
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SplitMix64 { state: 3 };
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn tiny_f64_range_stays_half_open() {
+        let mut rng = SplitMix64 { state: 9 };
+        for _ in 0..1000 {
+            let v = rng.gen_range(f64::EPSILON..1.0);
+            assert!(v >= f64::EPSILON && v < 1.0);
+        }
+    }
+}

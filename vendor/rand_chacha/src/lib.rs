@@ -1,0 +1,156 @@
+//! Offline shim for `rand_chacha`: a real ChaCha keystream generator
+//! implementing the vendored `rand` traits.
+//!
+//! The block function is the genuine ChaCha quarter-round construction
+//! (RFC 8439 layout), parameterized by round count: [`ChaCha8Rng`],
+//! [`ChaCha12Rng`], [`ChaCha20Rng`]. Output does not bit-match upstream
+//! `rand_chacha` (word-consumption order differs), but has the same
+//! statistical quality and is deterministic per seed — which is all the
+//! synthetic-molecule generators and simulators in-tree rely on.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: 16 input words -> 16 keystream words.
+fn chacha_block(input: &[u32; 16], rounds: usize, out: &mut [u32; 16]) {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = x[i].wrapping_add(input[i]);
+    }
+}
+
+/// A ChaCha keystream generator with `R` double…single rounds.
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const ROUNDS: usize> {
+    /// Constants + 8 key words + 2 counter words + 2 nonce words.
+    state: [u32; 16],
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 = exhausted.
+    index: usize,
+}
+
+impl<const ROUNDS: usize> ChaChaRng<ROUNDS> {
+    fn refill(&mut self) {
+        chacha_block(&self.state, ROUNDS, &mut self.buffer);
+        // 64-bit block counter in words 12..14.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+}
+
+impl<const ROUNDS: usize> RngCore for ChaChaRng<ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const ROUNDS: usize> SeedableRng for ChaChaRng<ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // Counter and nonce start at zero.
+        ChaChaRng { state, buffer: [0; 16], index: 16 }
+    }
+}
+
+pub type ChaCha8Rng = ChaChaRng<8>;
+pub type ChaCha12Rng = ChaChaRng<12>;
+pub type ChaCha20Rng = ChaChaRng<20>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rfc8439_chacha20_block_vector() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00:00:00:09:00:00:00:4a:00:00:00:00.
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CONSTANTS);
+        for (i, w) in input[4..12].iter_mut().enumerate() {
+            let b = 4 * i as u32;
+            *w = u32::from_le_bytes([b as u8, b as u8 + 1, b as u8 + 2, b as u8 + 3]);
+        }
+        input[12] = 1;
+        input[13] = 0x0900_0000;
+        input[14] = 0x4a00_0000;
+        input[15] = 0;
+        let mut out = [0u32; 16];
+        chacha_block(&input, 20, &mut out);
+        assert_eq!(out[0], 0xe4e7_f110);
+        assert_eq!(out[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let seq = |seed: u64| -> Vec<u64> {
+            let mut r = ChaCha8Rng::seed_from_u64(seed);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(seq(1), seq(1));
+        assert_ne!(seq(1), seq(2));
+    }
+
+    #[test]
+    fn uniform_f64_looks_uniform() {
+        let mut r = ChaCha8Rng::seed_from_u64(99);
+        let n = 20_000;
+        let mean: f64 =
+            (0..n).map(|_| r.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        let first: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let second: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(first, second);
+    }
+}
