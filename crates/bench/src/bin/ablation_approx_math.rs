@@ -29,14 +29,14 @@ fn main() {
         let mol = entry.build();
         let base = ApproxParams::default();
         let sys = GbSystem::prepare(&mol, &base);
-        let naive = run_naive(&sys, &base, &cfg);
-        let exact = run_oct_hybrid(&sys, &base, &cfg, &hybrid_cluster(12));
+        let naive = run_naive(&sys, &base, &cfg).unwrap();
+        let exact = run_oct_hybrid(&sys, &base, &cfg, &hybrid_cluster(12)).unwrap();
         let approx = run_oct_hybrid(
             &sys,
             &base.with_math(MathMode::Approx),
             &cfg,
             &hybrid_cluster(12),
-        );
+        ).unwrap();
         let speedup = exact.time / approx.time;
         speedups.push(speedup);
         t.push(vec![

@@ -16,7 +16,7 @@ fn main() {
     let cfg = std_config();
     let mol = synth::protein("Z-mid", 4_000, 0xD1);
     let sys = GbSystem::prepare(&mol, &params);
-    let naive = run_naive(&sys, &params, &cfg);
+    let naive = run_naive(&sys, &params, &cfg).unwrap();
 
     let mut t = Table::new(
         "ablation_workdiv",
@@ -32,14 +32,14 @@ fn main() {
     let mut node_errs = Vec::new();
     let mut atom_errs = Vec::new();
     for p in [1usize, 2, 4, 8, 16, 32] {
-        let node = run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(p), WorkDivision::NodeNode);
+        let node = run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(p), WorkDivision::NodeNode).unwrap();
         let atom = run_oct_mpi(
             &sys,
             &params,
             &cfg,
             &mpi_cluster(p),
             WorkDivision::AtomBased,
-        );
+        ).unwrap();
         let ne = energy_error_pct(node.energy_kcal, naive.energy_kcal);
         let ae = energy_error_pct(atom.energy_kcal, naive.energy_kcal);
         node_errs.push(ne);

@@ -1,0 +1,177 @@
+//! Fault-injection sweep: recovery cost and fidelity vs fault rate.
+//!
+//! Three measurements, all on a 4-rank simulated OCT_MPI run:
+//!
+//! 1. **Containment overhead** — wall-clock of the fault-free FT path
+//!    (catch_unwind + try_map + checksummed collectives, nothing firing)
+//!    against the plain driver entry point, on the real-thread driver.
+//!    The acceptance bar is ≤2%.
+//! 2. **Random-plan sweep** — `FaultPlan::random` at increasing rates;
+//!    each plan must come back `Completed`/`Recovered` with an energy
+//!    bit-identical to the fault-free run, and the simulated time shows
+//!    what the retries cost.
+//! 3. **Degraded recovery** — one killed rank regenerated far-field-only;
+//!    reports the error estimate next to the actual error.
+//!
+//! Emits `BENCH_faults.json` (to `$POLAROCT_OUT` if set, else
+//! `results/`) plus the usual TSV table.
+
+use polaroct_bench::{fmt_time, mpi_cluster, quick_mode, std_config, Table};
+use polaroct_cluster::fault::{phase, FaultPlan, FtPolicy};
+use polaroct_core::drivers::{FtConfig, RecoveryMode, RunOutcome};
+use polaroct_core::{
+    run_oct_mpi, run_oct_mpi_ft, run_oct_threads, run_oct_threads_ft, ApproxParams, GbSystem,
+    WorkDivision,
+};
+use polaroct_molecule::synth;
+use std::io::Write;
+use std::time::Duration;
+
+const RANKS: usize = 4;
+
+fn main() {
+    let n = if quick_mode() { 1_500 } else { 6_000 };
+    let reps = if quick_mode() { 2 } else { 5 };
+    eprintln!("[fault_sweep] generating protein ({n} atoms)...");
+    let mol = synth::protein("faults", n, 0xFA17);
+    let params = ApproxParams::default();
+    let sys = GbSystem::prepare(&mol, &params);
+    let cfg = std_config();
+    let policy = FtPolicy::with_timeout(Duration::from_secs(2));
+
+    // 1. Containment overhead on the real-thread driver: plain entry vs
+    // explicit FT entry with an empty plan (min-of-reps on both sides).
+    let threads = 4;
+    let mut wall_plain = f64::INFINITY;
+    let mut wall_ft = f64::INFINITY;
+    for _ in 0..reps {
+        wall_plain = wall_plain.min(run_oct_threads(&sys, &params, &cfg, threads).unwrap().wall_seconds);
+        wall_ft = wall_ft
+            .min(run_oct_threads_ft(&sys, &params, &cfg, threads, &FaultPlan::none()).unwrap().wall_seconds);
+    }
+    let overhead_pct = (wall_ft / wall_plain - 1.0) * 100.0;
+    eprintln!(
+        "[fault_sweep] containment: plain {} vs ft {} ({overhead_pct:+.2}%)",
+        fmt_time(wall_plain),
+        fmt_time(wall_ft)
+    );
+
+    // 2. Fault-free reference for the distributed sweep.
+    let clean = run_oct_mpi(&sys, &params, &cfg, &mpi_cluster(RANKS), WorkDivision::NodeNode).unwrap();
+    eprintln!(
+        "[fault_sweep] clean run: E = {:.6e} kcal/mol, simulated {}",
+        clean.energy_kcal,
+        fmt_time(clean.time)
+    );
+
+    let mut t = Table::new(
+        "fault_sweep",
+        &["rate", "seed", "outcome", "retries", "bit_identical", "time_s", "time_overhead_pct"],
+    );
+    struct Row {
+        rate: f64,
+        seed: u64,
+        outcome: String,
+        retries: u32,
+        bit_identical: bool,
+        time: f64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let seeds: &[u64] = if quick_mode() { &[1, 2] } else { &[1, 2, 3, 4, 5] };
+    for &rate in &[0.1f64, 0.25, 0.5] {
+        for &seed in seeds {
+            let ftc = FtConfig {
+                plan: FaultPlan::random(seed, RANKS, rate),
+                policy: policy.clone(),
+                recovery: RecoveryMode::Reexecute,
+            };
+            let r = run_oct_mpi_ft(&sys, &params, &cfg, &mpi_cluster(RANKS), WorkDivision::NodeNode, &ftc)
+                .expect("re-execute recovery must survive any random plan");
+            let retries = match r.outcome {
+                RunOutcome::Recovered { n_retries } => n_retries,
+                _ => 0,
+            };
+            let bit_identical = r.energy_kcal.to_bits() == clean.energy_kcal.to_bits();
+            assert!(bit_identical, "rate {rate} seed {seed}: energy drifted");
+            rows.push(Row {
+                rate,
+                seed,
+                outcome: format!("{:?}", r.outcome),
+                retries,
+                bit_identical,
+                time: r.time,
+            });
+        }
+    }
+    for r in &rows {
+        t.push(vec![
+            format!("{:.2}", r.rate),
+            r.seed.to_string(),
+            r.outcome.clone(),
+            r.retries.to_string(),
+            r.bit_identical.to_string(),
+            format!("{:.6}", r.time),
+            format!("{:.2}", (r.time / clean.time - 1.0) * 100.0),
+        ]);
+    }
+    t.emit();
+
+    // 3. Degraded recovery: one killed rank, far-field-only regeneration.
+    let ftc = FtConfig {
+        plan: FaultPlan::new(99).kill(2, phase::INTEGRALS),
+        policy: policy.clone(),
+        recovery: RecoveryMode::Degrade,
+    };
+    let deg = run_oct_mpi_ft(&sys, &params, &cfg, &mpi_cluster(RANKS), WorkDivision::NodeNode, &ftc)
+        .expect("degraded recovery must complete");
+    let (est_err, actual_err) = match deg.outcome {
+        RunOutcome::Degraded { est_error_pct } => (
+            est_error_pct,
+            ((deg.energy_kcal - clean.energy_kcal) / clean.energy_kcal).abs() * 100.0,
+        ),
+        ref other => {
+            eprintln!("[fault_sweep] warning: expected Degraded, got {other:?}");
+            (0.0, 0.0)
+        }
+    };
+    eprintln!("[fault_sweep] degraded: est {est_err:.2}% vs actual {actual_err:.4}%");
+
+    // BENCH_faults.json — machine-readable record.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"atoms\": {},\n", sys.n_atoms()));
+    json.push_str(&format!("  \"ranks\": {RANKS},\n"));
+    json.push_str(&format!("  \"clean_energy_kcal\": {:.12e},\n", clean.energy_kcal));
+    json.push_str(&format!("  \"clean_time_s\": {:.6e},\n", clean.time));
+    json.push_str(&format!(
+        "  \"containment\": {{\"threads\": {threads}, \"wall_plain_s\": {wall_plain:.6e}, \
+         \"wall_ft_s\": {wall_ft:.6e}, \"overhead_pct\": {overhead_pct:.3}}},\n"
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"rate\": {:.2}, \"seed\": {}, \"outcome\": \"{}\", \"retries\": {}, \
+             \"bit_identical\": {}, \"time_s\": {:.6e}, \"time_overhead_pct\": {:.3}}}{}\n",
+            r.rate,
+            r.seed,
+            r.outcome,
+            r.retries,
+            r.bit_identical,
+            r.time,
+            (r.time / clean.time - 1.0) * 100.0,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"degraded\": {{\"est_error_pct\": {est_err:.4}, \"actual_error_pct\": {actual_err:.4}}}\n"
+    ));
+    json.push_str("}\n");
+    let dir = std::env::var("POLAROCT_OUT").ok().filter(|d| !d.is_empty());
+    let dir = dir.unwrap_or_else(|| "results".to_string());
+    let _ = std::fs::create_dir_all(&dir);
+    let path = std::path::Path::new(&dir).join("BENCH_faults.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("[fault_sweep] wrote {}", path.display()),
+        Err(e) => eprintln!("[fault_sweep] could not write {}: {e}", path.display()),
+    }
+}

@@ -23,7 +23,7 @@ fn main() {
     for entry in &suite {
         let mol = entry.build();
         let sys = GbSystem::prepare(&mol, &ApproxParams::default());
-        let naive = run_naive(&sys, &ApproxParams::default(), &cfg);
+        let naive = run_naive(&sys, &ApproxParams::default(), &cfg).unwrap();
         prepared.push((entry.name.clone(), sys, naive.energy_kcal));
     }
 
@@ -45,7 +45,7 @@ fn main() {
         let mut errors = Vec::with_capacity(prepared.len());
         let mut total_time = 0.0;
         for (name, sys, e_naive) in &prepared {
-            let r = run_oct_hybrid(sys, &params, &cfg, &hybrid_cluster(12));
+            let r = run_oct_hybrid(sys, &params, &cfg, &hybrid_cluster(12)).unwrap();
             errors.push(energy_error_pct(r.energy_kcal, *e_naive));
             total_time += r.time;
             let _ = name;

@@ -35,23 +35,23 @@ fn main() {
     );
 
     // Full-size runs.
-    let cilk12 = run_oct_cilk(&sys, &params, &cfg, 12);
+    let cilk12 = run_oct_cilk(&sys, &params, &cfg, 12).unwrap();
     let mpi12 = run_oct_mpi(
         &sys,
         &params,
         &cfg,
         &mpi_cluster(12),
         WorkDivision::NodeNode,
-    );
+    ).unwrap();
     let mpi144 = run_oct_mpi(
         &sys,
         &params,
         &cfg,
         &mpi_cluster(144),
         WorkDivision::NodeNode,
-    );
-    let hyb12 = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12));
-    let hyb144 = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(144));
+    ).unwrap();
+    let hyb12 = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12)).unwrap();
+    let hyb144 = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(144)).unwrap();
 
     let amber = polaroct_baselines::amber::Amber::default();
     let amber12 = match amber.run(&mol, &PackageContext::new(mpi_cluster(12))) {
@@ -83,15 +83,15 @@ fn main() {
     };
     let small = synth::capsid("CMV-scaled", n_small, 0xC3F);
     let sys_small = GbSystem::prepare(&small, &params);
-    let naive_small = run_naive(&sys_small, &params, &cfg);
+    let naive_small = run_naive(&sys_small, &params, &cfg).unwrap();
     let oct_small = run_oct_mpi(
         &sys_small,
         &params,
         &cfg,
         &mpi_cluster(12),
         WorkDivision::NodeNode,
-    );
-    let cilk_small = run_oct_cilk(&sys_small, &params, &cfg, 12);
+    ).unwrap();
+    let cilk_small = run_oct_cilk(&sys_small, &params, &cfg, 12).unwrap();
     let amber_small = match amber.run(&small, &PackageContext::new(mpi_cluster(12))) {
         PackageOutcome::Ok(r) => r,
         _ => panic!("Amber should fit scaled CMV"),

@@ -43,8 +43,8 @@ fn main() {
             &cfg,
             &mpi_cluster(cores),
             WorkDivision::NodeNode,
-        );
-        let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(cores));
+        ).unwrap();
+        let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(cores)).unwrap();
         if cores == 12 {
             base_mpi = mpi.time;
             base_hyb = hyb.time;

@@ -42,8 +42,8 @@ fn main() {
             &cfg,
             &mpi_cluster(cores),
             WorkDivision::NodeNode,
-        );
-        let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(cores));
+        ).unwrap();
+        let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(cores)).unwrap();
         let (mpi_min, mpi_max) = noise.min_max(
             mpi.compute,
             mpi.comm + mpi.wait,

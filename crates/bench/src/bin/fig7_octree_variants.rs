@@ -28,15 +28,15 @@ fn main() {
     for entry in suite() {
         let mol = entry.build();
         let sys = GbSystem::prepare(&mol, &params);
-        let cilk = run_oct_cilk(&sys, &params, &cfg, 12);
+        let cilk = run_oct_cilk(&sys, &params, &cfg, 12).unwrap();
         let mpi = run_oct_mpi(
             &sys,
             &params,
             &cfg,
             &mpi_cluster(12),
             WorkDivision::NodeNode,
-        );
-        let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12));
+        ).unwrap();
+        let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12)).unwrap();
         eprintln!(
             "[fig7] {} ({} atoms): CILK {} | MPI {} | MPI+CILK {}",
             entry.name,

@@ -58,10 +58,10 @@ fn main() {
             &cfg,
             &mpi_cluster(12),
             WorkDivision::NodeNode,
-        )
+        ).unwrap()
         .time;
-        let oct_hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12)).time;
-        let oct_cilk = run_oct_cilk(&sys, &params, &cfg, 12).time;
+        let oct_hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12)).unwrap().time;
+        let oct_cilk = run_oct_cilk(&sys, &params, &cfg, 12).unwrap().time;
 
         // Package order from all_packages(): Gromacs, NAMD, Amber,
         // Tinker, GBr6.

@@ -33,14 +33,14 @@ fn main() {
     for entry in suite() {
         let mol = entry.build();
         let sys = GbSystem::prepare(&mol, &params);
-        let naive = run_naive(&sys, &params, &cfg);
+        let naive = run_naive(&sys, &params, &cfg).unwrap();
         let oct = run_oct_mpi(
             &sys,
             &params,
             &cfg,
             &mpi_cluster(12),
             WorkDivision::NodeNode,
-        );
+        ).unwrap();
         let energies: Vec<Option<f64>> = pkgs
             .iter()
             .map(|p| match p.run(&mol, &ctx12) {

@@ -62,7 +62,7 @@ fn main() {
         let mut modeled = 0.0;
         let mut energy = 0.0;
         for _ in 0..reps {
-            let r = run_oct_threads(&sys, &params, &cfg, threads);
+            let r = run_oct_threads(&sys, &params, &cfg, threads).unwrap();
             wall = wall.min(r.wall_seconds);
             modeled = r.time;
             energy = r.energy_kcal;

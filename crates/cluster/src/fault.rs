@@ -1,0 +1,378 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! The paper's Fig. 4 algorithm divides work *statically* and
+//! synchronizes with bulk collectives, so a single dead or straggling
+//! rank stalls the whole job. A [`FaultPlan`] describes, ahead of time
+//! and reproducibly, which rank misbehaves at which phase — the SPMD
+//! launcher and the drivers consult it at phase boundaries
+//! ([`crate::runner::RankContext::fault_point`]) and the communicator
+//! consults it when shipping collective payloads.
+//!
+//! Faults are **one-shot**: each entry fires at most once per run (the
+//! fired flags are cleared when a plan is cloned, so one plan value can
+//! drive many runs deterministically).
+//!
+//! Phase numbers follow the paper's Fig. 4 step numbering; see [`phase`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Fig. 4 step numbers used as fault-injection phase ids.
+pub mod phase {
+    /// Step 2 — `APPROX-INTEGRALS` over the rank's quadrature leaves.
+    pub const INTEGRALS: u32 = 2;
+    /// Step 3 — `MPI_Allreduce` of the partial integrals.
+    pub const REDUCE_INTEGRALS: u32 = 3;
+    /// Step 4 — `PUSH-INTEGRALS-TO-ATOMS` over the rank's atom segment.
+    pub const PUSH: u32 = 4;
+    /// Step 5 — `MPI_Allgatherv` of the Born radii.
+    pub const GATHER_RADII: u32 = 5;
+    /// Step 6 — `APPROX-E_pol` over the rank's atom leaves.
+    pub const EPOL: u32 = 6;
+    /// Step 7 — `MPI_Reduce` of the partial energies.
+    pub const REDUCE_EPOL: u32 = 7;
+    /// All compute phases, in execution order.
+    pub const COMPUTE: [u32; 3] = [INTEGRALS, PUSH, EPOL];
+    /// All collective phases, in execution order.
+    pub const COLLECTIVE: [u32; 3] = [REDUCE_INTEGRALS, GATHER_RADII, REDUCE_EPOL];
+}
+
+/// What happens when a fault fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The rank dies silently (thread exits without participating in any
+    /// further collective) — a hard crash. Detected by collective
+    /// timeout.
+    Kill,
+    /// The rank straggles: `virtual_s` seconds are charged to its
+    /// [`crate::simtime::SimClock`] and the thread really sleeps
+    /// `real_ms` milliseconds (bounded, to exercise timeout tolerance
+    /// without slowing the suite).
+    Delay { virtual_s: f64, real_ms: u64 },
+    /// The rank's next collective payload is silently not sent. The root
+    /// times out on it and (from the fabric's point of view) the rank is
+    /// dead from then on.
+    DropPayload,
+    /// The rank's next collective payload is bit-corrupted in flight.
+    /// The checksum catches it at the root; the contribution is treated
+    /// as lost (recoverable), but the rank itself stays alive.
+    CorruptPayload,
+    /// The rank's body panics (`panic!`), exercising the
+    /// `catch_unwind` containment in the SPMD launcher.
+    PanicRank,
+    /// One worker task of the rank's intra-node thread pool panics,
+    /// exercising the containment in `polaroct-sched`'s pool.
+    PanicWorker,
+}
+
+impl FaultKind {
+    /// Does this fault fire at a compute fault point (vs. on a payload)?
+    fn is_exec(self) -> bool {
+        !matches!(self, FaultKind::DropPayload | FaultKind::CorruptPayload)
+    }
+}
+
+#[derive(Debug)]
+struct FaultEntry {
+    rank: usize,
+    phase: u32,
+    kind: FaultKind,
+    fired: AtomicBool,
+}
+
+/// A seeded, deterministic set of injected faults.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    entries: Vec<FaultEntry>,
+}
+
+impl Clone for FaultPlan {
+    /// Cloning resets the fired flags — a clone replays the same faults.
+    fn clone(&self) -> Self {
+        FaultPlan {
+            seed: self.seed,
+            entries: self
+                .entries
+                .iter()
+                .map(|e| FaultEntry {
+                    rank: e.rank,
+                    phase: e.phase,
+                    kind: e.kind,
+                    fired: AtomicBool::new(false),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, entries: Vec::new() }
+    }
+
+    /// The plan that injects nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Seed this plan was built from (also used to pick poisoned worker
+    /// tasks deterministically).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of injected faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn with(mut self, rank: usize, phase: u32, kind: FaultKind) -> Self {
+        self.entries.push(FaultEntry { rank, phase, kind, fired: AtomicBool::new(false) });
+        self
+    }
+
+    /// Kill `rank` when it reaches `phase`.
+    pub fn kill(self, rank: usize, phase: u32) -> Self {
+        self.with(rank, phase, FaultKind::Kill)
+    }
+
+    /// Delay `rank` at `phase` by `virtual_s` simulated seconds (plus a
+    /// bounded real sleep so the recv timeout tolerance is exercised).
+    pub fn delay(self, rank: usize, phase: u32, virtual_s: f64) -> Self {
+        let real_ms = ((virtual_s * 1e3) as u64).min(25);
+        self.with(rank, phase, FaultKind::Delay { virtual_s, real_ms })
+    }
+
+    /// Drop `rank`'s payload at collective `phase`.
+    pub fn drop_payload(self, rank: usize, phase: u32) -> Self {
+        self.with(rank, phase, FaultKind::DropPayload)
+    }
+
+    /// Corrupt `rank`'s payload at collective `phase`.
+    pub fn corrupt_payload(self, rank: usize, phase: u32) -> Self {
+        self.with(rank, phase, FaultKind::CorruptPayload)
+    }
+
+    /// Panic `rank`'s body at `phase`.
+    pub fn panic_rank(self, rank: usize, phase: u32) -> Self {
+        self.with(rank, phase, FaultKind::PanicRank)
+    }
+
+    /// Panic one pool worker task of `rank` at `phase`.
+    pub fn panic_worker(self, rank: usize, phase: u32) -> Self {
+        self.with(rank, phase, FaultKind::PanicWorker)
+    }
+
+    /// A deterministic random plan: every non-root rank rolls once per
+    /// compute/collective phase; a roll below `rate` injects a fault
+    /// whose kind is also drawn from the seed. Root (rank 0) is never
+    /// faulted — the star's root is a single point of failure by
+    /// construction (documented in DESIGN.md).
+    pub fn random(seed: u64, ranks: usize, rate: f64) -> FaultPlan {
+        let mut plan = FaultPlan::new(seed);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for rank in 1..ranks {
+            for &ph in phase::COMPUTE.iter().chain(phase::COLLECTIVE.iter()) {
+                let roll = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                if roll >= rate {
+                    continue;
+                }
+                let kind = match next() % 4 {
+                    0 => FaultKind::Kill,
+                    1 => FaultKind::Delay { virtual_s: 0.5, real_ms: 5 },
+                    2 if phase::COLLECTIVE.contains(&ph) => FaultKind::DropPayload,
+                    2 => FaultKind::PanicRank,
+                    _ if phase::COLLECTIVE.contains(&ph) => FaultKind::CorruptPayload,
+                    _ => FaultKind::Delay { virtual_s: 0.1, real_ms: 2 },
+                };
+                plan.entries.push(FaultEntry {
+                    rank,
+                    phase: ph,
+                    kind,
+                    fired: AtomicBool::new(false),
+                });
+            }
+        }
+        plan
+    }
+
+    fn fire(&self, rank: usize, phase: u32, exec: bool) -> Option<FaultKind> {
+        for e in &self.entries {
+            if e.rank == rank
+                && e.phase == phase
+                && e.kind.is_exec() == exec
+                && e.fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return Some(e.kind);
+            }
+        }
+        None
+    }
+
+    /// Consume the pending *execution* fault (kill / delay / panic) for
+    /// `(rank, phase)`, if any. One-shot.
+    pub fn fire_exec(&self, rank: usize, phase: u32) -> Option<FaultKind> {
+        self.fire(rank, phase, true)
+    }
+
+    /// Consume the pending *payload* fault (drop / corrupt) for
+    /// `(rank, phase)`, if any. One-shot.
+    pub fn fire_payload(&self, rank: usize, phase: u32) -> Option<FaultKind> {
+        self.fire(rank, phase, false)
+    }
+}
+
+/// How a lost contribution may be regenerated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoverMode {
+    /// Re-execute the lost rank's work with the same deterministic code
+    /// over the same static partition — the result is bit-identical to
+    /// what the lost rank would have produced.
+    Exact,
+    /// Approximate the lost contribution with the cheap far-field binned
+    /// evaluation only (widened error bars; see `RunOutcome::Degraded`).
+    Degraded,
+}
+
+/// Fault-tolerance knobs shared by all ranks of a run.
+#[derive(Clone, Copy, Debug)]
+pub struct FtPolicy {
+    /// How long the root waits on one rank's collective payload before
+    /// declaring it dead (and how long members wait per protocol step,
+    /// scaled by the communicator size).
+    pub timeout: Duration,
+    /// Extra recovery rounds allowed when an assignee itself fails
+    /// (round 0 is the initial recovery attempt, not a retry).
+    pub max_retries: u32,
+    /// After retries are exhausted, allow one degraded (far-field-only)
+    /// round before giving up.
+    pub allow_degraded: bool,
+}
+
+impl Default for FtPolicy {
+    fn default() -> Self {
+        FtPolicy { timeout: Duration::from_secs(30), max_retries: 2, allow_degraded: true }
+    }
+}
+
+impl FtPolicy {
+    /// A short-timeout policy for tests.
+    pub fn with_timeout(timeout: Duration) -> FtPolicy {
+        FtPolicy { timeout, ..Default::default() }
+    }
+}
+
+/// What a fault-tolerant collective had to do, reported to every
+/// surviving participant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FtReport {
+    /// Ranks known dead by the end of the collective.
+    pub dead: Vec<usize>,
+    /// Ranks whose contribution was re-executed exactly.
+    pub recovered: Vec<usize>,
+    /// Ranks whose contribution was approximated (far-field only).
+    pub degraded: Vec<usize>,
+    /// Recovery rounds the collective needed (0 = fault-free).
+    pub retries: u32,
+}
+
+impl FtReport {
+    /// Did the collective complete without touching the recovery path?
+    pub fn clean(&self) -> bool {
+        self.dead.is_empty() && self.recovered.is_empty() && self.degraded.is_empty()
+    }
+
+    /// Fold another collective's report into a running per-run summary.
+    pub fn merge(&mut self, other: &FtReport) {
+        for &r in &other.dead {
+            if !self.dead.contains(&r) {
+                self.dead.push(r);
+            }
+        }
+        self.recovered.extend_from_slice(&other.recovered);
+        for &r in &other.degraded {
+            if !self.degraded.contains(&r) {
+                self.degraded.push(r);
+            }
+        }
+        self.retries += other.retries;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_fire_once_and_clone_resets() {
+        let plan = FaultPlan::new(7).kill(1, phase::INTEGRALS).delay(2, phase::PUSH, 0.5);
+        assert_eq!(plan.fire_exec(1, phase::INTEGRALS), Some(FaultKind::Kill));
+        assert_eq!(plan.fire_exec(1, phase::INTEGRALS), None, "one-shot");
+        assert_eq!(plan.fire_exec(0, phase::INTEGRALS), None);
+        assert!(matches!(plan.fire_exec(2, phase::PUSH), Some(FaultKind::Delay { .. })));
+        let again = plan.clone();
+        assert_eq!(again.fire_exec(1, phase::INTEGRALS), Some(FaultKind::Kill));
+    }
+
+    #[test]
+    fn payload_and_exec_faults_are_disjoint() {
+        let plan = FaultPlan::new(0).corrupt_payload(1, phase::REDUCE_INTEGRALS);
+        assert_eq!(plan.fire_exec(1, phase::REDUCE_INTEGRALS), None);
+        assert_eq!(
+            plan.fire_payload(1, phase::REDUCE_INTEGRALS),
+            Some(FaultKind::CorruptPayload)
+        );
+        assert_eq!(plan.fire_payload(1, phase::REDUCE_INTEGRALS), None);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_spare_root() {
+        let a = FaultPlan::random(42, 8, 0.5);
+        let b = FaultPlan::random(42, 8, 0.5);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty(), "rate 0.5 over 7 ranks x 6 phases must hit");
+        for ph in phase::COMPUTE.iter().chain(phase::COLLECTIVE.iter()) {
+            assert_eq!(a.fire_exec(0, *ph), None, "root must never be faulted");
+            assert_eq!(a.fire_payload(0, *ph), None);
+        }
+        // Same seed fires the same faults in the same order.
+        for rank in 1..8 {
+            for ph in phase::COMPUTE.iter().chain(phase::COLLECTIVE.iter()) {
+                assert_eq!(a.fire_exec(rank, *ph), b.fire_exec(rank, *ph));
+                assert_eq!(a.fire_payload(rank, *ph), b.fire_payload(rank, *ph));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_random_plan_is_empty() {
+        assert!(FaultPlan::random(3, 16, 0.0).is_empty());
+    }
+
+    #[test]
+    fn report_merge_dedups_ranks_and_sums_retries() {
+        let mut a = FtReport { dead: vec![1], recovered: vec![1], degraded: vec![], retries: 1 };
+        let b = FtReport { dead: vec![1, 2], recovered: vec![1], degraded: vec![2], retries: 2 };
+        a.merge(&b);
+        assert_eq!(a.dead, vec![1, 2]);
+        assert_eq!(a.recovered, vec![1, 1], "recovery count keeps multiplicity");
+        assert_eq!(a.degraded, vec![2]);
+        assert_eq!(a.retries, 3);
+        assert!(!a.clean());
+        assert!(FtReport::default().clean());
+    }
+}

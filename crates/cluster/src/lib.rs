@@ -39,10 +39,14 @@
 //!   virtual seconds are anchored to real hardware.
 //! * [`noise`] — run-to-run jitter model for the min/max-of-20-runs plots
 //!   (Fig. 6).
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) and
+//!   the fault-tolerance policy/report types backing the `_ft`
+//!   collectives and [`runner::run_spmd_ft`].
 
 pub mod calib;
 pub mod comm;
 pub mod costmodel;
+pub mod fault;
 pub mod machine;
 pub mod memory;
 pub mod noise;
@@ -51,10 +55,11 @@ pub mod simtime;
 pub mod trace;
 
 pub use calib::KernelCosts;
-pub use comm::Communicator;
+pub use comm::{CommError, Communicator, Recovery};
 pub use costmodel::CommCostModel;
+pub use fault::{FaultKind, FaultPlan, FtPolicy, FtReport, RecoverMode};
 pub use machine::{ClusterSpec, MachineSpec, Placement};
 pub use memory::MemoryModel;
 pub use noise::NoiseModel;
-pub use runner::{run_spmd, RankContext, SpmdResult};
+pub use runner::{run_spmd, run_spmd_ft, FtSpmdResult, RankContext, RankError, SpmdResult};
 pub use simtime::SimClock;

@@ -87,7 +87,7 @@ impl Placement {
     /// each socket").
     pub fn hybrid_per_socket(total_cores: usize, machine: &MachineSpec) -> Self {
         let p = machine.cores_per_socket;
-        assert!(total_cores % p == 0, "cores {total_cores} not divisible by socket width {p}");
+        assert!(total_cores.is_multiple_of(p), "cores {total_cores} not divisible by socket width {p}");
         Placement::new(total_cores / p, p)
     }
 

@@ -1,10 +1,49 @@
 //! SPMD launcher: run `P` ranks of a closure over the simulated cluster.
+//!
+//! Two entry points: [`run_spmd`] (infallible body, panics if a rank
+//! fails — the historical interface) and [`run_spmd_ft`] (fault-aware:
+//! the body returns `Result`, panics are contained with `catch_unwind`,
+//! and a [`FaultPlan`] is consulted at driver-declared phase boundaries
+//! via [`RankContext::fault_point`]).
 
 use crate::calib::KernelCosts;
-use crate::comm::{CommFabric, Communicator};
+use crate::comm::{CommError, CommFabric, Communicator};
 use crate::costmodel::CommCostModel;
+use crate::fault::{FaultKind, FaultPlan, FtPolicy};
 use crate::machine::ClusterSpec;
 use crate::simtime::{OpCounts, SimClock};
+use polaroct_sched::pool::WorkStealingPool;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why one rank of an SPMD run failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RankError {
+    /// A collective failed (timeout / lost ranks / abort).
+    Comm(CommError),
+    /// An injected kill fault fired at this phase.
+    Killed { phase: u32 },
+    /// The rank body panicked; contained by `catch_unwind`.
+    Panicked(String),
+}
+
+impl fmt::Display for RankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankError::Comm(e) => write!(f, "{e}"),
+            RankError::Killed { phase } => write!(f, "rank killed by fault at phase {phase}"),
+            RankError::Panicked(msg) => write!(f, "rank panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RankError {}
+
+impl From<CommError> for RankError {
+    fn from(e: CommError) -> Self {
+        RankError::Comm(e)
+    }
+}
 
 /// Everything a rank body receives.
 pub struct RankContext {
@@ -18,6 +57,8 @@ pub struct RankContext {
     pub costs: KernelCosts,
     /// Threads available to this rank (the hybrid `p`).
     pub threads: usize,
+    /// The run's fault plan (empty when launched via [`run_spmd`]).
+    pub faults: Arc<FaultPlan>,
 }
 
 impl RankContext {
@@ -27,6 +68,48 @@ impl RankContext {
         let secs = self.costs.seconds(&self.ops, approx_math);
         self.clock.add_compute(secs);
         self.ops = OpCounts::default();
+    }
+
+    /// Declare a phase boundary (Fig. 4 step number): records the phase
+    /// on the communicator (so payload faults target the right
+    /// collective) and fires any pending execution fault for this rank.
+    ///
+    /// * `Kill` — returns `Err(RankError::Killed)`; the body should
+    ///   propagate it so the rank exits silently (peers detect it by
+    ///   collective timeout).
+    /// * `Delay` — charges virtual straggler time and really sleeps a
+    ///   bounded amount, exercising the timeout tolerance.
+    /// * `PanicRank` — panics; contained by [`run_spmd_ft`].
+    /// * `PanicWorker` — runs a probe task set on a real work-stealing
+    ///   pool in which one task panics; the pool contains it (the lost
+    ///   task is re-executed inline), demonstrating intra-rank
+    ///   containment without failing the rank.
+    pub fn fault_point(&mut self, phase: u32) -> Result<(), RankError> {
+        self.comm.set_phase(phase);
+        match self.faults.fire_exec(self.rank, phase) {
+            None | Some(FaultKind::DropPayload) | Some(FaultKind::CorruptPayload) => Ok(()),
+            Some(FaultKind::Kill) => Err(RankError::Killed { phase }),
+            Some(FaultKind::Delay { virtual_s, real_ms }) => {
+                self.clock.add_compute(virtual_s);
+                std::thread::sleep(std::time::Duration::from_millis(real_ms));
+                Ok(())
+            }
+            Some(FaultKind::PanicRank) => {
+                panic!("injected rank panic at phase {phase}")
+            }
+            Some(FaultKind::PanicWorker) => {
+                let pool = WorkStealingPool::new(self.threads.max(2));
+                let (slots, metrics) = pool.try_map(4, |i| {
+                    if i == 1 {
+                        panic!("injected worker panic at phase {phase}");
+                    }
+                    i
+                });
+                debug_assert_eq!(metrics.panics, 1);
+                debug_assert!(slots[1].is_none() && slots[0].is_some());
+                Ok(())
+            }
+        }
     }
 }
 
@@ -56,37 +139,95 @@ impl<T> SpmdResult<T> {
     }
 }
 
-/// Launch `cluster.placement.processes` ranks, each running `body`.
-///
-/// Ranks execute concurrently as OS threads (collectives rendezvous), so
-/// results are exactly what an MPI run would compute; clocks are virtual.
-pub fn run_spmd<T, F>(cluster: &ClusterSpec, costs: KernelCosts, body: F) -> SpmdResult<T>
+/// The result of a fault-aware SPMD run: per-rank `Result`s plus clocks
+/// (a failed rank's clock reflects the time it accumulated before dying).
+#[derive(Debug)]
+pub struct FtSpmdResult<T> {
+    pub per_rank: Vec<Result<T, RankError>>,
+    pub clocks: Vec<SimClock>,
+}
+
+impl<T> FtSpmdResult<T> {
+    /// The simulated parallel completion time over *surviving* ranks.
+    pub fn parallel_time(&self) -> f64 {
+        self.per_rank
+            .iter()
+            .zip(&self.clocks)
+            .filter(|(r, _)| r.is_ok())
+            .map(|(_, c)| c.total())
+            .fold(0.0, f64::max)
+    }
+
+    /// Ranks that failed, with their errors.
+    pub fn failures(&self) -> Vec<(usize, &RankError)> {
+        self.per_rank
+            .iter()
+            .enumerate()
+            .filter_map(|(r, res)| res.as_ref().err().map(|e| (r, e)))
+            .collect()
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Launch `cluster.placement.processes` ranks with fault injection and
+/// containment: each rank's body runs under `catch_unwind`, consults
+/// `plan` at its declared [`RankContext::fault_point`]s, and returns a
+/// `Result` instead of panicking the whole run.
+pub fn run_spmd_ft<T, F>(
+    cluster: &ClusterSpec,
+    costs: KernelCosts,
+    plan: &FaultPlan,
+    policy: FtPolicy,
+    body: F,
+) -> FtSpmdResult<T>
 where
     T: Send,
-    F: Fn(&mut RankContext) -> T + Sync,
+    F: Fn(&mut RankContext) -> Result<T, RankError> + Sync,
 {
     let size = cluster.placement.processes;
     let threads = cluster.placement.threads_per_process;
     let cost_model = CommCostModel::for_cluster(cluster);
-    let fabric = CommFabric::new(size);
+    let fabric = CommFabric::with_policy(size, policy);
+    // Clone resets the one-shot fired flags: the caller's plan value can
+    // drive many runs identically.
+    let plan = Arc::new(plan.clone());
 
-    let mut results: Vec<Option<(T, SimClock)>> = (0..size).map(|_| None).collect();
+    let mut results: Vec<Option<(Result<T, RankError>, SimClock)>> =
+        (0..size).map(|_| None).collect();
     std::thread::scope(|scope| {
         for (rank, slot) in results.iter_mut().enumerate() {
             let fabric = fabric.clone();
+            let plan = plan.clone();
             let body = &body;
             scope.spawn(move || {
+                let comm =
+                    Communicator::new(rank, size, cost_model, fabric).with_faults(plan.clone());
                 let mut ctx = RankContext {
                     rank,
                     size,
-                    comm: Communicator::new(rank, size, cost_model, fabric),
+                    comm,
                     clock: SimClock::new(),
                     ops: OpCounts::default(),
                     costs,
                     threads,
+                    faults: plan,
                 };
-                let v = body(&mut ctx);
-                *slot = Some((v, ctx.clock));
+                let out =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+                let res = match out {
+                    Ok(r) => r,
+                    Err(p) => Err(RankError::Panicked(panic_message(p))),
+                };
+                *slot = Some((res, ctx.clock));
             });
         }
     });
@@ -94,17 +235,43 @@ where
     let mut per_rank = Vec::with_capacity(size);
     let mut clocks = Vec::with_capacity(size);
     for slot in results {
-        let (v, c) = slot.expect("rank panicked");
+        let (v, c) = slot.expect("rank thread vanished");
         per_rank.push(v);
         clocks.push(c);
     }
-    SpmdResult { per_rank, clocks }
+    FtSpmdResult { per_rank, clocks }
+}
+
+/// Launch `cluster.placement.processes` ranks, each running `body`.
+///
+/// Ranks execute concurrently as OS threads (collectives rendezvous), so
+/// results are exactly what an MPI run would compute; clocks are virtual.
+/// Thin wrapper over [`run_spmd_ft`] with no faults; a failed rank
+/// (panic, or a collective timeout) panics here.
+pub fn run_spmd<T, F>(cluster: &ClusterSpec, costs: KernelCosts, body: F) -> SpmdResult<T>
+where
+    T: Send,
+    F: Fn(&mut RankContext) -> T + Sync,
+{
+    let res = run_spmd_ft(cluster, costs, &FaultPlan::none(), FtPolicy::default(), |ctx| {
+        Ok(body(ctx))
+    });
+    let per_rank = res
+        .per_rank
+        .into_iter()
+        .enumerate()
+        .map(|(r, v)| v.unwrap_or_else(|e| panic!("rank {r} failed: {e}")))
+        .collect();
+    SpmdResult { per_rank, clocks: res.clocks }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::comm::Recovery;
+    use crate::fault::{phase, RecoverMode};
     use crate::machine::{MachineSpec, Placement};
+    use std::time::Duration;
 
     fn cluster(p: usize) -> ClusterSpec {
         ClusterSpec::new(MachineSpec::lonestar4(), Placement::distributed(p))
@@ -160,5 +327,107 @@ mod tests {
         let c = ClusterSpec::new(m, Placement::hybrid_per_socket(12, &m));
         let res = run_spmd(&c, KernelCosts::lonestar4_reference(), |ctx| ctx.threads);
         assert_eq!(res.per_rank, vec![6, 6]);
+    }
+
+    // ---- fault-aware launcher ----
+
+    #[test]
+    fn panicked_rank_is_contained_as_error() {
+        let plan = FaultPlan::new(0).panic_rank(1, phase::INTEGRALS);
+        let policy = FtPolicy::with_timeout(Duration::from_millis(200));
+        let res = run_spmd_ft(&cluster(3), KernelCosts::lonestar4_reference(), &plan, policy, |ctx| {
+            ctx.fault_point(phase::INTEGRALS)?;
+            Ok(ctx.rank)
+        });
+        assert_eq!(res.per_rank[0], Ok(0));
+        assert!(
+            matches!(res.per_rank[1], Err(RankError::Panicked(ref m)) if m.contains("injected")),
+            "got {:?}",
+            res.per_rank[1]
+        );
+        assert_eq!(res.per_rank[2], Ok(2));
+        assert_eq!(res.failures().len(), 1);
+    }
+
+    #[test]
+    fn killed_rank_surfaces_as_error_and_survivors_recover() {
+        let plan = FaultPlan::new(0).kill(1, phase::INTEGRALS);
+        let policy = FtPolicy::with_timeout(Duration::from_millis(200));
+        let res = run_spmd_ft(&cluster(3), KernelCosts::lonestar4_reference(), &plan, policy, |ctx| {
+            ctx.fault_point(phase::INTEGRALS)?;
+            let mut buf = vec![(ctx.rank + 1) as f64];
+            let mut clock = ctx.clock;
+            let mut regenerate = |lost: usize, _: RecoverMode| vec![(lost + 1) as f64];
+            ctx.comm.set_phase(phase::REDUCE_INTEGRALS);
+            let report = ctx.comm.allreduce_sum_ft(
+                &mut buf,
+                &mut clock,
+                Recovery::Enabled { regenerate: &mut regenerate, prefer: RecoverMode::Exact },
+            )?;
+            ctx.clock = clock;
+            Ok((buf[0], report.recovered.clone()))
+        });
+        assert_eq!(res.per_rank[1], Err(RankError::Killed { phase: phase::INTEGRALS }));
+        for r in [0, 2] {
+            let (sum, recovered) = res.per_rank[r].as_ref().unwrap();
+            assert_eq!(*sum, 6.0, "rank {r}: recovered sum must match fault-free");
+            assert_eq!(recovered, &vec![1]);
+        }
+    }
+
+    #[test]
+    fn delay_fault_charges_virtual_time_only_to_the_straggler() {
+        let plan = FaultPlan::new(0).delay(2, phase::PUSH, 1.5);
+        let res = run_spmd_ft(
+            &cluster(3),
+            KernelCosts::lonestar4_reference(),
+            &plan,
+            FtPolicy::default(),
+            |ctx| {
+                ctx.fault_point(phase::PUSH)?;
+                Ok(ctx.clock.compute)
+            },
+        );
+        assert_eq!(res.per_rank[0], Ok(0.0));
+        assert_eq!(res.per_rank[1], Ok(0.0));
+        assert_eq!(res.per_rank[2], Ok(1.5));
+    }
+
+    #[test]
+    fn worker_panic_is_contained_within_the_rank() {
+        let plan = FaultPlan::new(0).panic_worker(1, phase::EPOL);
+        let res = run_spmd_ft(
+            &cluster(2),
+            KernelCosts::lonestar4_reference(),
+            &plan,
+            FtPolicy::default(),
+            |ctx| {
+                ctx.fault_point(phase::EPOL)?;
+                Ok(ctx.rank)
+            },
+        );
+        // The worker panic is contained by the pool: the rank survives.
+        assert_eq!(res.per_rank, vec![Ok(0), Ok(1)]);
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_run_spmd() {
+        let ft = run_spmd_ft(
+            &cluster(4),
+            KernelCosts::lonestar4_reference(),
+            &FaultPlan::none(),
+            FtPolicy::default(),
+            |ctx| {
+                ctx.fault_point(phase::INTEGRALS)?;
+                let mut clock = ctx.clock;
+                let mut buf = vec![1.0];
+                ctx.comm.allreduce_sum(&mut buf, &mut clock);
+                ctx.clock = clock;
+                Ok(buf[0])
+            },
+        );
+        for r in ft.per_rank {
+            assert_eq!(r, Ok(4.0));
+        }
     }
 }

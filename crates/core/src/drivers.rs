@@ -29,14 +29,17 @@ use crate::system::GbSystem;
 use crate::workdiv::WorkDivision;
 use polaroct_cluster::{
     calib::KernelCosts,
+    comm::Recovery,
+    fault::{phase, FaultKind, FaultPlan, FtPolicy, FtReport, RecoverMode},
     machine::ClusterSpec,
     memory::MemoryModel,
-    runner::run_spmd,
+    runner::{run_spmd_ft, RankError},
     simtime::{OpCounts, SimClock},
 };
 use polaroct_geom::fastmath::MathMode;
 use polaroct_sched::{StealSimParams, StealSimulator, WorkStealingPool};
-use std::time::Instant;
+use std::fmt;
+use std::time::{Duration, Instant};
 
 /// Driver tuning knobs with constants calibrated against the paper's
 /// observations (documented per field).
@@ -70,6 +73,176 @@ impl Default for DriverConfig {
             steal_cost: 1.5e-6,
         }
     }
+}
+
+/// Relaxed ε used when a lost contribution is regenerated in *degraded*
+/// mode: the multipole-acceptance multiplier collapses to
+/// `(2+ε)/ε = 1.25`, so almost every interaction takes the cheap
+/// far-field path. The result is a fast, biased approximation — the run
+/// reports [`RunOutcome::Degraded`] with widened error bars instead of
+/// silently mixing it into an "exact" energy.
+pub const EPS_DEGRADED: f64 = 8.0;
+
+/// How the fault-tolerant drivers respond to lost contributions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// No recovery: any lost contribution fails the run (within the
+    /// collective timeout — never a hang).
+    Disabled,
+    /// Re-execute the lost rank's static segment with the same code over
+    /// the same partition; the merged energy is bit-identical to the
+    /// fault-free run.
+    #[default]
+    Reexecute,
+    /// Regenerate lost contributions with the far-field-only
+    /// approximation ([`EPS_DEGRADED`]) — cheaper, but the run degrades.
+    Degrade,
+}
+
+impl RecoveryMode {
+    fn prefer(self) -> Option<RecoverMode> {
+        match self {
+            RecoveryMode::Disabled => None,
+            RecoveryMode::Reexecute => Some(RecoverMode::Exact),
+            RecoveryMode::Degrade => Some(RecoverMode::Degraded),
+        }
+    }
+}
+
+/// Fault-injection + fault-tolerance configuration for the `_ft` driver
+/// entry points. The default injects nothing and recovers by exact
+/// re-execution.
+#[derive(Clone, Debug, Default)]
+pub struct FtConfig {
+    /// Faults to inject (empty = none).
+    pub plan: FaultPlan,
+    /// Timeout / retry / degraded-fallback knobs.
+    pub policy: FtPolicy,
+    /// What to do about lost contributions.
+    pub recovery: RecoveryMode,
+}
+
+/// How a driver run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunOutcome {
+    /// Fault-free execution.
+    Completed,
+    /// Faults fired, every lost contribution was re-executed exactly:
+    /// the energy is bit-identical to the fault-free run. `n_retries`
+    /// counts recovery rounds (distributed) or re-executed blocks
+    /// (threads driver).
+    Recovered { n_retries: u32 },
+    /// Some contributions were regenerated far-field-only;
+    /// `est_error_pct` is the estimated additional relative-error bar
+    /// (percent) from the degraded shares.
+    Degraded { est_error_pct: f64 },
+    /// The run produced no trustworthy energy (kept for reporting
+    /// pipelines; drivers surface this case as `Err(DriverError)`).
+    Failed { cause: String },
+}
+
+impl RunOutcome {
+    /// Is the energy exact (bit-identical to a fault-free run)?
+    pub fn is_exact(&self) -> bool {
+        matches!(self, RunOutcome::Completed | RunOutcome::Recovered { .. })
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed => write!(f, "completed"),
+            RunOutcome::Recovered { n_retries } => {
+                write!(f, "recovered ({n_retries} retries)")
+            }
+            RunOutcome::Degraded { est_error_pct } => {
+                write!(f, "degraded (~{est_error_pct:.2}% extra error)")
+            }
+            RunOutcome::Failed { cause } => write!(f, "failed: {cause}"),
+        }
+    }
+}
+
+/// Why a driver refused to run, or failed outright.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DriverError {
+    /// The input system carries non-finite (or non-physical) values;
+    /// `index` is the offending atom's original input index (or the
+    /// quadrature-point index, as stated by `what`).
+    InvalidInput { index: usize, what: String },
+    /// The run failed: unrecovered faults, a dead root, or exhausted
+    /// recovery retries.
+    Failed { cause: String },
+}
+
+impl DriverError {
+    /// Fold this error into the [`RunOutcome`] column of a report table.
+    pub fn outcome(&self) -> RunOutcome {
+        RunOutcome::Failed { cause: self.to_string() }
+    }
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::InvalidInput { index, what } => {
+                write!(f, "invalid input at index {index}: {what}")
+            }
+            DriverError::Failed { cause } => write!(f, "run failed: {cause}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Reject systems carrying NaN/∞ coordinates, charges, weights, or
+/// non-positive radii before any kernel runs. A single poisoned value
+/// otherwise propagates through every collective and surfaces as a
+/// far-away wrong energy with no indication of its origin. Every `run_*`
+/// driver calls this at entry.
+pub fn validate_system(sys: &GbSystem) -> Result<(), DriverError> {
+    for i in 0..sys.n_atoms() {
+        let index = sys.atoms.point_order[i] as usize;
+        let p = sys.atoms.points[i];
+        if !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite()) {
+            return Err(DriverError::InvalidInput {
+                index,
+                what: format!("atom position ({}, {}, {}) is not finite", p.x, p.y, p.z),
+            });
+        }
+        if !sys.charge[i].is_finite() {
+            return Err(DriverError::InvalidInput {
+                index,
+                what: format!("atom charge {} is not finite", sys.charge[i]),
+            });
+        }
+        let r = sys.radius[i];
+        if !(r.is_finite() && r > 0.0) {
+            return Err(DriverError::InvalidInput {
+                index,
+                what: format!("atom radius {r} is not finite and positive"),
+            });
+        }
+    }
+    for i in 0..sys.n_qpoints() {
+        let p = sys.qtree.points[i];
+        if !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite()) {
+            return Err(DriverError::InvalidInput {
+                index: i,
+                what: format!(
+                    "quadrature point ({}, {}, {}) is not finite",
+                    p.x, p.y, p.z
+                ),
+            });
+        }
+        if !sys.q_weight[i].is_finite() {
+            return Err(DriverError::InvalidInput {
+                index: i,
+                what: format!("quadrature weight {} is not finite", sys.q_weight[i]),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Measured wall-clock breakdown of one run's phases (Fig. 4 step
@@ -124,6 +297,9 @@ pub struct RunReport {
     /// phases across simulated ranks (Fig. 4) where a per-phase host
     /// clock would be meaningless.
     pub phases: PhaseTimes,
+    /// Fault-tolerance outcome ([`RunOutcome::Completed`] when no fault
+    /// plan was active).
+    pub outcome: RunOutcome,
 }
 
 impl RunReport {
@@ -138,7 +314,12 @@ fn seconds(cfg: &DriverConfig, ops: &OpCounts, math: MathMode) -> f64 {
 }
 
 /// Serial naïve exact run (Table II "Naïve").
-pub fn run_naive(sys: &GbSystem, params: &ApproxParams, cfg: &DriverConfig) -> RunReport {
+pub fn run_naive(
+    sys: &GbSystem,
+    params: &ApproxParams,
+    cfg: &DriverConfig,
+) -> Result<RunReport, DriverError> {
+    validate_system(sys)?;
     let wall = Instant::now();
     let t = Instant::now();
     let (born, mut ops) = born_radii_naive(sys, params.math);
@@ -148,7 +329,7 @@ pub fn run_naive(sys: &GbSystem, params: &ApproxParams, cfg: &DriverConfig) -> R
     let epol = t.elapsed().as_secs_f64();
     ops.add(&eops);
     let time = seconds(cfg, &ops, params.math);
-    RunReport {
+    Ok(RunReport {
         name: "Naive".into(),
         energy_kcal: epol_from_raw_sum(raw, params.eps_solvent),
         born_radii: sys.to_original_atom_order(&born),
@@ -165,7 +346,8 @@ pub fn run_naive(sys: &GbSystem, params: &ApproxParams, cfg: &DriverConfig) -> R
             epol,
             ..Default::default()
         },
-    }
+        outcome: RunOutcome::Completed,
+    })
 }
 
 /// Serial single-tree octree run (one core; the baseline the speedup
@@ -175,7 +357,12 @@ pub fn run_naive(sys: &GbSystem, params: &ApproxParams, cfg: &DriverConfig) -> R
 /// same SoA kernels in the same leaf order, so the threaded driver's
 /// energies can be validated against this one to reduction-roundoff
 /// (≤1e-12 relative) rather than approximation tolerance.
-pub fn run_serial(sys: &GbSystem, params: &ApproxParams, cfg: &DriverConfig) -> RunReport {
+pub fn run_serial(
+    sys: &GbSystem,
+    params: &ApproxParams,
+    cfg: &DriverConfig,
+) -> Result<RunReport, DriverError> {
+    validate_system(sys)?;
     let wall = Instant::now();
     let math = params.math;
 
@@ -225,7 +412,7 @@ pub fn run_serial(sys: &GbSystem, params: &ApproxParams, cfg: &DriverConfig) -> 
     let epol = t.elapsed().as_secs_f64();
 
     let time = seconds(cfg, &ops, math);
-    RunReport {
+    Ok(RunReport {
         name: "OCT_serial".into(),
         energy_kcal: epol_from_raw_sum(raw, params.eps_solvent),
         born_radii: sys.to_original_atom_order(&born),
@@ -243,7 +430,8 @@ pub fn run_serial(sys: &GbSystem, params: &ApproxParams, cfg: &DriverConfig) -> 
             bins: bins_t,
             epol,
         },
-    }
+        outcome: RunOutcome::Completed,
+    })
 }
 
 /// Shared-memory dual-tree run (`OCT_CILK`): one process, `p` threads,
@@ -254,8 +442,9 @@ pub fn run_oct_cilk(
     params: &ApproxParams,
     cfg: &DriverConfig,
     threads: usize,
-) -> RunReport {
+) -> Result<RunReport, DriverError> {
     assert!(threads >= 1);
+    validate_system(sys)?;
     let wall = Instant::now();
     let t = Instant::now();
     let (born, mut ops) = born_radii_dual(sys, params.eps_born, params.math);
@@ -290,7 +479,7 @@ pub fn run_oct_cilk(
         threads,
         cfg.steal_cost,
     );
-    RunReport {
+    Ok(RunReport {
         name: "OCT_CILK".into(),
         energy_kcal: epol_from_raw_sum(raw, params.eps_solvent),
         born_radii: sys.to_original_atom_order(&born),
@@ -308,7 +497,8 @@ pub fn run_oct_cilk(
             epol,
             ..Default::default()
         },
-    }
+        outcome: RunOutcome::Completed,
+    })
 }
 
 /// Brent/Blumofe–Leiserson makespan for a fork-join computation of total
@@ -351,18 +541,72 @@ pub fn run_oct_threads(
     params: &ApproxParams,
     cfg: &DriverConfig,
     threads: usize,
-) -> RunReport {
+) -> Result<RunReport, DriverError> {
+    run_oct_threads_ft(sys, params, cfg, threads, &FaultPlan::none())
+}
+
+/// Fire a rank-0 execution fault at a threads-driver phase start.
+/// Returns the poisoned block id for a `PanicWorker` fault (the pool
+/// contains the panic and the driver re-executes the block); `Kill` and
+/// `PanicRank` fail the whole run — a single process has no peer to
+/// recover on.
+fn fire_threads_fault(
+    plan: &FaultPlan,
+    ph: u32,
+    n_blocks: usize,
+    delay_s: &mut f64,
+) -> Result<Option<usize>, DriverError> {
+    match plan.fire_exec(0, ph) {
+        None | Some(FaultKind::DropPayload) | Some(FaultKind::CorruptPayload) => Ok(None),
+        Some(FaultKind::Delay { virtual_s, real_ms }) => {
+            *delay_s += virtual_s;
+            std::thread::sleep(Duration::from_millis(real_ms));
+            Ok(None)
+        }
+        Some(FaultKind::PanicWorker) => Ok(Some(plan.seed() as usize % n_blocks.max(1))),
+        Some(FaultKind::Kill) => Err(DriverError::Failed {
+            cause: format!(
+                "rank killed by fault at phase {ph}; a single-process run has no peer to recover on"
+            ),
+        }),
+        Some(FaultKind::PanicRank) => Err(DriverError::Failed {
+            cause: format!("rank panicked by fault at phase {ph}"),
+        }),
+    }
+}
+
+/// [`run_oct_threads`] with fault injection (entries for rank 0 fire at
+/// phase starts). A `PanicWorker` fault poisons one leaf block — chosen
+/// from the plan seed — whose task panics inside the pool; the pool
+/// contains it ([`WorkStealingPool::try_map`]), and the driver
+/// re-executes the lost block *serially, in block order*, so the merged
+/// energy stays bit-identical to the fault-free run
+/// ([`RunOutcome::Recovered`]).
+pub fn run_oct_threads_ft(
+    sys: &GbSystem,
+    params: &ApproxParams,
+    cfg: &DriverConfig,
+    threads: usize,
+    plan: &FaultPlan,
+) -> Result<RunReport, DriverError> {
     assert!(threads >= 1);
+    validate_system(sys)?;
+    // Clone resets the one-shot fired flags, so one plan value can drive
+    // many runs identically.
+    let plan = plan.clone();
     let wall = Instant::now();
     let math = params.math;
     let pool = WorkStealingPool::new(threads);
+    let mut recovered_blocks = 0u32;
+    let mut delay_s = 0.0;
 
     // ---- APPROX-INTEGRALS: q-leaf blocks fanned over the pool.
     let t = Instant::now();
     let q_blocks = sys
         .qtree
         .partition_leaves(THREAD_BLOCKS.min(sys.qtree.leaf_count().max(1)));
-    let born_parts: Vec<Option<(BornAccumulators, OpCounts)>> = pool.map(q_blocks.len(), |b| {
+    let poison = fire_threads_fault(&plan, phase::INTEGRALS, q_blocks.len(), &mut delay_s)?;
+    let born_block = |b: usize| {
         let mut acc = BornAccumulators::zeros(sys);
         let mut ops = OpCounts::default();
         let mut scratch = QLeafSoa::default();
@@ -375,13 +619,27 @@ pub fn run_oct_threads(
                 &mut scratch,
             ));
         }
-        Some((acc, ops))
+        (acc, ops)
+    };
+    let (mut born_parts, _) = pool.try_map(q_blocks.len(), |b| {
+        if Some(b) == poison {
+            panic!("injected worker panic in integrals block {b}");
+        }
+        born_block(b)
     });
-    // Merge in block order (deterministic reduction).
+    // Merge in block order (deterministic reduction); a panicked block's
+    // slot is `None` and is re-executed inline by the same closure, so
+    // the merged values cannot differ from the fault-free run.
     let mut acc = BornAccumulators::zeros(sys);
     let mut ops = OpCounts::default();
-    for part in born_parts {
-        let (pa, po) = part.expect("every block task runs exactly once");
+    for (b, slot) in born_parts.iter_mut().enumerate() {
+        let (pa, po) = match slot.take() {
+            Some(v) => v,
+            None => {
+                recovered_blocks += 1;
+                born_block(b)
+            }
+        };
         for (a, p) in acc.node.iter_mut().zip(&pa.node) {
             *a += p;
         }
@@ -398,8 +656,8 @@ pub fn run_oct_threads(
     let t = Instant::now();
     let n = sys.n_atoms();
     let push_blocks = THREAD_BLOCKS.min(n.max(1));
-    type PushPart = Option<(std::ops::Range<usize>, Vec<f64>, OpCounts)>;
-    let push_parts: Vec<PushPart> = pool.map(push_blocks, |c| {
+    let poison = fire_threads_fault(&plan, phase::PUSH, push_blocks, &mut delay_s)?;
+    let push_block = |c: usize| {
         let lo = c * n / push_blocks;
         let hi = (c + 1) * n / push_blocks;
         // The push API writes through a full-length slice; each task
@@ -407,11 +665,23 @@ pub fn run_oct_threads(
         // O(n) zeroing per task is noise next to the kernel phases.
         let mut full = vec![0.0; n];
         let ops = push_integrals_to_atoms(sys, &acc, lo..hi, math, &mut full);
-        Some((lo..hi, full[lo..hi].to_vec(), ops))
+        (lo..hi, full[lo..hi].to_vec(), ops)
+    };
+    let (mut push_parts, _) = pool.try_map(push_blocks, |c| {
+        if Some(c) == poison {
+            panic!("injected worker panic in push block {c}");
+        }
+        push_block(c)
     });
     let mut born = vec![0.0; n];
-    for part in push_parts {
-        let (range, seg, po) = part.expect("every push task runs exactly once");
+    for (c, slot) in push_parts.iter_mut().enumerate() {
+        let (range, seg, po) = match slot.take() {
+            Some(v) => v,
+            None => {
+                recovered_blocks += 1;
+                push_block(c)
+            }
+        };
         born[range].copy_from_slice(&seg);
         ops.add(&po);
     }
@@ -427,7 +697,8 @@ pub fn run_oct_threads(
     let a_blocks = sys
         .atoms
         .partition_leaves(THREAD_BLOCKS.min(sys.atoms.leaf_count().max(1)));
-    let epol_parts: Vec<Option<(f64, OpCounts)>> = pool.map(a_blocks.len(), |b| {
+    let poison = fire_threads_fault(&plan, phase::EPOL, a_blocks.len(), &mut delay_s)?;
+    let epol_block = |b: usize| {
         let mut raw = 0.0;
         let mut ops = OpCounts::default();
         let mut scratch = AtomSoa::default();
@@ -437,18 +708,30 @@ pub fn run_oct_threads(
             raw += r;
             ops.add(&o);
         }
-        Some((raw, ops))
+        (raw, ops)
+    };
+    let (mut epol_parts, _) = pool.try_map(a_blocks.len(), |b| {
+        if Some(b) == poison {
+            panic!("injected worker panic in epol block {b}");
+        }
+        epol_block(b)
     });
     let mut raw = 0.0;
-    for part in epol_parts {
-        let (r, po) = part.expect("every block task runs exactly once");
+    for (b, slot) in epol_parts.iter_mut().enumerate() {
+        let (r, po) = match slot.take() {
+            Some(v) => v,
+            None => {
+                recovered_blocks += 1;
+                epol_block(b)
+            }
+        };
         raw += r;
         ops.add(&po);
     }
     let epol = t.elapsed().as_secs_f64();
 
     // Modeled fork-join makespan over the same work, for side-by-side
-    // modeled-vs-measured reporting.
+    // modeled-vs-measured reporting; injected straggler time rides on top.
     let t1 = seconds(cfg, &ops, math);
     let stats = sys.atoms.stats();
     let time = fork_join_makespan(
@@ -457,9 +740,9 @@ pub fn run_oct_threads(
         stats.max_depth as u32,
         threads,
         cfg.steal_cost,
-    );
+    ) + delay_s;
 
-    RunReport {
+    Ok(RunReport {
         name: "OCT_THREADS".into(),
         energy_kcal: epol_from_raw_sum(raw, params.eps_solvent),
         born_radii: sys.to_original_atom_order(&born),
@@ -477,7 +760,14 @@ pub fn run_oct_threads(
             bins: bins_t,
             epol,
         },
-    }
+        outcome: if recovered_blocks > 0 {
+            RunOutcome::Recovered {
+                n_retries: recovered_blocks,
+            }
+        } else {
+            RunOutcome::Completed
+        },
+    })
 }
 
 /// Distributed run (`OCT_MPI`): Fig. 4 with one thread per rank.
@@ -487,12 +777,24 @@ pub fn run_oct_mpi(
     cfg: &DriverConfig,
     cluster: &ClusterSpec,
     workdiv: WorkDivision,
-) -> RunReport {
+) -> Result<RunReport, DriverError> {
+    run_oct_mpi_ft(sys, params, cfg, cluster, workdiv, &FtConfig::default())
+}
+
+/// [`run_oct_mpi`] under a fault plan.
+pub fn run_oct_mpi_ft(
+    sys: &GbSystem,
+    params: &ApproxParams,
+    cfg: &DriverConfig,
+    cluster: &ClusterSpec,
+    workdiv: WorkDivision,
+    ftc: &FtConfig,
+) -> Result<RunReport, DriverError> {
     assert_eq!(
         cluster.placement.threads_per_process, 1,
         "OCT_MPI is the pure distributed configuration"
     );
-    run_fig4(sys, params, cfg, cluster, workdiv, "OCT_MPI")
+    run_fig4(sys, params, cfg, cluster, workdiv, "OCT_MPI", ftc)
 }
 
 /// Hybrid run (`OCT_MPI+CILK`): Fig. 4 with `p > 1` threads per rank.
@@ -501,7 +803,18 @@ pub fn run_oct_hybrid(
     params: &ApproxParams,
     cfg: &DriverConfig,
     cluster: &ClusterSpec,
-) -> RunReport {
+) -> Result<RunReport, DriverError> {
+    run_oct_hybrid_ft(sys, params, cfg, cluster, &FtConfig::default())
+}
+
+/// [`run_oct_hybrid`] under a fault plan.
+pub fn run_oct_hybrid_ft(
+    sys: &GbSystem,
+    params: &ApproxParams,
+    cfg: &DriverConfig,
+    cluster: &ClusterSpec,
+    ftc: &FtConfig,
+) -> Result<RunReport, DriverError> {
     assert!(
         cluster.placement.threads_per_process > 1,
         "hybrid needs more than one thread per rank"
@@ -513,11 +826,128 @@ pub fn run_oct_hybrid(
         cluster,
         WorkDivision::NodeNode,
         "OCT_MPI+CILK",
+        ftc,
     )
+}
+
+/// Fig. 4 Step 2 for one rank's static share. Called by the rank's own
+/// pass *and* by recovery regeneration: re-executing it for a lost rank
+/// with the same ε yields a bit-identical partial, because the partition
+/// is static and leaves are visited in leaf-id order.
+fn step2_partial(
+    sys: &GbSystem,
+    workdiv: WorkDivision,
+    size: usize,
+    rank: usize,
+    eps_born: f64,
+) -> (BornAccumulators, Vec<OpCounts>) {
+    let mut acc = BornAccumulators::zeros(sys);
+    let mut task_ops: Vec<OpCounts> = Vec::new();
+    match workdiv {
+        WorkDivision::NodeNode => {
+            let ranges = sys.qtree.partition_leaves(size);
+            for &q in &sys.qtree.leaf_ids[ranges[rank].clone()] {
+                task_ops.push(approx_integrals(sys, q, eps_born, &mut acc));
+            }
+        }
+        WorkDivision::AtomBased => {
+            let ranges = sys.qtree.partition_points(size);
+            let my = &ranges[rank];
+            for &q in &sys.qtree.leaf_ids {
+                let node = sys.qtree.node(q);
+                if node.end as usize <= my.start || node.begin as usize >= my.end {
+                    continue;
+                }
+                task_ops.push(approx_integrals_clipped(sys, q, my, eps_born, &mut acc));
+            }
+        }
+    }
+    (acc, task_ops)
+}
+
+/// Fig. 4 Step 4 for one rank's atom segment, returning just the
+/// segment's radii. Deterministic and mode-independent (there is no
+/// approximation to relax in the push), so recovered radii are always
+/// exact.
+fn step4_segment(
+    sys: &GbSystem,
+    acc: &BornAccumulators,
+    range: std::ops::Range<usize>,
+    math: MathMode,
+) -> (Vec<f64>, OpCounts) {
+    let mut full = vec![0.0; sys.n_atoms()];
+    let ops = push_integrals_to_atoms(sys, acc, range.clone(), math, &mut full);
+    (full[range].to_vec(), ops)
+}
+
+/// Fig. 4 Step 6 for one rank's static share (see [`step2_partial`] for
+/// the bit-identity argument).
+#[allow(clippy::too_many_arguments)]
+fn step6_partial(
+    sys: &GbSystem,
+    bins: &ChargeBins,
+    born: &[f64],
+    workdiv: WorkDivision,
+    atom_ranges: &[std::ops::Range<usize>],
+    size: usize,
+    rank: usize,
+    eps_epol: f64,
+    math: MathMode,
+) -> (f64, Vec<OpCounts>) {
+    let mut raw = 0.0;
+    let mut task_ops: Vec<OpCounts> = Vec::new();
+    match workdiv {
+        WorkDivision::NodeNode => {
+            let ranges = sys.atoms.partition_leaves(size);
+            for &v in &sys.atoms.leaf_ids[ranges[rank].clone()] {
+                let (r, o) = approx_epol_leaf(sys, bins, born, v, eps_epol, math);
+                raw += r;
+                task_ops.push(o);
+            }
+        }
+        WorkDivision::AtomBased => {
+            let my = &atom_ranges[rank];
+            for &v in &sys.atoms.leaf_ids {
+                let node = sys.atoms.node(v);
+                if node.end as usize <= my.start || node.begin as usize >= my.end {
+                    continue;
+                }
+                let (r, o) = approx_epol_leaf_clipped(sys, bins, born, v, my, eps_epol, math);
+                raw += r;
+                task_ops.push(o);
+            }
+        }
+    }
+    (raw, task_ops)
+}
+
+/// Crude widened-error-bar estimate for a degraded run: each degraded
+/// rank's share of the atom leaves is assumed to push its far-field
+/// fraction `(2/ε)/(1+2/ε)` of interactions onto the binned
+/// approximation, whose relative error the paper bounds near 1% at
+/// ε = 0.9 and which grows roughly with that fraction at ε = 8.
+fn estimate_degraded_error(sys: &GbSystem, degraded: &[usize], size: usize) -> f64 {
+    let ranges = sys.atoms.partition_leaves(size);
+    let total = sys.atoms.leaf_count().max(1) as f64;
+    let far_frac = (2.0 / EPS_DEGRADED) / (1.0 + 2.0 / EPS_DEGRADED);
+    100.0
+        * degraded
+            .iter()
+            .map(|&d| ranges.get(d).map_or(0.0, |r| r.len() as f64 / total) * far_frac)
+            .sum::<f64>()
 }
 
 /// The Fig. 4 algorithm, shared by `OCT_MPI` (p = 1) and `OCT_MPI+CILK`
 /// (p > 1). Steps map one-to-one onto the paper's listing.
+///
+/// **Fault tolerance.** Each Fig. 4 step is a declared
+/// [`polaroct_cluster::runner::RankContext::fault_point`], and every
+/// collective runs its `_ft` variant with a regeneration closure that
+/// re-executes a lost rank's static segment through the *same* step
+/// helper the main path uses — so a recovered run's energy is
+/// bit-identical to the fault-free one. Rank 0 (the star's root) is the
+/// single point of failure by construction; its death fails the run.
+#[allow(clippy::too_many_arguments)]
 fn run_fig4(
     sys: &GbSystem,
     params: &ApproxParams,
@@ -525,7 +955,9 @@ fn run_fig4(
     cluster: &ClusterSpec,
     workdiv: WorkDivision,
     name: &str,
-) -> RunReport {
+    ftc: &FtConfig,
+) -> Result<RunReport, DriverError> {
+    validate_system(sys)?;
     let wall = Instant::now();
     let p_threads = cluster.placement.threads_per_process;
     let hybrid = p_threads > 1;
@@ -557,153 +989,257 @@ fn run_fig4(
         }
     };
 
-    type RankOut = (f64, Vec<f64>, OpCounts);
-    let res = run_spmd(cluster, cfg.costs, |ctx| -> RankOut {
-        let size = ctx.size;
-        let rank = ctx.rank;
-        let mut clock = ctx.clock;
-        let mut rank_ops = OpCounts::default();
+    let prefer = ftc.recovery.prefer();
+    // Recovery work is re-executed serially by the assignee while its
+    // peers wait on the collective; charge it at the serial rate.
+    let charge_recovery = |clock: &mut SimClock, ops: &OpCounts| {
+        clock.add_compute(seconds(cfg, ops, math) * slowdown);
+    };
 
-        // ---- Step 1: every rank "builds" both octrees (pre-processing,
-        // excluded from timing per §IV.C Step 1). We share the replica.
+    type RankOut = (f64, Vec<f64>, OpCounts, FtReport);
+    let res = run_spmd_ft(
+        cluster,
+        cfg.costs,
+        &ftc.plan,
+        ftc.policy,
+        |ctx| -> Result<RankOut, RankError> {
+            let size = ctx.size;
+            let rank = ctx.rank;
+            let mut clock = ctx.clock;
+            let mut rank_ops = OpCounts::default();
+            let mut summary = FtReport::default();
 
-        // ---- Step 2: approximated integrals for this rank's share of
-        // quadrature leaves / q-points.
-        let mut acc = BornAccumulators::zeros(sys);
-        let mut task_ops: Vec<OpCounts> = Vec::new();
-        match workdiv {
-            WorkDivision::NodeNode => {
-                let ranges = sys.qtree.partition_leaves(size);
-                for &q in &sys.qtree.leaf_ids[ranges[rank].clone()] {
-                    task_ops.push(approx_integrals(sys, q, params.eps_born, &mut acc));
-                }
+            // ---- Step 1: every rank "builds" both octrees (pre-processing,
+            // excluded from timing per §IV.C Step 1). We share the replica.
+
+            // ---- Step 2: approximated integrals for this rank's share of
+            // quadrature leaves / q-points.
+            ctx.fault_point(phase::INTEGRALS)?;
+            let (mut acc, task_ops) = step2_partial(sys, workdiv, size, rank, params.eps_born);
+            for o in &task_ops {
+                rank_ops.add(o);
             }
-            WorkDivision::AtomBased => {
-                let ranges = sys.qtree.partition_points(size);
-                let my = &ranges[rank];
-                for &q in &sys.qtree.leaf_ids {
-                    let node = sys.qtree.node(q);
-                    if node.end as usize <= my.start || node.begin as usize >= my.end {
-                        continue;
+            charge_phase(&mut clock, &task_ops, rank as u64);
+
+            // ---- Step 3: gather partial integrals (MPI_Allreduce). A lost
+            // rank's partial accumulator is regenerated by re-running its
+            // Step 2 share.
+            ctx.fault_point(phase::REDUCE_INTEGRALS)?;
+            {
+                let mut rec_ops = OpCounts::default();
+                let mut regenerate = |lost: usize, mode: RecoverMode| {
+                    let eps = match mode {
+                        RecoverMode::Exact => params.eps_born,
+                        RecoverMode::Degraded => EPS_DEGRADED,
+                    };
+                    let (lost_acc, ops) = step2_partial(sys, workdiv, size, lost, eps);
+                    for o in &ops {
+                        rec_ops.add(o);
                     }
-                    task_ops.push(approx_integrals_clipped(
-                        sys,
-                        q,
-                        my,
-                        params.eps_born,
-                        &mut acc,
-                    ));
-                }
+                    lost_acc.to_flat()
+                };
+                let recovery = match prefer {
+                    None => Recovery::Disabled,
+                    Some(p) => Recovery::Enabled {
+                        regenerate: &mut regenerate,
+                        prefer: p,
+                    },
+                };
+                let mut flat = acc.to_flat();
+                let report = ctx.comm.allreduce_sum_ft(&mut flat, &mut clock, recovery)?;
+                acc.from_flat(&flat);
+                summary.merge(&report);
+                rank_ops.add(&rec_ops);
+                charge_recovery(&mut clock, &rec_ops);
             }
-        }
-        for o in &task_ops {
-            rank_ops.add(o);
-        }
-        charge_phase(&mut clock, &task_ops, rank as u64);
 
-        // ---- Step 3: gather partial integrals (MPI_Allreduce).
-        let mut flat = acc.to_flat();
-        ctx.comm.allreduce_sum(&mut flat, &mut clock);
-        acc.from_flat(&flat);
-
-        // ---- Step 4: push integrals; rank i finalizes the i-th atom
-        // segment.
-        let atom_ranges = sys.atoms.partition_points(size);
-        let my_atoms = atom_ranges[rank].clone();
-        let mut born = vec![0.0; sys.n_atoms()];
-        let mut push_tasks: Vec<OpCounts> = Vec::new();
-        if hybrid {
-            // Split the segment into p*4 chunks for the intra-node pool.
-            let chunks = (p_threads * 4).max(1);
-            let len = my_atoms.len();
-            for c in 0..chunks {
-                let lo = my_atoms.start + c * len / chunks;
-                let hi = my_atoms.start + (c + 1) * len / chunks;
-                if lo < hi {
-                    push_tasks.push(push_integrals_to_atoms(sys, &acc, lo..hi, math, &mut born));
+            // ---- Step 4: push integrals; rank i finalizes the i-th atom
+            // segment.
+            ctx.fault_point(phase::PUSH)?;
+            let atom_ranges = sys.atoms.partition_points(size);
+            let my_atoms = atom_ranges[rank].clone();
+            let mut born = vec![0.0; sys.n_atoms()];
+            let mut push_tasks: Vec<OpCounts> = Vec::new();
+            if hybrid {
+                // Split the segment into p*4 chunks for the intra-node pool.
+                let chunks = (p_threads * 4).max(1);
+                let len = my_atoms.len();
+                for c in 0..chunks {
+                    let lo = my_atoms.start + c * len / chunks;
+                    let hi = my_atoms.start + (c + 1) * len / chunks;
+                    if lo < hi {
+                        push_tasks.push(push_integrals_to_atoms(
+                            sys, &acc, lo..hi, math, &mut born,
+                        ));
+                    }
                 }
+            } else {
+                push_tasks.push(push_integrals_to_atoms(
+                    sys,
+                    &acc,
+                    my_atoms.clone(),
+                    math,
+                    &mut born,
+                ));
             }
-        } else {
-            push_tasks.push(push_integrals_to_atoms(
+            for o in &push_tasks {
+                rank_ops.add(o);
+            }
+            charge_phase(&mut clock, &push_tasks, rank as u64 ^ 0x4444);
+
+            // ---- Step 5: gather Born radii (MPI_Allgatherv). The push is
+            // deterministic and mode-independent, so even a degraded-mode
+            // recovery round regenerates the exact segment — radii never
+            // carry widened error bars.
+            ctx.fault_point(phase::GATHER_RADII)?;
+            let born = {
+                let mut rec_ops = OpCounts::default();
+                let mut regenerate = |lost: usize, _mode: RecoverMode| {
+                    let (seg, ops) = step4_segment(sys, &acc, atom_ranges[lost].clone(), math);
+                    rec_ops.add(&ops);
+                    seg
+                };
+                let recovery = match prefer {
+                    None => Recovery::Disabled,
+                    Some(p) => Recovery::Enabled {
+                        regenerate: &mut regenerate,
+                        prefer: p,
+                    },
+                };
+                let (full, report) =
+                    ctx.comm
+                        .allgatherv_ft(&born[my_atoms.clone()], &mut clock, recovery)?;
+                summary.merge(&report);
+                rank_ops.add(&rec_ops);
+                charge_recovery(&mut clock, &rec_ops);
+                full
+            };
+            assert_eq!(born.len(), sys.n_atoms());
+
+            // Charge binning: O(M·M_ε) on every rank, tiny next to the
+            // kernels, charged as node visits.
+            let bins = ChargeBins::build(sys, &born, params.eps_epol);
+            let bin_ops = OpCounts {
+                nodes_visited: sys.n_atoms() as u64,
+                ..Default::default()
+            };
+            rank_ops.add(&bin_ops);
+            charge_phase(&mut clock, &[bin_ops], rank as u64 ^ 0x5555);
+
+            // ---- Step 6: partial energies for this rank's share of atom
+            // leaves / atoms.
+            ctx.fault_point(phase::EPOL)?;
+            let (raw, epol_tasks) = step6_partial(
                 sys,
-                &acc,
-                my_atoms.clone(),
+                &bins,
+                &born,
+                workdiv,
+                &atom_ranges,
+                size,
+                rank,
+                params.eps_epol,
                 math,
-                &mut born,
-            ));
-        }
-        for o in &push_tasks {
-            rank_ops.add(o);
-        }
-        charge_phase(&mut clock, &push_tasks, rank as u64 ^ 0x4444);
-
-        // ---- Step 5: gather Born radii (MPI_Allgatherv).
-        let full = ctx.comm.allgatherv(&born[my_atoms.clone()], &mut clock);
-        assert_eq!(full.len(), sys.n_atoms());
-        let born = full;
-
-        // Charge binning: O(M·M_ε) on every rank, tiny next to the
-        // kernels, charged as node visits.
-        let bins = ChargeBins::build(sys, &born, params.eps_epol);
-        let bin_ops = OpCounts {
-            nodes_visited: sys.n_atoms() as u64,
-            ..Default::default()
-        };
-        rank_ops.add(&bin_ops);
-        charge_phase(&mut clock, &[bin_ops], rank as u64 ^ 0x5555);
-
-        // ---- Step 6: partial energies for this rank's share of atom
-        // leaves / atoms.
-        let mut raw = 0.0;
-        let mut epol_tasks: Vec<OpCounts> = Vec::new();
-        match workdiv {
-            WorkDivision::NodeNode => {
-                let ranges = sys.atoms.partition_leaves(size);
-                for &v in &sys.atoms.leaf_ids[ranges[rank].clone()] {
-                    let (r, o) = approx_epol_leaf(sys, &bins, &born, v, params.eps_epol, math);
-                    raw += r;
-                    epol_tasks.push(o);
-                }
+            );
+            for o in &epol_tasks {
+                rank_ops.add(o);
             }
-            WorkDivision::AtomBased => {
-                let my = &atom_ranges[rank];
-                for &v in &sys.atoms.leaf_ids {
-                    let node = sys.atoms.node(v);
-                    if node.end as usize <= my.start || node.begin as usize >= my.end {
-                        continue;
+            charge_phase(&mut clock, &epol_tasks, rank as u64 ^ 0x6666);
+
+            // ---- Step 7: master accumulates partial energies (MPI_Reduce).
+            // A lost rank's scalar is regenerated by re-running its Step 6
+            // share; the root folds all P entries in rank order either way.
+            ctx.fault_point(phase::REDUCE_EPOL)?;
+            let total_raw = {
+                let mut rec_ops = OpCounts::default();
+                let mut regenerate = |lost: usize, mode: RecoverMode| {
+                    let eps = match mode {
+                        RecoverMode::Exact => params.eps_epol,
+                        RecoverMode::Degraded => EPS_DEGRADED,
+                    };
+                    let (r, ops) = step6_partial(
+                        sys,
+                        &bins,
+                        &born,
+                        workdiv,
+                        &atom_ranges,
+                        size,
+                        lost,
+                        eps,
+                        math,
+                    );
+                    for o in &ops {
+                        rec_ops.add(o);
                     }
-                    let (r, o) =
-                        approx_epol_leaf_clipped(sys, &bins, &born, v, my, params.eps_epol, math);
-                    raw += r;
-                    epol_tasks.push(o);
-                }
-            }
+                    vec![r]
+                };
+                let recovery = match prefer {
+                    None => Recovery::Disabled,
+                    Some(p) => Recovery::Enabled {
+                        regenerate: &mut regenerate,
+                        prefer: p,
+                    },
+                };
+                let (v, report) = ctx.comm.reduce_sum_scalar_ft(raw, &mut clock, recovery)?;
+                summary.merge(&report);
+                rank_ops.add(&rec_ops);
+                charge_recovery(&mut clock, &rec_ops);
+                v
+            };
+
+            ctx.clock = clock;
+            Ok((total_raw.unwrap_or(0.0), born, rank_ops, summary))
+        },
+    );
+
+    // Root rank (0) holds the final energy and the authoritative
+    // fault-tolerance summary; if the root itself failed, the run failed.
+    let (raw, born_sorted, summary) = match &res.per_rank[0] {
+        Ok((raw, born, _, summary)) => (*raw, born.clone(), summary.clone()),
+        Err(_) => {
+            let cause = res
+                .failures()
+                .iter()
+                .map(|(r, e)| format!("rank {r}: {e}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(DriverError::Failed { cause });
         }
-        for o in &epol_tasks {
-            rank_ops.add(o);
-        }
-        charge_phase(&mut clock, &epol_tasks, rank as u64 ^ 0x6666);
-
-        // ---- Step 7: master accumulates partial energies (MPI_Reduce).
-        let total_raw = ctx.comm.reduce_sum_scalar(raw, &mut clock);
-
-        ctx.clock = clock;
-        (total_raw.unwrap_or(0.0), born, rank_ops)
-    });
-
-    // Root rank (0) holds the final energy; all ranks hold full radii.
-    let raw = res.per_rank[0].0;
-    let born_sorted = res.per_rank[0].1.clone();
+    };
     let mut ops = OpCounts::default();
-    for (_, _, o) in &res.per_rank {
-        ops.add(o);
+    for out in res.per_rank.iter().flatten() {
+        ops.add(&out.2);
     }
+    // Time aggregates run over *surviving* ranks (a dead rank's clock
+    // stopped when it died).
+    let survivors: Vec<&SimClock> = res
+        .per_rank
+        .iter()
+        .zip(&res.clocks)
+        .filter(|(r, _)| r.is_ok())
+        .map(|(_, c)| c)
+        .collect();
     let time = res.parallel_time();
-    let compute = res.clocks.iter().map(|c| c.compute).fold(0.0, f64::max);
-    let comm = res.clocks.iter().map(|c| c.comm).fold(0.0, f64::max);
-    let wait = res.clocks.iter().map(|c| c.wait).fold(0.0, f64::max);
+    let compute = survivors.iter().map(|c| c.compute).fold(0.0, f64::max);
+    let comm = survivors.iter().map(|c| c.comm).fold(0.0, f64::max);
+    let wait = survivors.iter().map(|c| c.wait).fold(0.0, f64::max);
 
-    RunReport {
+    let outcome = if summary.clean() {
+        RunOutcome::Completed
+    } else if summary.degraded.is_empty() {
+        RunOutcome::Recovered {
+            n_retries: summary.retries,
+        }
+    } else {
+        RunOutcome::Degraded {
+            est_error_pct: estimate_degraded_error(
+                sys,
+                &summary.degraded,
+                cluster.placement.processes,
+            ),
+        }
+    };
+
+    Ok(RunReport {
         name: name.into(),
         energy_kcal: epol_from_raw_sum(raw, params.eps_solvent),
         born_radii: sys.to_original_atom_order(&born_sorted),
@@ -718,7 +1254,8 @@ fn run_fig4(
         // Ranks run sequentially on the host with phases interleaved, so
         // a per-phase host clock would be meaningless here.
         phases: PhaseTimes::default(),
-    }
+        outcome,
+    })
 }
 
 #[cfg(test)]
@@ -745,11 +1282,11 @@ mod tests {
         let sys = system(400, 3);
         let params = ApproxParams::default();
         let cfg = DriverConfig::default();
-        let naive = run_naive(&sys, &params, &cfg);
-        let serial = run_serial(&sys, &params, &cfg);
-        let cilk = run_oct_cilk(&sys, &params, &cfg, 12);
-        let mpi = run_oct_mpi(&sys, &params, &cfg, &cluster(12), WorkDivision::NodeNode);
-        let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12));
+        let naive = run_naive(&sys, &params, &cfg).unwrap();
+        let serial = run_serial(&sys, &params, &cfg).unwrap();
+        let cilk = run_oct_cilk(&sys, &params, &cfg, 12).unwrap();
+        let mpi = run_oct_mpi(&sys, &params, &cfg, &cluster(12), WorkDivision::NodeNode).unwrap();
+        let hyb = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12)).unwrap();
         // All octree variants within 1% of naive (the paper's bound).
         for r in [&serial, &cilk, &mpi, &hyb] {
             let err = ((r.energy_kcal - naive.energy_kcal) / naive.energy_kcal).abs();
@@ -766,9 +1303,12 @@ mod tests {
         let sys = system(300, 5);
         let params = ApproxParams::default();
         let cfg = DriverConfig::default();
-        let e1 = run_oct_mpi(&sys, &params, &cfg, &cluster(1), WorkDivision::NodeNode).energy_kcal;
+        let e1 = run_oct_mpi(&sys, &params, &cfg, &cluster(1), WorkDivision::NodeNode)
+            .unwrap()
+            .energy_kcal;
         for cores in [2usize, 4, 12] {
             let e = run_oct_mpi(&sys, &params, &cfg, &cluster(cores), WorkDivision::NodeNode)
+                .unwrap()
                 .energy_kcal;
             assert!(
                 ((e - e1) / e1).abs() < 1e-12,
@@ -782,14 +1322,18 @@ mod tests {
         let sys = system(300, 5);
         let params = ApproxParams::default();
         let cfg = DriverConfig::default();
-        let e2 = run_oct_mpi(&sys, &params, &cfg, &cluster(2), WorkDivision::AtomBased).energy_kcal;
-        let e7 = run_oct_mpi(&sys, &params, &cfg, &cluster(7), WorkDivision::AtomBased).energy_kcal;
+        let e2 = run_oct_mpi(&sys, &params, &cfg, &cluster(2), WorkDivision::AtomBased)
+            .unwrap()
+            .energy_kcal;
+        let e7 = run_oct_mpi(&sys, &params, &cfg, &cluster(7), WorkDivision::AtomBased)
+            .unwrap()
+            .energy_kcal;
         assert!(
             (e2 - e7).abs() > 1e-13 * e2.abs(),
             "atom-based division should vary with P ({e2} vs {e7})"
         );
         // ... but both stay within the error bound.
-        let naive = run_naive(&sys, &params, &cfg).energy_kcal;
+        let naive = run_naive(&sys, &params, &cfg).unwrap().energy_kcal;
         assert!(((e2 - naive) / naive).abs() < 0.01);
         assert!(((e7 - naive) / naive).abs() < 0.01);
     }
@@ -799,8 +1343,12 @@ mod tests {
         let sys = system(900, 7);
         let params = ApproxParams::default();
         let cfg = DriverConfig::default();
-        let t1 = run_oct_mpi(&sys, &params, &cfg, &cluster(1), WorkDivision::NodeNode).time;
-        let t12 = run_oct_mpi(&sys, &params, &cfg, &cluster(12), WorkDivision::NodeNode).time;
+        let t1 = run_oct_mpi(&sys, &params, &cfg, &cluster(1), WorkDivision::NodeNode)
+            .unwrap()
+            .time;
+        let t12 = run_oct_mpi(&sys, &params, &cfg, &cluster(12), WorkDivision::NodeNode)
+            .unwrap()
+            .time;
         assert!(t12 < t1, "12 ranks ({t12}) should beat 1 ({t1})");
         assert!(t1 / t12 > 3.0, "speedup {} too small", t1 / t12);
     }
@@ -810,8 +1358,8 @@ mod tests {
         let sys = system(1200, 9);
         let params = ApproxParams::default();
         let cfg = DriverConfig::default();
-        let naive = run_naive(&sys, &params, &cfg);
-        let serial = run_serial(&sys, &params, &cfg);
+        let naive = run_naive(&sys, &params, &cfg).unwrap();
+        let serial = run_serial(&sys, &params, &cfg).unwrap();
         assert!(
             serial.time < naive.time,
             "octree ({}) should beat naive ({})",
@@ -825,15 +1373,17 @@ mod tests {
         let sys = system(200, 1);
         let params = ApproxParams::default();
         let cfg = DriverConfig::default();
-        let r = run_oct_mpi(&sys, &params, &cfg, &cluster(4), WorkDivision::NodeNode);
+        let r = run_oct_mpi(&sys, &params, &cfg, &cluster(4), WorkDivision::NodeNode).unwrap();
         assert_eq!(r.cores, 4);
         assert_eq!(r.born_radii.len(), 200);
         assert!(r.memory_per_process > 0);
         assert!(r.ops.total() > 0);
         assert!(r.comm > 0.0, "distributed run must pay communication");
-        let h = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12));
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        let h = run_oct_hybrid(&sys, &params, &cfg, &hybrid_cluster(12)).unwrap();
         assert_eq!(h.cores, 12);
         assert_eq!(h.name, "OCT_MPI+CILK");
+        assert_eq!(h.outcome, RunOutcome::Completed);
     }
 
     #[test]
@@ -841,8 +1391,8 @@ mod tests {
         let sys = system(250, 11);
         let params = ApproxParams::default();
         let cfg = DriverConfig::default();
-        let serial = run_serial(&sys, &params, &cfg);
-        let mpi = run_oct_mpi(&sys, &params, &cfg, &cluster(6), WorkDivision::NodeNode);
+        let serial = run_serial(&sys, &params, &cfg).unwrap();
+        let mpi = run_oct_mpi(&sys, &params, &cfg, &cluster(6), WorkDivision::NodeNode).unwrap();
         for (a, b) in serial.born_radii.iter().zip(&mpi.born_radii) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
@@ -853,9 +1403,9 @@ mod tests {
         let sys = system(400, 3);
         let params = ApproxParams::default();
         let cfg = DriverConfig::default();
-        let serial = run_serial(&sys, &params, &cfg);
+        let serial = run_serial(&sys, &params, &cfg).unwrap();
         for threads in [1usize, 2, 4, 8] {
-            let thr = run_oct_threads(&sys, &params, &cfg, threads);
+            let thr = run_oct_threads(&sys, &params, &cfg, threads).unwrap();
             let rel = ((thr.energy_kcal - serial.energy_kcal) / serial.energy_kcal).abs();
             assert!(
                 rel <= 1e-12,
@@ -887,9 +1437,9 @@ mod tests {
         let sys = system(300, 7);
         let params = ApproxParams::default();
         let cfg = DriverConfig::default();
-        let e1 = run_oct_threads(&sys, &params, &cfg, 1).energy_kcal;
+        let e1 = run_oct_threads(&sys, &params, &cfg, 1).unwrap().energy_kcal;
         for threads in [2usize, 3, 4, 8] {
-            let e = run_oct_threads(&sys, &params, &cfg, threads).energy_kcal;
+            let e = run_oct_threads(&sys, &params, &cfg, threads).unwrap().energy_kcal;
             assert_eq!(e.to_bits(), e1.to_bits(), "threads={threads}: {e} vs {e1}");
         }
     }
@@ -900,8 +1450,8 @@ mod tests {
         let params = ApproxParams::default();
         let cfg = DriverConfig::default();
         for r in [
-            run_serial(&sys, &params, &cfg),
-            run_oct_threads(&sys, &params, &cfg, 2),
+            run_serial(&sys, &params, &cfg).unwrap(),
+            run_oct_threads(&sys, &params, &cfg, 2).unwrap(),
         ] {
             assert!(r.wall_seconds > 0.0, "{}: wall clock not measured", r.name);
             assert!(
@@ -918,9 +1468,111 @@ mod tests {
                 r.wall_seconds
             );
         }
-        let f = run_oct_mpi(&sys, &params, &cfg, &cluster(2), WorkDivision::NodeNode);
+        let f = run_oct_mpi(&sys, &params, &cfg, &cluster(2), WorkDivision::NodeNode).unwrap();
         assert!(f.wall_seconds > 0.0);
         assert_eq!(f.phases, PhaseTimes::default());
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_inputs() {
+        let params = ApproxParams::default();
+        let cfg = DriverConfig::default();
+        let mut sys = system(50, 1);
+        sys.charge[3] = f64::NAN;
+        let err = run_serial(&sys, &params, &cfg).unwrap_err();
+        assert!(matches!(err, DriverError::InvalidInput { .. }), "{err}");
+        assert!(err.to_string().contains("charge"), "{err}");
+        assert!(matches!(err.outcome(), RunOutcome::Failed { .. }));
+
+        let mut sys = system(50, 1);
+        sys.atoms.points[0].x = f64::INFINITY;
+        assert!(run_oct_mpi(
+            &sys,
+            &params,
+            &cfg,
+            &cluster(2),
+            WorkDivision::NodeNode
+        )
+        .is_err());
+
+        let mut sys = system(50, 1);
+        sys.radius[7] = -1.0;
+        let err = run_oct_threads(&sys, &params, &cfg, 2).unwrap_err();
+        assert!(err.to_string().contains("radius"), "{err}");
+
+        let mut sys = system(50, 1);
+        sys.q_weight[11] = f64::NAN;
+        assert!(run_naive(&sys, &params, &cfg).is_err());
+    }
+
+    #[test]
+    fn threads_driver_recovers_poisoned_block_bit_identically() {
+        let sys = system(300, 7);
+        let params = ApproxParams::default();
+        let cfg = DriverConfig::default();
+        let clean = run_oct_threads(&sys, &params, &cfg, 4).unwrap();
+        // Poison one block in each parallel phase; the pool contains the
+        // panics and the driver re-executes the blocks in order.
+        let plan = FaultPlan::new(0xB10C)
+            .panic_worker(0, phase::INTEGRALS)
+            .panic_worker(0, phase::PUSH)
+            .panic_worker(0, phase::EPOL);
+        let faulty = run_oct_threads_ft(&sys, &params, &cfg, 4, &plan).unwrap();
+        assert_eq!(
+            faulty.outcome,
+            RunOutcome::Recovered { n_retries: 3 },
+            "got {:?}",
+            faulty.outcome
+        );
+        assert_eq!(faulty.energy_kcal.to_bits(), clean.energy_kcal.to_bits());
+        for (a, b) in faulty.born_radii.iter().zip(&clean.born_radii) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mpi_recovers_killed_rank_bit_identically() {
+        let sys = system(250, 9);
+        let params = ApproxParams::default();
+        let cfg = DriverConfig::default();
+        let clean = run_oct_mpi(&sys, &params, &cfg, &cluster(4), WorkDivision::NodeNode).unwrap();
+        let ftc = FtConfig {
+            plan: FaultPlan::new(1).kill(2, phase::INTEGRALS),
+            policy: FtPolicy::with_timeout(std::time::Duration::from_millis(300)),
+            recovery: RecoveryMode::Reexecute,
+        };
+        let rec =
+            run_oct_mpi_ft(&sys, &params, &cfg, &cluster(4), WorkDivision::NodeNode, &ftc).unwrap();
+        assert!(
+            matches!(rec.outcome, RunOutcome::Recovered { n_retries } if n_retries >= 1),
+            "got {:?}",
+            rec.outcome
+        );
+        assert_eq!(rec.energy_kcal.to_bits(), clean.energy_kcal.to_bits());
+        for (a, b) in rec.born_radii.iter().zip(&clean.born_radii) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn mpi_without_recovery_fails_fast_instead_of_hanging() {
+        let sys = system(150, 2);
+        let params = ApproxParams::default();
+        let cfg = DriverConfig::default();
+        let ftc = FtConfig {
+            plan: FaultPlan::new(2).kill(1, phase::INTEGRALS),
+            policy: FtPolicy::with_timeout(std::time::Duration::from_millis(200)),
+            recovery: RecoveryMode::Disabled,
+        };
+        let t = Instant::now();
+        let err = run_oct_mpi_ft(&sys, &params, &cfg, &cluster(3), WorkDivision::NodeNode, &ftc)
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Failed { .. }), "{err}");
+        assert!(
+            t.elapsed() < std::time::Duration::from_secs(10),
+            "must fail within the collective timeout, took {:?}",
+            t.elapsed()
+        );
     }
 
     #[test]

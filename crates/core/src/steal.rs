@@ -18,7 +18,7 @@
 //! stealing only changes *who* computes a leaf, never *what* is computed.
 
 use crate::born::{approx_integrals, push_integrals_to_atoms, BornAccumulators};
-use crate::drivers::{DriverConfig, RunReport};
+use crate::drivers::{validate_system, DriverConfig, DriverError, RunOutcome, RunReport};
 use crate::epol::{approx_epol_leaf, ChargeBins};
 use crate::gb::epol_from_raw_sum;
 use crate::params::ApproxParams;
@@ -60,8 +60,9 @@ pub fn run_oct_mpi_steal(
     params: &ApproxParams,
     cfg: &DriverConfig,
     cluster: &ClusterSpec,
-) -> RunReport {
+) -> Result<RunReport, DriverError> {
     assert_eq!(cluster.placement.threads_per_process, 1);
+    validate_system(sys)?;
     let wall = std::time::Instant::now();
     let p = cluster.placement.processes;
     let mem = MemoryModel::new(sys.memory_bytes());
@@ -111,7 +112,7 @@ pub fn run_oct_mpi_steal(
     // Step 7 reduce.
     time += comm_model.reduce(8);
 
-    RunReport {
+    Ok(RunReport {
         name: "OCT_MPI+STEAL".into(),
         energy_kcal: epol_from_raw_sum(raw, params.eps_solvent),
         born_radii: sys.to_original_atom_order(&born),
@@ -124,7 +125,8 @@ pub fn run_oct_mpi_steal(
         cores: p,
         wall_seconds: wall.elapsed().as_secs_f64(),
         phases: crate::drivers::PhaseTimes::default(),
-    }
+        outcome: RunOutcome::Completed,
+    })
 }
 
 fn static_owners(ranges: &[std::ops::Range<usize>], n: usize) -> Vec<usize> {
@@ -168,8 +170,9 @@ mod tests {
         let params = ApproxParams::default();
         let sys = GbSystem::prepare(&mol, &params);
         let cfg = DriverConfig::default();
-        let static_run = run_oct_mpi(&sys, &params, &cfg, &cluster(6), WorkDivision::NodeNode);
-        let steal_run = run_oct_mpi_steal(&sys, &params, &cfg, &cluster(6));
+        let static_run =
+            run_oct_mpi(&sys, &params, &cfg, &cluster(6), WorkDivision::NodeNode).unwrap();
+        let steal_run = run_oct_mpi_steal(&sys, &params, &cfg, &cluster(6)).unwrap();
         assert!(
             ((static_run.energy_kcal - steal_run.energy_kcal) / static_run.energy_kcal).abs()
                 < 1e-12
@@ -183,8 +186,9 @@ mod tests {
         let params = ApproxParams::default();
         let sys = GbSystem::prepare(&mol, &params);
         let cfg = DriverConfig::default();
-        let static_run = run_oct_mpi(&sys, &params, &cfg, &cluster(8), WorkDivision::NodeNode);
-        let steal_run = run_oct_mpi_steal(&sys, &params, &cfg, &cluster(8));
+        let static_run =
+            run_oct_mpi(&sys, &params, &cfg, &cluster(8), WorkDivision::NodeNode).unwrap();
+        let steal_run = run_oct_mpi_steal(&sys, &params, &cfg, &cluster(8)).unwrap();
         assert!(
             steal_run.compute <= static_run.compute * 1.05 + 1e-6,
             "steal compute {} vs static {}",

@@ -17,10 +17,10 @@ proptest! {
         let params = ApproxParams::default();
         let sys = GbSystem::prepare(&mol, &params);
         let cfg = DriverConfig::default();
-        let serial = run_serial(&sys, &params, &cfg);
+        let serial = run_serial(&sys, &params, &cfg).unwrap();
         let mut first_bits = None;
         for threads in [1usize, 2, 4, 8] {
-            let thr = run_oct_threads(&sys, &params, &cfg, threads);
+            let thr = run_oct_threads(&sys, &params, &cfg, threads).unwrap();
             let rel = ((thr.energy_kcal - serial.energy_kcal) / serial.energy_kcal).abs();
             prop_assert!(
                 rel <= 1e-12,

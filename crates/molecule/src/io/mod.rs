@@ -54,10 +54,20 @@ impl From<std::io::Error> for IoError {
 }
 
 pub(crate) fn parse_f64(tok: &str, line: usize, what: &str) -> Result<f64, IoError> {
-    tok.parse::<f64>().map_err(|_| IoError::Parse {
+    // Rust's f64 parser accepts "NaN"/"inf"/"infinity"; a single such
+    // value would silently poison every downstream reduction, so the
+    // readers treat non-finite fields as parse errors.
+    let v = tok.parse::<f64>().map_err(|_| IoError::Parse {
         line,
         message: format!("bad {what}: {tok:?}"),
-    })
+    })?;
+    if !v.is_finite() {
+        return Err(IoError::Parse {
+            line,
+            message: format!("non-finite {what}: {tok:?}"),
+        });
+    }
+    Ok(v)
 }
 
 #[cfg(test)]
@@ -90,5 +100,19 @@ mod tests {
             _ => panic!("wrong variant"),
         }
         assert_eq!(parse_f64("1.5", 1, "x").unwrap(), 1.5);
+    }
+
+    #[test]
+    fn parse_f64_rejects_non_finite() {
+        for tok in ["NaN", "nan", "inf", "-inf", "infinity", "1e999"] {
+            let e = parse_f64(tok, 11, "charge").unwrap_err();
+            match e {
+                IoError::Parse { line, message } => {
+                    assert_eq!(line, 11, "{tok}");
+                    assert!(message.contains("charge"), "{message}");
+                }
+                _ => panic!("wrong variant for {tok}"),
+            }
+        }
     }
 }

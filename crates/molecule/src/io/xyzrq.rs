@@ -125,6 +125,14 @@ mod tests {
     }
 
     #[test]
+    fn rejects_non_finite_fields_with_line_number() {
+        let e = read("t", "0 0 0 1 0.1 C\n1 2 NaN 1 0.1 C\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 2, .. }));
+        let e = read("t", "0 0 0 1 inf\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
     fn rejects_nonpositive_radius() {
         let e = read("t", "0 0 0 0.0 0.1\n".as_bytes()).unwrap_err();
         assert!(matches!(e, IoError::Parse { .. }));

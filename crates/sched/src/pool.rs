@@ -19,6 +19,9 @@ pub struct PoolMetrics {
     pub steals: usize,
     /// Tasks executed in total (== `n` of the run).
     pub tasks: usize,
+    /// Tasks whose body panicked (contained per task; a panicking task
+    /// counts toward completion so sibling workers never spin forever).
+    pub panics: usize,
 }
 
 /// A fixed-width work-stealing thread pool.
@@ -53,26 +56,39 @@ impl WorkStealingPool {
 
     /// Execute `body(i)` for every `i in 0..n`, dynamically load-balanced.
     /// `body` must be safe to call concurrently for distinct indices.
+    ///
+    /// A panicking task is contained (`catch_unwind`) and counted in
+    /// [`PoolMetrics::panics`]; it still advances the completion counter,
+    /// so one bad task never hangs its sibling workers.
     pub fn run<F>(&self, n: usize, body: F) -> PoolMetrics
     where
         F: Fn(usize) + Sync,
     {
+        let contained = |i: usize, panics: &AtomicUsize| {
+            let guarded = std::panic::AssertUnwindSafe(|| body(i));
+            if std::panic::catch_unwind(guarded).is_err() {
+                panics.fetch_add(1, Ordering::Relaxed);
+            }
+        };
         if n == 0 {
             return PoolMetrics::default();
         }
         if self.width == 1 {
+            let panics = AtomicUsize::new(0);
             for i in 0..n {
-                body(i);
+                contained(i, &panics);
             }
             return PoolMetrics {
                 steals: 0,
                 tasks: n,
+                panics: panics.load(Ordering::Relaxed),
             };
         }
 
         let injector: Injector<Chunk> = Injector::new();
         injector.push((0, n));
         let steals = AtomicUsize::new(0);
+        let panics = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
 
         let workers: Vec<Worker<Chunk>> = (0..self.width).map(|_| Worker::new_lifo()).collect();
@@ -83,8 +99,9 @@ impl WorkStealingPool {
                 let injector = &injector;
                 let stealers = &stealers;
                 let steals = &steals;
+                let panics = &panics;
                 let done = &done;
-                let body = &body;
+                let contained = &contained;
                 let grain = self.grain;
                 let width = self.width;
                 scope.spawn(move || {
@@ -141,7 +158,7 @@ impl WorkStealingPool {
                                     hi = mid;
                                 }
                                 for i in lo..hi {
-                                    body(i);
+                                    contained(i, panics);
                                 }
                                 done.fetch_add(hi - lo, Ordering::Release);
                                 // Drain what we pushed (or let thieves).
@@ -165,25 +182,46 @@ impl WorkStealingPool {
         PoolMetrics {
             steals: steals.load(Ordering::Relaxed),
             tasks: n,
+            panics: panics.load(Ordering::Relaxed),
         }
     }
 
     /// Map `0..n` through `f`, collecting results in index order.
-    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    /// `None` slots mark tasks whose body panicked (count in the returned
+    /// metrics); the caller decides whether to re-execute or fail.
+    pub fn try_map<T, F>(&self, n: usize, f: F) -> (Vec<Option<T>>, PoolMetrics)
     where
-        T: Send + Default + Clone,
+        T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let mut out = vec![T::default(); n];
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let metrics;
         {
             let slots = SyncSlice(out.as_mut_ptr(), n);
-            self.run(n, |i| {
+            metrics = self.run(n, |i| {
+                let v = f(i);
                 // SAFETY: each index is executed exactly once, so every
-                // slot is written by at most one thread.
-                unsafe { slots.write(i, f(i)) };
+                // slot is written by at most one thread; if `f(i)` panics
+                // we never reach the write and the slot stays `None`
+                // (overwriting a `None` drops nothing).
+                unsafe { slots.write(i, Some(v)) };
             });
         }
-        out
+        (out, metrics)
+    }
+
+    /// Map `0..n` through `f`, collecting results in index order.
+    /// Panics if any task panicked (the historical all-or-nothing
+    /// contract); use [`WorkStealingPool::try_map`] to handle partial
+    /// results.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let (slots, metrics) = self.try_map(n, f);
+        assert_eq!(metrics.panics, 0, "{} pool task(s) panicked", metrics.panics);
+        slots.into_iter().map(|s| s.expect("every task runs exactly once")).collect()
     }
 }
 
@@ -273,6 +311,67 @@ mod tests {
         }
         let v = pool.map(5, |i| i * 10);
         assert_eq!(v, vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn panicking_task_is_contained_and_counted() {
+        let n = 200;
+        let ran: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let pool = WorkStealingPool::new(4);
+        let m = pool.run(n, |i| {
+            ran[i].fetch_add(1, Ordering::Relaxed);
+            if i == 17 || i == 101 {
+                panic!("injected");
+            }
+        });
+        assert_eq!(m.panics, 2);
+        assert_eq!(m.tasks, n);
+        // Every other task still ran exactly once — no hang, no skips.
+        for (i, c) in ran.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn panicking_task_contained_on_single_worker() {
+        let pool = WorkStealingPool::new(1);
+        let m = pool.run(10, |i| {
+            if i == 3 {
+                panic!("injected");
+            }
+        });
+        assert_eq!(m.panics, 1);
+    }
+
+    #[test]
+    fn try_map_leaves_none_for_panicked_slots() {
+        let pool = WorkStealingPool::new(3);
+        let (slots, m) = pool.try_map(64, |i| {
+            if i == 20 {
+                panic!("injected");
+            }
+            i * 3
+        });
+        assert_eq!(m.panics, 1);
+        for (i, s) in slots.iter().enumerate() {
+            if i == 20 {
+                assert!(s.is_none());
+            } else {
+                assert_eq!(*s, Some(i * 3), "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pool task(s) panicked")]
+    fn map_still_fails_fast_on_task_panic() {
+        let pool = WorkStealingPool::new(2);
+        let _ = pool.map(16, |i| {
+            if i == 5 {
+                panic!("injected");
+            }
+            i
+        });
     }
 
     #[test]

@@ -35,7 +35,8 @@ fn main() {
             run_oct_mpi(&sys, &params, &cfg, &cluster, WorkDivision::NodeNode)
         } else {
             run_oct_hybrid(&sys, &params, &cfg, &cluster)
-        };
+        }
+        .unwrap();
         println!(
             "{:<10} {:>8.3}s {:>8.3}s {:>8.3}s {:>11.2} {:>10.3e}",
             format!("{processes}x{threads}"),

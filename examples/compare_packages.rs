@@ -16,8 +16,8 @@ fn main() {
     let machine = MachineSpec::lonestar4();
     let node12 = ClusterSpec::new(machine, Placement::distributed(12));
 
-    let naive = run_naive(&sys, &params, &cfg);
-    let oct = run_oct_mpi(&sys, &params, &cfg, &node12, WorkDivision::NodeNode);
+    let naive = run_naive(&sys, &params, &cfg).unwrap();
+    let oct = run_oct_mpi(&sys, &params, &cfg, &node12, WorkDivision::NodeNode).unwrap();
 
     println!("molecule: {n} atoms; one 12-core node\n");
     println!(

@@ -66,5 +66,5 @@ fn main() {
 
 fn energy(mol: &polaroct::molecule::Molecule, params: &ApproxParams, cfg: &DriverConfig) -> f64 {
     let sys = GbSystem::prepare(mol, params);
-    run_serial(&sys, params, cfg).energy_kcal
+    run_serial(&sys, params, cfg).unwrap().energy_kcal
 }

@@ -26,19 +26,20 @@ fn main() {
     let cfg = DriverConfig::default();
 
     // 3. The naive exact reference (Eq. 2 + Eq. 4, quadratic).
-    let naive = run_naive(&sys, &params, &cfg);
+    let naive = run_naive(&sys, &params, &cfg).unwrap();
 
     // 4. The octree approximation: serial, shared-memory (12 threads),
     //    and hybrid on a simulated 12-core node.
-    let serial = run_serial(&sys, &params, &cfg);
-    let cilk = run_oct_cilk(&sys, &params, &cfg, 12);
+    let serial = run_serial(&sys, &params, &cfg).unwrap();
+    let cilk = run_oct_cilk(&sys, &params, &cfg, 12).unwrap();
     let machine = MachineSpec::lonestar4();
     let hybrid = run_oct_hybrid(
         &sys,
         &params,
         &cfg,
         &ClusterSpec::new(machine, Placement::hybrid_per_socket(12, &machine)),
-    );
+    )
+    .unwrap();
 
     println!("\n{:<14} {:>16} {:>12} {:>10}", "driver", "E_pol (kcal/mol)", "sim time", "err vs naive");
     for r in [&naive, &serial, &cilk, &hybrid] {

@@ -34,14 +34,16 @@ fn main() {
             &params,
             &cfg,
             &ClusterSpec::new(machine, Placement::hybrid_per_socket(cores, &machine)),
-        );
+        )
+        .unwrap();
         let mpi = run_oct_mpi(
             &sys,
             &params,
             &cfg,
             &ClusterSpec::new(machine, Placement::distributed(cores)),
             WorkDivision::NodeNode,
-        );
+        )
+        .unwrap();
         println!(
             "{cores:>4} cores: OCT_MPI+CILK {:>9.3}s (comm {:.1}%) | OCT_MPI {:>9.3}s (comm {:.1}%)",
             hybrid.time,
@@ -53,8 +55,8 @@ fn main() {
 
     // Error check vs naive — on a subsample if the capsid is huge.
     if n <= 80_000 {
-        let naive = run_naive(&sys, &params, &cfg);
-        let serial = run_serial(&sys, &params, &cfg);
+        let naive = run_naive(&sys, &params, &cfg).unwrap();
+        let serial = run_serial(&sys, &params, &cfg).unwrap();
         println!(
             "E_pol = {:.4e} kcal/mol (naive {:.4e}); error {:+.4}%; octree speedup {:.0}x on 1 core",
             serial.energy_kcal,
@@ -63,7 +65,7 @@ fn main() {
             naive.time / serial.time
         );
     } else {
-        let serial = run_serial(&sys, &params, &cfg);
+        let serial = run_serial(&sys, &params, &cfg).unwrap();
         println!(
             "E_pol = {:.4e} kcal/mol (naive reference skipped at this size; run <= 80k atoms to check)",
             serial.energy_kcal

@@ -163,7 +163,8 @@ fn cmd_energy(args: &[String]) -> Result<String, String> {
             &ClusterSpec::new(machine, Placement::hybrid_per_socket(cores, &machine)),
         ),
         other => return Err(format!("unknown --driver {other:?}")),
-    };
+    }
+    .map_err(|e| e.to_string())?;
     Ok(format!(
         "molecule: {} ({} atoms, {} q-points)\ndriver: {}\nE_pol = {:.4} kcal/mol\nsimulated time: {:.6} s on {} core(s)\n",
         mol.name,

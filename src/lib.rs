@@ -30,15 +30,15 @@
 //! let params = ApproxParams::default(); // ε = 0.9 / 0.9, exact math
 //! let sys = GbSystem::prepare(&mol, &params);
 //!
-//! // Serial octree run…
+//! // Serial octree run… (drivers validate inputs and return `Result`)
 //! let cfg = DriverConfig::default();
-//! let report = run_serial(&sys, &params, &cfg);
+//! let report = run_serial(&sys, &params, &cfg).unwrap();
 //! assert!(report.energy_kcal < 0.0);
 //!
 //! // …and the paper's hybrid run on a simulated 12-node cluster.
 //! let machine = MachineSpec::lonestar4();
 //! let cluster = ClusterSpec::new(machine, Placement::hybrid_per_socket(144, &machine));
-//! let hybrid = run_oct_hybrid(&sys, &params, &cfg, &cluster);
+//! let hybrid = run_oct_hybrid(&sys, &params, &cfg, &cluster).unwrap();
 //! assert!((hybrid.energy_kcal - report.energy_kcal).abs() / report.energy_kcal.abs() < 1e-9);
 //! ```
 
@@ -54,9 +54,12 @@ pub use polaroct_surface as surface;
 /// The names most programs need.
 pub mod prelude {
     pub use polaroct_cluster::machine::{ClusterSpec, MachineSpec, Placement};
+    pub use polaroct_cluster::fault::{phase, FaultPlan, FtPolicy};
     pub use polaroct_core::drivers::{
-        fork_join_makespan, run_naive, run_oct_cilk, run_oct_hybrid, run_oct_mpi,
-        run_oct_threads, run_serial, DriverConfig, PhaseTimes, RunReport,
+        fork_join_makespan, run_naive, run_oct_cilk, run_oct_hybrid, run_oct_hybrid_ft,
+        run_oct_mpi, run_oct_mpi_ft, run_oct_threads, run_oct_threads_ft, run_serial,
+        validate_system, DriverConfig, DriverError, FtConfig, PhaseTimes, RecoveryMode,
+        RunOutcome, RunReport,
     };
     pub use polaroct_core::{ApproxParams, GbSystem, WorkDivision};
     pub use polaroct_geom::fastmath::MathMode;
@@ -73,7 +76,7 @@ mod tests {
         let mol = polaroct_molecule::synth::ligand("l", 30, 1);
         let params = ApproxParams::default();
         let sys = GbSystem::prepare(&mol, &params);
-        let r = run_serial(&sys, &params, &DriverConfig::default());
+        let r = run_serial(&sys, &params, &DriverConfig::default()).unwrap();
         assert!(r.energy_kcal.is_finite());
         assert!(r.energy_kcal < 0.0);
     }

@@ -15,7 +15,7 @@ fn pipeline_produces_physical_energy() {
     let (_, sys) = small_system(300, 1);
     let params = ApproxParams::default();
     let cfg = DriverConfig::default();
-    let r = run_serial(&sys, &params, &cfg);
+    let r = run_serial(&sys, &params, &cfg).unwrap();
     // Polarization energy of a neutral protein: negative, finite, and in
     // a physically plausible range (a few kcal/mol per atom).
     assert!(r.energy_kcal < 0.0);
@@ -49,22 +49,22 @@ fn energy_invariant_under_rigid_motion() {
     let mol = polaroct::molecule::synth::protein("rigid", 250, 3);
     let params = ApproxParams::default();
     let cfg = DriverConfig::default();
-    let e0 = run_serial(&GbSystem::prepare(&mol, &params), &params, &cfg).energy_kcal;
+    let e0 = run_serial(&GbSystem::prepare(&mol, &params), &params, &cfg).unwrap().energy_kcal;
     let t = Transform::about_pivot(
         Rotation::about_axis(Vec3::new(1.0, 2.0, 3.0), 1.234),
         mol.centroid(),
         Vec3::new(100.0, -50.0, 20.0),
     );
     let moved = mol.transformed(&t);
-    let e1 = run_serial(&GbSystem::prepare(&moved, &params), &params, &cfg).energy_kcal;
+    let e1 = run_serial(&GbSystem::prepare(&moved, &params), &params, &cfg).unwrap().energy_kcal;
     // Two error sources separate here. The octree approximation is
     // pose-local — each pose must track ITS OWN naive (exact-quadrature)
     // reference within the ε tolerance. The surface quadrature itself,
     // however, is discretized on a pose-dependent grid and drifts a few
     // percent under rotation (measured ≈2.4% for this molecule), so the
     // pose-to-pose comparison only gets a quadrature-level bound.
-    let n0 = run_naive(&GbSystem::prepare(&mol, &params), &params, &cfg).energy_kcal;
-    let n1 = run_naive(&GbSystem::prepare(&moved, &params), &params, &cfg).energy_kcal;
+    let n0 = run_naive(&GbSystem::prepare(&mol, &params), &params, &cfg).unwrap().energy_kcal;
+    let n1 = run_naive(&GbSystem::prepare(&moved, &params), &params, &cfg).unwrap().energy_kcal;
     assert!(
         ((e0 - n0) / n0).abs() < 0.01,
         "original pose off its naive reference: {e0} vs {n0}"
@@ -87,8 +87,8 @@ fn complex_energy_is_not_sum_of_parts() {
     let ligand = polaroct::molecule::synth::ligand("l", 30, 6);
     let params = ApproxParams::default();
     let cfg = DriverConfig::default();
-    let e_r = run_serial(&GbSystem::prepare(&receptor, &params), &params, &cfg).energy_kcal;
-    let e_l = run_serial(&GbSystem::prepare(&ligand, &params), &params, &cfg).energy_kcal;
+    let e_r = run_serial(&GbSystem::prepare(&receptor, &params), &params, &cfg).unwrap().energy_kcal;
+    let e_l = run_serial(&GbSystem::prepare(&ligand, &params), &params, &cfg).unwrap().energy_kcal;
 
     let mut complex = receptor.clone();
     // Dock the ligand touching the receptor surface.
@@ -97,7 +97,7 @@ fn complex_energy_is_not_sum_of_parts() {
         receptor.centroid() + polaroct::geom::Vec3::new(shift, 0.0, 0.0) - ligand.centroid(),
     );
     complex.extend_from(&ligand.transformed(&t));
-    let e_c = run_serial(&GbSystem::prepare(&complex, &params), &params, &cfg).energy_kcal;
+    let e_c = run_serial(&GbSystem::prepare(&complex, &params), &params, &cfg).unwrap().energy_kcal;
     let delta = e_c - e_r - e_l;
     assert!(delta.abs() > 1e-3, "binding ΔE unexpectedly zero");
 }
@@ -107,12 +107,12 @@ fn io_roundtrip_preserves_energy() {
     let mol = polaroct::molecule::synth::ligand("io", 40, 7);
     let params = ApproxParams::default();
     let cfg = DriverConfig::default();
-    let e0 = run_serial(&GbSystem::prepare(&mol, &params), &params, &cfg).energy_kcal;
+    let e0 = run_serial(&GbSystem::prepare(&mol, &params), &params, &cfg).unwrap().energy_kcal;
 
     let mut buf = Vec::new();
     polaroct::molecule::io::xyzrq::write(&mol, &mut buf).unwrap();
     let back = polaroct::molecule::io::xyzrq::read("io", buf.as_slice()).unwrap();
-    let e1 = run_serial(&GbSystem::prepare(&back, &params), &params, &cfg).energy_kcal;
+    let e1 = run_serial(&GbSystem::prepare(&back, &params), &params, &cfg).unwrap().energy_kcal;
     // xyzrq stores 6 decimals; energies agree to ~1e-4 relative.
     assert!(((e0 - e1) / e0).abs() < 1e-4, "{e0} vs {e1}");
 }
@@ -123,10 +123,10 @@ fn preprocessing_is_reusable_across_epsilon() {
     // for any ε without reconstructing them."
     let (_, sys) = small_system(300, 9);
     let cfg = DriverConfig::default();
-    let naive = run_naive(&sys, &ApproxParams::default(), &cfg);
+    let naive = run_naive(&sys, &ApproxParams::default(), &cfg).unwrap();
     for eps in [0.1, 0.5, 0.9] {
         let params = ApproxParams::default().with_eps(0.9, eps);
-        let r = run_serial(&sys, &params, &cfg);
+        let r = run_serial(&sys, &params, &cfg).unwrap();
         let err = ((r.energy_kcal - naive.energy_kcal) / naive.energy_kcal).abs();
         assert!(err < 0.01, "eps={eps}: err {err}");
     }

@@ -23,12 +23,12 @@ fn claim_abstract_under_one_percent_error() {
     let params = ApproxParams::default();
     let sys = GbSystem::prepare(&mol, &params);
     let cfg = DriverConfig::default();
-    let naive = run_naive(&sys, &params, &cfg);
+    let naive = run_naive(&sys, &params, &cfg).unwrap();
     for r in [
-        run_serial(&sys, &params, &cfg),
-        run_oct_cilk(&sys, &params, &cfg, 12),
-        run_oct_mpi(&sys, &params, &cfg, &node12(), WorkDivision::NodeNode),
-        run_oct_hybrid(&sys, &params, &cfg, &hybrid12()),
+        run_serial(&sys, &params, &cfg).unwrap(),
+        run_oct_cilk(&sys, &params, &cfg, 12).unwrap(),
+        run_oct_mpi(&sys, &params, &cfg, &node12(), WorkDivision::NodeNode).unwrap(),
+        run_oct_hybrid(&sys, &params, &cfg, &hybrid12()).unwrap(),
     ] {
         let err = ((r.energy_kcal - naive.energy_kcal) / naive.energy_kcal).abs();
         assert!(err < 0.01, "{}: {err}", r.name);
@@ -60,6 +60,7 @@ fn claim_s4a_node_division_error_constant_in_p() {
                 &ClusterSpec::new(MachineSpec::lonestar4(), Placement::distributed(p)),
                 WorkDivision::NodeNode,
             )
+            .unwrap()
             .energy_kcal
         })
         .collect();
@@ -76,7 +77,7 @@ fn claim_s5d_tinker_energy_seventy_percent() {
     let params = ApproxParams::default();
     let sys = GbSystem::prepare(&mol, &params);
     let cfg = DriverConfig::default();
-    let naive = run_naive(&sys, &params, &cfg);
+    let naive = run_naive(&sys, &params, &cfg).unwrap();
     let tinker = polaroct::baselines::tinker::Tinker::default()
         .run(&mol, &PackageContext::new(node12()));
     use polaroct::baselines::GbPackage as _;
@@ -116,7 +117,7 @@ fn claim_s5f_octree_dominates_amber_at_scale() {
     let params = ApproxParams::default().with_math(MathMode::Approx);
     let sys = GbSystem::prepare(&mol, &params);
     let cfg = DriverConfig::default();
-    let oct = run_oct_mpi(&sys, &params, &cfg, &node12(), WorkDivision::NodeNode);
+    let oct = run_oct_mpi(&sys, &params, &cfg, &node12(), WorkDivision::NodeNode).unwrap();
     let amber = polaroct::baselines::amber::Amber::default()
         .run(&mol, &PackageContext::new(node12()));
     let amber_t = amber.report().unwrap().time;
@@ -155,6 +156,7 @@ fn claim_fig5_scaling_with_cores() {
         &ClusterSpec::new(m, Placement::distributed(12)),
         WorkDivision::NodeNode,
     )
+    .unwrap()
     .time;
     let t144 = run_oct_mpi(
         &sys,
@@ -163,11 +165,12 @@ fn claim_fig5_scaling_with_cores() {
         &ClusterSpec::new(m, Placement::distributed(144)),
         WorkDivision::NodeNode,
     )
+    .unwrap()
     .time;
     assert!(t144 < t12, "144 cores ({t144}) should beat 12 ({t12})");
     let h12 =
-        run_oct_hybrid(&sys, &params, &cfg, &ClusterSpec::new(m, Placement::hybrid_per_socket(12, &m))).time;
+        run_oct_hybrid(&sys, &params, &cfg, &ClusterSpec::new(m, Placement::hybrid_per_socket(12, &m))).unwrap().time;
     let h144 =
-        run_oct_hybrid(&sys, &params, &cfg, &ClusterSpec::new(m, Placement::hybrid_per_socket(144, &m))).time;
+        run_oct_hybrid(&sys, &params, &cfg, &ClusterSpec::new(m, Placement::hybrid_per_socket(144, &m))).unwrap().time;
     assert!(h144 < h12);
 }

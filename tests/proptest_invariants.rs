@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 fn run_energy(mol: &polaroct::molecule::Molecule, params: &ApproxParams) -> RunReport {
     let sys = GbSystem::prepare(mol, params);
-    run_serial(&sys, params, &DriverConfig::default())
+    run_serial(&sys, params, &DriverConfig::default()).unwrap()
 }
 
 proptest! {
@@ -73,9 +73,11 @@ proptest! {
         let params = ApproxParams::default();
         let sys = GbSystem::prepare(&mol, &params);
         let cfg = DriverConfig::default();
-        let serial = run_serial(&sys, &params, &cfg).energy_kcal;
+        let serial = run_serial(&sys, &params, &cfg).unwrap().energy_kcal;
         let cluster = ClusterSpec::new(MachineSpec::lonestar4(), Placement::distributed(p));
-        let mpi = run_oct_mpi(&sys, &params, &cfg, &cluster, WorkDivision::NodeNode).energy_kcal;
+        let mpi = run_oct_mpi(&sys, &params, &cfg, &cluster, WorkDivision::NodeNode)
+            .unwrap()
+            .energy_kcal;
         prop_assert!(((serial - mpi) / serial).abs() < 1e-10, "{serial} vs {mpi} at P={p}");
     }
 }

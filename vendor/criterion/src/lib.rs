@@ -67,6 +67,25 @@ impl Bencher {
             black_box(routine());
         }));
     }
+
+    /// Benchmark a routine with a per-iteration setup step. The shim
+    /// times setup + routine together (upstream excludes setup; good
+    /// enough for the smoke/regression role these benches play here).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        self.iter(|| routine(setup()));
+    }
+}
+
+/// Batch sizing hint (accepted, ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
 }
 
 /// Identifier for a parameterized benchmark.

@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Error returned by [`Sender::send`] (never produced by this shim while
 /// both endpoints are alive — kept for API compatibility).
@@ -19,6 +20,46 @@ pub struct SendError<T>(pub T);
 impl<T> fmt::Display for SendError<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers dropped (unreachable while the fabric holds both
+    /// endpoints — kept for API compatibility).
+    Disconnected(T),
+}
+
+impl<T> fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the deadline.
+    Timeout,
+    /// All senders dropped (unreachable while the fabric holds both
+    /// endpoints — kept for API compatibility).
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
     }
 }
 
@@ -70,6 +111,19 @@ impl<T> Sender<T> {
         self.chan.not_empty.notify_one();
         Ok(())
     }
+
+    /// Non-blocking send: enqueue `value` if there is room, otherwise
+    /// return it in `TrySendError::Full` immediately.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut q = self.chan.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() >= self.chan.cap {
+            return Err(TrySendError::Full(value));
+        }
+        q.push_back(value);
+        drop(q);
+        self.chan.not_empty.notify_one();
+        Ok(())
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -94,6 +148,29 @@ impl<T> Receiver<T> {
                 return Ok(v);
             }
             q = self.chan.not_empty.wait(q).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Block until an item is available or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.chan.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(v) = q.pop_front() {
+                drop(q);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _res) = self
+                .chan
+                .not_empty
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
         }
     }
 
@@ -138,6 +215,37 @@ mod tests {
         });
         assert_eq!(rx.recv(), Ok(10));
         assert_eq!(rx.recv(), Ok(20));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn try_send_reports_full_without_blocking() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(tx.try_send(3), Ok(()));
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_empty_channel() {
+        let (_tx, rx) = bounded::<i32>(1);
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(50)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn recv_timeout_returns_early_when_item_arrives() {
+        let (tx, rx) = bounded(1);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(7).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(7));
         t.join().unwrap();
     }
 
