@@ -138,7 +138,7 @@ mod tests {
         let mol = synth::protein("p", 500, 7);
         // 60 Å covers every pair of a 500-atom globule (diameter ~30 Å)
         // while keeping the nblist memory estimate sane.
-        let big = Amber { cutoff: 60.0, ..Default::default() };
+        let big = Amber { cutoff: 60.0 };
         let e_cut = Amber::default().run(&mol, &ctx(12)).report().unwrap().energy_kcal;
         let e_all = big.run(&mol, &ctx(12)).report().unwrap().energy_kcal;
         assert!(((e_cut - e_all) / e_all).abs() < 0.05, "{e_cut} vs {e_all}");

@@ -47,6 +47,8 @@ impl GbPackage for GBr6 {
         for i in 0..n {
             let (qi, ri) = (mol.charges[i], born[i]);
             raw += qi * qi / ri;
+            // `j` indexes positions, charges, and born in parallel.
+            #[allow(clippy::needless_range_loop)]
             for j in (i + 1)..n {
                 let r2 = mol.positions[i].dist2(mol.positions[j]);
                 raw += 2.0 * qi * mol.charges[j] * inv_f_gb(r2, ri, born[j], MathMode::Exact);

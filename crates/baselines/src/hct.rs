@@ -196,7 +196,7 @@ mod tests {
         let nb = NbList::build(&mol, 10.0);
         let (r, _) = born_radii_hct(&mol, &nb, HCT_SCALE);
         for (i, &ri) in r.iter().enumerate() {
-            assert!(ri >= 0.5 && ri <= crate::package::BORN_MAX, "atom {i}: {ri}");
+            assert!((0.5..=crate::package::BORN_MAX).contains(&ri), "atom {i}: {ri}");
         }
     }
 }

@@ -25,6 +25,8 @@
 //! Tinker and GBr⁶ "do not work for larger molecules (> 12k and > 13k
 //! respectively) as they run out of memory").
 
+#![forbid(unsafe_code)]
+
 pub mod amber;
 pub mod calib;
 pub mod gbr6;
@@ -49,7 +51,7 @@ pub fn all_packages() -> Vec<Box<dyn package::GbPackage>> {
         Box::new(namd::Namd::default()),
         Box::new(amber::Amber::default()),
         Box::new(tinker::Tinker::default()),
-        Box::new(gbr6::GBr6::default()),
+        Box::new(gbr6::GBr6),
     ]
 }
 

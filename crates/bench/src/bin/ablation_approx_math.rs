@@ -6,6 +6,8 @@
 //! double-precision fast kernels shift energies by far less (documented in
 //! EXPERIMENTS.md), while the 1.42x time factor is reproduced directly.
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::{hybrid_cluster, std_config, suite, Table};
 use polaroct_core::{energy_error_pct, run_naive, run_oct_hybrid, ApproxParams, GbSystem};
 use polaroct_geom::fastmath::MathMode;

@@ -9,6 +9,8 @@
 //! naive count, the far field never fired, which is the paper-throughput
 //! argument for defaulting to the practical rule.
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::{suite, Table};
 use polaroct_core::born::{approx_integrals_custom_mac, push_integrals_to_atoms, BornAccumulators};
 use polaroct_core::naive::born_radii_naive;

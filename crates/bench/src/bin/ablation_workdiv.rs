@@ -5,6 +5,8 @@
 //! "atom-node work division takes slightly more time than the purely node
 //! based (node-node) work division."
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::{mpi_cluster, std_config, Table};
 use polaroct_core::{
     energy_error_pct, run_naive, run_oct_mpi, ApproxParams, GbSystem, WorkDivision,

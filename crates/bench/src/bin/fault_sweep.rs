@@ -16,6 +16,8 @@
 //! Emits `BENCH_faults.json` (to `$POLAROCT_OUT` if set, else
 //! `results/`) plus the usual TSV table.
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::{fmt_time, mpi_cluster, quick_mode, std_config, Table};
 use polaroct_cluster::fault::{phase, FaultPlan, FtPolicy};
 use polaroct_core::drivers::{FtConfig, RecoveryMode, RunOutcome};
@@ -82,7 +84,7 @@ fn main() {
         for &seed in seeds {
             let ftc = FtConfig {
                 plan: FaultPlan::random(seed, RANKS, rate),
-                policy: policy.clone(),
+                policy,
                 recovery: RecoveryMode::Reexecute,
             };
             let r = run_oct_mpi_ft(&sys, &params, &cfg, &mpi_cluster(RANKS), WorkDivision::NodeNode, &ftc)
@@ -119,7 +121,7 @@ fn main() {
     // 3. Degraded recovery: one killed rank, far-field-only regeneration.
     let ftc = FtConfig {
         plan: FaultPlan::new(99).kill(2, phase::INTEGRALS),
-        policy: policy.clone(),
+        policy,
         recovery: RecoveryMode::Degrade,
     };
     let deg = run_oct_mpi_ft(&sys, &params, &cfg, &mpi_cluster(RANKS), WorkDivision::NodeNode, &ftc)

@@ -5,6 +5,8 @@
 //! approximate math OFF; OCT_MPI+CILK over the whole suite; report
 //! avg ± std of the % error w.r.t. naive, plus the mean running time.
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::{hybrid_cluster, std_config, suite, Table};
 use polaroct_core::{
     energy_error_pct, run_naive, run_oct_hybrid, ApproxParams, ErrorStats, GbSystem,

@@ -11,6 +11,8 @@
 //! by ε, which the test suite verifies). Times at full size are measured
 //! for every program.
 
+#![forbid(unsafe_code)]
+
 use polaroct_baselines::{GbPackage, PackageContext, PackageOutcome};
 use polaroct_bench::{cmv_atoms, fmt_time, hybrid_cluster, mpi_cluster, std_config, Table};
 use polaroct_core::{

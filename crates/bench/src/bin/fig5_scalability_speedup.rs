@@ -4,6 +4,8 @@
 //! OCT_MPI runs 12 ranks/node, OCT_MPI+CILK runs 2 ranks × 6 threads per
 //! node; cores sweep 12..144.
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::{btv_atoms, fmt_time, hybrid_cluster, mpi_cluster, std_config, Table};
 use polaroct_core::{run_oct_hybrid, run_oct_mpi, ApproxParams, GbSystem, WorkDivision};
 use polaroct_molecule::synth;

@@ -8,6 +8,8 @@
 //! overhead keeps its best case behind at low core counts; comm jitter
 //! (growing with rank count) drives OCT_MPI's max time up faster.
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::{btv_atoms, hybrid_cluster, mpi_cluster, std_config, Table};
 use polaroct_cluster::noise::NoiseModel;
 use polaroct_core::{run_oct_hybrid, run_oct_mpi, ApproxParams, GbSystem, WorkDivision};

@@ -6,6 +6,8 @@
 //! molecules; OCT_MPI and OCT_MPI+CILK converge beyond ~7,500 atoms.
 //! Approximation parameters 0.9/0.9, approximate math ON (as in §V.C).
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::{fmt_time, hybrid_cluster, mpi_cluster, std_config, suite, Table};
 use polaroct_core::{
     run_oct_cilk, run_oct_hybrid, run_oct_mpi, ApproxParams, GbSystem, WorkDivision,

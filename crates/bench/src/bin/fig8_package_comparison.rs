@@ -6,6 +6,8 @@
 //! NAMD, Tinker and GBr⁶; OCT_MPI reaches ~11x over Amber at 16,301
 //! atoms. OOM rows print `OOM`.
 
+#![forbid(unsafe_code)]
+
 use polaroct_baselines::{all_packages, PackageContext, PackageOutcome};
 use polaroct_bench::{hybrid_cluster, mpi_cluster, std_config, suite, Table};
 use polaroct_core::{

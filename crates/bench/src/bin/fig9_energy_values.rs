@@ -4,6 +4,8 @@
 //! track the naive energy closely; Tinker lands around 70% of naive;
 //! Tinker and GBr⁶ go OOM above ~12k and ~13k atoms respectively.
 
+#![forbid(unsafe_code)]
+
 use polaroct_baselines::{all_packages, PackageContext, PackageOutcome};
 use polaroct_bench::{mpi_cluster, std_config, suite, Table};
 use polaroct_core::{run_naive, run_oct_mpi, ApproxParams, GbSystem, WorkDivision};

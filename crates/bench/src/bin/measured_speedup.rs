@@ -17,6 +17,8 @@
 //! fork-join analysis predicts for a machine that actually has the
 //! cores. See EXPERIMENTS.md "Measured parallel speedup".
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::{fmt_time, quick_mode, std_config, Table};
 use polaroct_core::{run_oct_threads, ApproxParams, GbSystem};
 use polaroct_molecule::synth;

@@ -5,6 +5,8 @@
 //! (2 procs × 6 threads) 1.4 GB/node — 5.86x, "this ratio continues to
 //! hold as we increase the number of compute nodes."
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::{btv_atoms, hybrid_cluster, mpi_cluster, Table};
 use polaroct_cluster::memory::MemoryModel;
 use polaroct_core::{ApproxParams, GbSystem};

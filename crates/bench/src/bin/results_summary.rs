@@ -4,6 +4,8 @@
 //! Reads the TSVs the figure binaries emit; missing files are reported as
 //! `pending`, not errors, so the summary can run on partial result sets.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 

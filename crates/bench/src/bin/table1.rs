@@ -3,6 +3,8 @@
 //! Prints the simulated Lonestar4 node spec (what all figure binaries
 //! model) next to the actual build host, making the substitution explicit.
 
+#![forbid(unsafe_code)]
+
 use polaroct_bench::Table;
 use polaroct_cluster::machine::MachineSpec;
 

@@ -1,5 +1,7 @@
 //! Table II: packages, GB models, and parallelism types.
 
+#![forbid(unsafe_code)]
+
 use polaroct_baselines::all_packages;
 use polaroct_bench::Table;
 

@@ -11,6 +11,8 @@
 //!   and shrink the large capsids, for smoke runs.
 //! * `POLAROCT_OUT=<dir>` — also write each table to `<dir>/<name>.tsv`.
 
+#![forbid(unsafe_code)]
+
 use polaroct_cluster::machine::{ClusterSpec, MachineSpec, Placement};
 use polaroct_core::drivers::DriverConfig;
 use polaroct_molecule::synth::{zdock_suite, ZdockEntry};

@@ -280,7 +280,12 @@ impl Communicator {
         if self.size == 1 {
             // Single rank: combine with itself, zero cost.
             let mut replies = combine(vec![(0, data)]);
-            return Ok((replies.pop().unwrap(), FtReport::default()));
+            let own = replies.pop().ok_or_else(|| CommError::Protocol {
+                collective: name,
+                rank: 0,
+                message: "combine produced no replies".into(),
+            })?;
+            return Ok((own, FtReport::default()));
         }
         let policy = self.fabric.policy;
         if self.rank == 0 {
@@ -397,15 +402,26 @@ impl Communicator {
                 missing = (0..self.size).filter(|&r| entries[r].is_none()).collect();
             }
 
-            let full: Vec<(usize, Vec<f64>)> =
-                entries.into_iter().enumerate().map(|(r, p)| (r, p.unwrap())).collect();
+            let mut full: Vec<(usize, Vec<f64>)> = Vec::with_capacity(self.size);
+            for (r, p) in entries.into_iter().enumerate() {
+                let payload = p.ok_or_else(|| CommError::Protocol {
+                    collective: name,
+                    rank: r,
+                    message: "entry still missing after recovery converged".into(),
+                })?;
+                full.push((r, payload));
+            }
             let mut replies = combine(full);
             debug_assert_eq!(replies.len(), self.size);
             // Send rank r its reply (reverse order so pop() is cheap);
             // wake newly-dead-but-listening ranks with an abort so a rank
             // whose payload was dropped doesn't wait out its full window.
             for r in (1..self.size).rev() {
-                let reply = replies.pop().unwrap();
+                let reply = replies.pop().ok_or_else(|| CommError::Protocol {
+                    collective: name,
+                    rank: r,
+                    message: "combine produced too few replies".into(),
+                })?;
                 if self.fabric.is_dead(r) {
                     let _ = self.fabric.down[r].0.try_send(Down::Abort {
                         cause: format!("rank {r} marked dead during {name}"),
@@ -417,7 +433,11 @@ impl Communicator {
                     self.fabric.mark_dead(r);
                 }
             }
-            let own = replies.pop().unwrap();
+            let own = replies.pop().ok_or_else(|| CommError::Protocol {
+                collective: name,
+                rank: 0,
+                message: "combine produced no reply for the root".into(),
+            })?;
             clock.synchronize(max_entry, cost * (1.0 + report.retries as f64));
             Ok((own, report))
         } else {
@@ -589,12 +609,14 @@ impl Communicator {
     /// hang). Use [`Communicator::allreduce_sum_ft`] to handle faults.
     pub fn allreduce_sum(&self, buf: &mut [f64], clock: &mut SimClock) {
         self.allreduce_sum_ft(buf, clock, Recovery::Disabled)
+            // PANIC-OK: documented infallible facade — a comm fault here is fatal by contract.
             .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// `MPI_Allgatherv` (infallible facade; see [`Communicator::allgatherv_ft`]).
     pub fn allgatherv(&self, mine: &[f64], clock: &mut SimClock) -> Vec<f64> {
         self.allgatherv_ft(mine, clock, Recovery::Disabled)
+            // PANIC-OK: documented infallible facade — a comm fault here is fatal by contract.
             .unwrap_or_else(|e| panic!("{e}"))
             .0
     }
@@ -603,6 +625,7 @@ impl Communicator {
     /// facade; see [`Communicator::reduce_sum_scalar_ft`]).
     pub fn reduce_sum_scalar(&self, x: f64, clock: &mut SimClock) -> Option<f64> {
         self.reduce_sum_scalar_ft(x, clock, Recovery::Disabled)
+            // PANIC-OK: documented infallible facade — a comm fault here is fatal by contract.
             .unwrap_or_else(|e| panic!("{e}"))
             .0
     }
@@ -618,12 +641,17 @@ impl Communicator {
                 payload,
                 cost,
                 |entries| {
-                    let root_payload =
-                        entries.iter().find(|(r, _)| *r == 0).map(|(_, p)| p.clone()).unwrap();
+                    let root_payload = entries
+                        .iter()
+                        .find(|(r, _)| *r == 0)
+                        .map(|(_, p)| p.clone())
+                        // PANIC-OK: ft_exchange always seats rank 0's own entry.
+                        .unwrap_or_else(|| panic!("bcast: root entry missing"));
                     vec![root_payload; entries.len()]
                 },
                 Recovery::Disabled,
             )
+            // PANIC-OK: documented infallible facade — a comm fault here is fatal by contract.
             .unwrap_or_else(|e| panic!("{e}"));
         *buf = out;
     }
@@ -640,6 +668,7 @@ impl Communicator {
                 |entries| vec![Vec::new(); entries.len()],
                 Recovery::Disabled,
             )
+            // PANIC-OK: documented infallible facade — a comm fault here is fatal by contract.
             .unwrap_or_else(|e| panic!("{e}"));
     }
 }

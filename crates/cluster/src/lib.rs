@@ -43,6 +43,8 @@
 //!   the fault-tolerance policy/report types backing the `_ft`
 //!   collectives and [`runner::run_spmd_ft`].
 
+#![forbid(unsafe_code)]
+
 pub mod calib;
 pub mod comm;
 pub mod costmodel;

@@ -95,12 +95,14 @@ impl RankContext {
                 Ok(())
             }
             Some(FaultKind::PanicRank) => {
+                // PANIC-OK: deliberate fault injection; contained by run_spmd_ft's catch_unwind.
                 panic!("injected rank panic at phase {phase}")
             }
             Some(FaultKind::PanicWorker) => {
                 let pool = WorkStealingPool::new(self.threads.max(2));
                 let (slots, metrics) = pool.try_map(4, |i| {
                     if i == 1 {
+                        // PANIC-OK: deliberate fault injection; contained by the pool.
                         panic!("injected worker panic at phase {phase}");
                     }
                     i
@@ -235,7 +237,15 @@ where
     let mut per_rank = Vec::with_capacity(size);
     let mut clocks = Vec::with_capacity(size);
     for slot in results {
-        let (v, c) = slot.expect("rank thread vanished");
+        // A missing slot means the rank thread died without even the
+        // catch_unwind completing — report it as a failed rank rather
+        // than taking the whole run down.
+        let (v, c) = slot.unwrap_or_else(|| {
+            (
+                Err(RankError::Panicked("rank thread vanished before storing a result".into())),
+                SimClock::new(),
+            )
+        });
         per_rank.push(v);
         clocks.push(c);
     }
@@ -260,6 +270,7 @@ where
         .per_rank
         .into_iter()
         .enumerate()
+        // PANIC-OK: documented fail-fast facade over run_spmd_ft.
         .map(|(r, v)| v.unwrap_or_else(|e| panic!("rank {r} failed: {e}")))
         .collect();
     SpmdResult { per_rank, clocks: res.clocks }

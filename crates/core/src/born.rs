@@ -264,8 +264,8 @@ fn push_recurse(
     if node.is_leaf() {
         let lo = node.range().start.max(range.start);
         let hi = node.range().end.min(range.end);
-        for ai in lo..hi {
-            out[ai] = born_radius_from_integral(acc.atom[ai] + s, sys.radius[ai], math);
+        for ((o, &a), &r) in out[lo..hi].iter_mut().zip(&acc.atom[lo..hi]).zip(&sys.radius[lo..hi]) {
+            *o = born_radius_from_integral(a + s, r, math);
         }
         return;
     }

@@ -623,6 +623,7 @@ pub fn run_oct_threads_ft(
     };
     let (mut born_parts, _) = pool.try_map(q_blocks.len(), |b| {
         if Some(b) == poison {
+            // PANIC-OK: deliberate fault injection; contained by the pool's try_map.
             panic!("injected worker panic in integrals block {b}");
         }
         born_block(b)
@@ -669,6 +670,7 @@ pub fn run_oct_threads_ft(
     };
     let (mut push_parts, _) = pool.try_map(push_blocks, |c| {
         if Some(c) == poison {
+            // PANIC-OK: deliberate fault injection; contained by the pool's try_map.
             panic!("injected worker panic in push block {c}");
         }
         push_block(c)
@@ -712,6 +714,7 @@ pub fn run_oct_threads_ft(
     };
     let (mut epol_parts, _) = pool.try_map(a_blocks.len(), |b| {
         if Some(b) == poison {
+            // PANIC-OK: deliberate fault injection; contained by the pool's try_map.
             panic!("injected worker panic in epol block {b}");
         }
         epol_block(b)

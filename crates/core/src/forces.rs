@@ -167,6 +167,10 @@ mod tests {
 
         let h = 1e-5;
         for &atom in &[0usize, 17, 42] {
+            // `ax` selects both the perturbed coordinate (the match) and
+            // the compared force component, so a range loop is the
+            // honest shape.
+            #[allow(clippy::needless_range_loop)]
             for ax in 0..3 {
                 let mut plus = sys.atoms.points.clone();
                 let mut minus = sys.atoms.points.clone();
@@ -279,9 +283,9 @@ mod tests {
         let (forces, _) = forces_naive(&sys, &born, 80.0, MathMode::Exact);
         let orig = forces_original_order(&sys, &forces);
         // Spot-check through the permutation.
-        for i in 0..sys.n_atoms() {
+        for (i, &f) in forces.iter().enumerate() {
             let o = sys.atoms.point_order[i] as usize;
-            assert_eq!(orig[o], forces[i]);
+            assert_eq!(orig[o], f);
         }
     }
 

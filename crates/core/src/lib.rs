@@ -35,6 +35,8 @@
 //! * The Fig. 2 far-field acceptance test is implemented per the Section
 //!   II prose (see DESIGN.md "Pseudocode erratum we fix").
 
+#![forbid(unsafe_code)]
+
 pub mod born;
 pub mod born_r4;
 pub mod data_dist;

@@ -101,9 +101,14 @@ pub fn epol_naive_raw(sys: &GbSystem, born: &[f64], math: MathMode) -> (f64, OpC
         // Self term (j == i).
         raw += qi * qi / ri;
         // Unordered pairs counted twice (the ordered-pair convention).
-        for j in (i + 1)..m {
-            let r2 = xi.dist2(sys.atoms.points[j]);
-            raw += 2.0 * qi * sys.charge[j] * inv_f_gb(r2, ri, born[j], math);
+        let tail = (i + 1)..m;
+        for ((&xj, &qj), &rj) in sys.atoms.points[tail.clone()]
+            .iter()
+            .zip(&sys.charge[tail.clone()])
+            .zip(&born[tail])
+        {
+            let r2 = xi.dist2(xj);
+            raw += 2.0 * qi * qj * inv_f_gb(r2, ri, rj, math);
         }
     }
     let ops = OpCounts {
@@ -209,7 +214,8 @@ mod tests {
         assert!((born[0] - 1.5).abs() < 1e-6);
         assert!((born[1] - 1.5).abs() < 1e-6);
         let (raw, ops) = epol_naive_raw(&sys, &born, MathMode::Exact);
-        let want = 1.0 / 1.5 + 1.0 / 1.5 + 2.0 * (1.0 * -1.0) / 100.0;
+        let (q0, q1) = (1.0, -1.0);
+        let want = q0 * q0 / 1.5 + q1 * q1 / 1.5 + 2.0 * q0 * q1 / 100.0;
         assert!((raw - want).abs() < 1e-4, "{raw} vs {want}");
         assert_eq!(ops.epol_near, 4);
         // And the energy is negative (solvation stabilizes).

@@ -198,9 +198,9 @@ mod tests {
                 let xu = sys.atoms.points[ui];
                 let ru = born[ui];
                 let mut scalar = 0.0;
-                for vi in 0..sys.n_atoms() {
-                    let d2 = xu.dist2(sys.atoms.points[vi]);
-                    scalar += sys.charge[vi] * inv_f_gb(d2, ru, born[vi], math);
+                for ((&xv, &qv), &rv) in sys.atoms.points.iter().zip(&sys.charge).zip(&born) {
+                    let d2 = xu.dist2(xv);
+                    scalar += qv * inv_f_gb(d2, ru, rv, math);
                 }
                 let batched = soa.still_term(xu, ru, math);
                 assert_eq!(

@@ -18,6 +18,8 @@
 //! The crate is `no_std`-compatible in spirit (no allocation in hot paths)
 //! but links `std` for `f64` intrinsics.
 
+#![forbid(unsafe_code)]
+
 pub mod aabb;
 pub mod fastmath;
 pub mod morton;

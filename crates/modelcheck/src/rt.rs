@@ -1,0 +1,1034 @@
+//! Explorer runtime: the central scheduler, the DFS over schedules, and
+//! the shadow state (vector clocks, object enabledness) it maintains.
+//!
+//! One *execution* runs the model closure on real OS threads that are
+//! strictly serialized: every shimmed operation parks its thread and
+//! hands control to the scheduler, which applies the operation's shadow
+//! effects (clock joins, queue lengths, lock flags) and grants exactly
+//! one thread at a time. Between executions a decision path drives a
+//! depth-first search; replaying a prefix is exact because model code is
+//! required to be deterministic.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+pub(crate) type Clock = Vec<u32>;
+
+fn clock_join(into: &mut Clock, from: &Clock) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (a, &b) in into.iter_mut().zip(from.iter()) {
+        *a = (*a).max(b);
+    }
+}
+
+/// `earlier` happens-before (or equals) `later`.
+fn clock_le(earlier: &Clock, later: &Clock) -> bool {
+    earlier
+        .iter()
+        .enumerate()
+        .all(|(i, &c)| c <= later.get(i).copied().unwrap_or(0))
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+/// A schedule-point descriptor. Carries only what the scheduler needs:
+/// the object acted on and the operation's kind; payload values stay in
+/// the shim objects (typed, behind uncontended `std` mutexes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Op {
+    /// Implicit first op of every thread (parks until first grant).
+    Start,
+    /// `thread::yield_now`: blocked until some *other* thread steps.
+    Yield,
+    /// Parent-side schedule point right after registering a child.
+    Spawn { child: usize },
+    /// Blocked until `thread` has terminated.
+    Join { thread: usize },
+    AtomicLoad { obj: usize },
+    AtomicStore { obj: usize },
+    AtomicRmw { obj: usize },
+    Lock { obj: usize },
+    Unlock { obj: usize },
+    /// Blocking send: enabled while the queue is below capacity.
+    ChanSend { obj: usize },
+    /// Never blocks; granted `Full` at capacity.
+    ChanTrySend { obj: usize },
+    /// `timeout` is `Some(millis)` for a `recv_timeout` (eligible for
+    /// timeout firing). Durations are not simulated as real time, but
+    /// when the whole system is stuck only the *shortest* pending
+    /// timeouts are promoted — preserving protocols whose correctness
+    /// rests on one window being wider than another.
+    ChanRecv { obj: usize, timeout: Option<u64> },
+    ChanSenderDrop { obj: usize },
+    CellRead { obj: usize },
+    CellWrite { obj: usize },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Access {
+    Read,
+    Write,
+}
+
+impl Op {
+    fn key(self) -> (Option<usize>, Access) {
+        match self {
+            Op::AtomicLoad { obj } | Op::CellRead { obj } => (Some(obj), Access::Read),
+            Op::AtomicStore { obj }
+            | Op::AtomicRmw { obj }
+            | Op::Lock { obj }
+            | Op::Unlock { obj }
+            | Op::ChanSend { obj }
+            | Op::ChanTrySend { obj }
+            | Op::ChanRecv { obj, .. }
+            | Op::ChanSenderDrop { obj }
+            | Op::CellWrite { obj } => (Some(obj), Access::Write),
+            Op::Start | Op::Yield | Op::Spawn { .. } | Op::Join { .. } => (None, Access::Write),
+        }
+    }
+}
+
+/// Dependence relation for sleep sets. Conservative: anything without an
+/// object id (spawn/join/yield/start) depends on everything, so pruning
+/// around it is disabled rather than unsound.
+fn independent(a: Op, b: Op) -> bool {
+    match (a.key(), b.key()) {
+        ((Some(x), ax), (Some(y), ay)) => {
+            x != y || (ax == Access::Read && ay == Access::Read)
+        }
+        _ => false,
+    }
+}
+
+/// Outcome handed back to the parked thread. The thread applies the
+/// matching data effect (pop/push/lock) on its typed shim state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Grant {
+    Proceed,
+    /// `recv`: a message is ready to pop.
+    Deliver,
+    /// `recv_timeout`: the timeout fired.
+    Timeout,
+    /// `recv`: queue empty and every sender dropped.
+    Disconnected,
+    /// `try_send`: queue at capacity.
+    Full,
+}
+
+// ---------------------------------------------------------------------------
+// Shadow state
+// ---------------------------------------------------------------------------
+
+pub(crate) enum ObjectKind {
+    Atomic,
+    Mutex,
+    Chan { cap: Option<usize> },
+    Cell,
+}
+
+struct ChanState {
+    cap: Option<usize>,
+    len: usize,
+    senders: usize,
+    /// Per-message clock snapshots, parallel to the shim's value queue.
+    msg_clocks: VecDeque<Clock>,
+    /// Release clock for sender-drop (so observing `Disconnected`
+    /// happens-after the drop).
+    clock: Clock,
+}
+
+struct CellState {
+    last_write: Option<(usize, Clock)>,
+    reads: Vec<(usize, Clock)>,
+}
+
+enum ObjectState {
+    Atomic { clock: Clock },
+    Mutex { locked: bool, clock: Clock },
+    Chan(ChanState),
+    Cell(CellState),
+}
+
+enum Status {
+    /// Executing model code between schedule points.
+    Running,
+    /// Parked at a schedule point, waiting for a grant.
+    Parked(Op),
+    Terminated,
+}
+
+struct ThreadState {
+    status: Status,
+    grant: Option<Grant>,
+    clock: Clock,
+    final_clock: Option<Clock>,
+}
+
+struct SchedState {
+    threads: Vec<ThreadState>,
+    objects: Vec<ObjectState>,
+    /// `yielded[t]`: `t` parked at a `Yield` and no other thread has
+    /// stepped since.
+    yielded: Vec<bool>,
+    /// Set during teardown; parked threads unwind with a quiet sentinel.
+    aborting: bool,
+    /// First non-sentinel panic out of model code: (thread, message).
+    user_panic: Option<(usize, String)>,
+    /// Granted ops, for failure reports.
+    trace: Vec<String>,
+    steps: usize,
+}
+
+pub(crate) struct Rt {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    nondet_timeouts: bool,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local context
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Arc<Rt>, usize) -> R) -> Option<R> {
+    CONTEXT.with(|c| c.borrow().as_ref().map(|(rt, tid)| f(rt, *tid)))
+}
+
+/// Quiet unwinding sentinel used to tear down parked threads without
+/// tripping the panic hook (`resume_unwind` skips the hook).
+struct AbortSentinel;
+
+fn resume_abort() -> ! {
+    panic::resume_unwind(Box::new(AbortSentinel))
+}
+
+// ---------------------------------------------------------------------------
+// Shim entry points (crate-internal API used by sync/thread/cell)
+// ---------------------------------------------------------------------------
+
+/// True while inside a model execution on a model thread.
+pub(crate) fn in_model() -> bool {
+    with_ctx(|_, _| ()).is_some()
+}
+
+/// Register a shim object; `None` outside a model (shims then run on
+/// their real `std` fallback path).
+pub(crate) fn register_object(kind: ObjectKind) -> Option<usize> {
+    with_ctx(|rt, _| {
+        let mut st = rt.state.lock().unwrap_or_else(|e| e.into_inner());
+        let id = st.objects.len();
+        st.objects.push(match kind {
+            ObjectKind::Atomic => ObjectState::Atomic { clock: Vec::new() },
+            ObjectKind::Mutex => ObjectState::Mutex {
+                locked: false,
+                clock: Vec::new(),
+            },
+            ObjectKind::Chan { cap } => ObjectState::Chan(ChanState {
+                cap,
+                len: 0,
+                senders: 1,
+                msg_clocks: VecDeque::new(),
+                clock: Vec::new(),
+            }),
+            ObjectKind::Cell => ObjectState::Cell(CellState {
+                last_write: None,
+                reads: Vec::new(),
+            }),
+        });
+        id
+    })
+}
+
+/// Bump the shadow sender count (Sender::clone — not a schedule point;
+/// only the active thread runs, so the mutation is race-free and
+/// deterministic).
+pub(crate) fn note_sender_clone(id: Option<usize>) {
+    if let Some(obj) = id {
+        with_ctx(|rt, _| {
+            let mut st = rt.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let ObjectState::Chan(ch) = &mut st.objects[obj] {
+                ch.senders += 1;
+            }
+        });
+    }
+}
+
+/// Park at a schedule point and wait for the scheduler's grant.
+/// Returns `None` when not inside a model (fallback path) — callers
+/// then perform the real `std` operation instead.
+pub(crate) fn schedule(mk: impl FnOnce() -> Op) -> Option<Grant> {
+    with_ctx(|rt, tid| {
+        let op = mk();
+        let mut st = rt.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.aborting {
+            drop(st);
+            resume_abort();
+        }
+        st.threads[tid].status = Status::Parked(op);
+        if matches!(op, Op::Yield) {
+            st.yielded[tid] = true;
+        }
+        rt.cv.notify_all();
+        loop {
+            if st.aborting {
+                drop(st);
+                resume_abort();
+            }
+            if let Some(g) = st.threads[tid].grant.take() {
+                // Status was already set to Running by the scheduler at
+                // grant time.
+                return g;
+            }
+            st = rt.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    })
+}
+
+/// Like [`schedule`] but safe to call during unwinding (drop impls):
+/// never parks once teardown has begun.
+pub(crate) fn schedule_in_drop(mk: impl FnOnce() -> Op) {
+    let aborting = with_ctx(|rt, _| {
+        rt.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .aborting
+    });
+    match aborting {
+        Some(false) if !std::thread::panicking() => {
+            schedule(mk);
+        }
+        _ => {}
+    }
+}
+
+/// Spawn a model thread running `body`. Must be called from inside a
+/// model; returns the new thread id.
+pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send>) -> usize {
+    with_ctx(|rt, parent| {
+        let child = {
+            let mut st = rt.state.lock().unwrap_or_else(|e| e.into_inner());
+            let id = st.threads.len();
+            // Child inherits the parent's clock (spawn edge).
+            let parent_clock = st.threads[parent].clock.clone();
+            st.threads.push(ThreadState {
+                status: Status::Running,
+                grant: None,
+                clock: parent_clock,
+                final_clock: None,
+            });
+            st.yielded.push(false);
+            id
+        };
+        let rt2 = Arc::clone(rt);
+        let handle = std::thread::spawn(move || run_model_thread(rt2, child, body));
+        rt.handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        // Parent yields a decision so "child runs first" is explored.
+        schedule(|| Op::Spawn { child });
+        child
+    })
+    .expect("modelcheck: thread::spawn outside a model must use the fallback path")
+}
+
+fn run_model_thread(rt: Arc<Rt>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), tid)));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+        // Park until the scheduler first picks this thread.
+        schedule(|| Op::Start);
+        body();
+    }));
+    CONTEXT.with(|c| *c.borrow_mut() = None);
+    let mut st = rt.state.lock().unwrap_or_else(|e| e.into_inner());
+    if let Err(payload) = result {
+        if !payload.is::<AbortSentinel>() && st.user_panic.is_none() {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            st.user_panic = Some((tid, msg));
+        }
+    }
+    st.threads[tid].final_clock = Some(st.threads[tid].clock.clone());
+    st.threads[tid].status = Status::Terminated;
+    rt.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Enabledness + effect application (scheduler side)
+// ---------------------------------------------------------------------------
+
+fn op_enabled(st: &SchedState, tid: usize, op: Op, nondet_timeouts: bool) -> bool {
+    match op {
+        Op::Start
+        | Op::Spawn { .. }
+        | Op::AtomicLoad { .. }
+        | Op::AtomicStore { .. }
+        | Op::AtomicRmw { .. }
+        | Op::Unlock { .. }
+        | Op::ChanTrySend { .. }
+        | Op::ChanSenderDrop { .. }
+        | Op::CellRead { .. }
+        | Op::CellWrite { .. } => true,
+        Op::Yield => !st.yielded[tid],
+        Op::Join { thread } => matches!(st.threads[thread].status, Status::Terminated),
+        Op::Lock { obj } => match &st.objects[obj] {
+            ObjectState::Mutex { locked, .. } => !locked,
+            _ => true,
+        },
+        Op::ChanSend { obj } => match &st.objects[obj] {
+            ObjectState::Chan(ch) => ch.cap.map(|c| ch.len < c).unwrap_or(true),
+            _ => true,
+        },
+        Op::ChanRecv { obj, timeout } => match &st.objects[obj] {
+            ObjectState::Chan(ch) => {
+                ch.len > 0 || ch.senders == 0 || (timeout.is_some() && nondet_timeouts)
+            }
+            _ => true,
+        },
+    }
+}
+
+/// A `recv_timeout` with an empty queue and live senders — the candidate
+/// set for stuck-state timeout promotion. Returns the pending duration
+/// in millis so promotion can favour the shortest windows.
+fn op_timeout_blocked(st: &SchedState, op: Op) -> Option<u64> {
+    match op {
+        Op::ChanRecv {
+            obj,
+            timeout: Some(ms),
+        } => match &st.objects[obj] {
+            ObjectState::Chan(ch) if ch.len == 0 && ch.senders > 0 => Some(ms),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Apply `op`'s shadow effects for thread `tid` and compute its grant.
+/// Runs in the scheduler with the state lock held.
+fn apply(st: &mut SchedState, tid: usize, op: Op, promoted: bool) -> Result<Grant, Failure> {
+    // Tick the actor's own clock component first.
+    {
+        let clk = &mut st.threads[tid].clock;
+        if clk.len() <= tid {
+            clk.resize(tid + 1, 0);
+        }
+        clk[tid] += 1;
+    }
+    let thread_clock = st.threads[tid].clock.clone();
+    let grant = match op {
+        Op::Start | Op::Yield | Op::Spawn { .. } => Grant::Proceed,
+        Op::Join { thread } => {
+            let child = st.threads[thread].final_clock.clone().unwrap_or_default();
+            clock_join(&mut st.threads[tid].clock, &child);
+            Grant::Proceed
+        }
+        Op::AtomicLoad { obj } | Op::AtomicStore { obj } | Op::AtomicRmw { obj } => {
+            // SC modeling: every atomic op is a full acquire+release.
+            if let ObjectState::Atomic { clock } = &mut st.objects[obj] {
+                clock_join(clock, &thread_clock);
+                let oc = clock.clone();
+                clock_join(&mut st.threads[tid].clock, &oc);
+            }
+            Grant::Proceed
+        }
+        Op::Lock { obj } => {
+            if let ObjectState::Mutex { locked, clock } = &mut st.objects[obj] {
+                *locked = true;
+                let oc = clock.clone();
+                clock_join(&mut st.threads[tid].clock, &oc);
+            }
+            Grant::Proceed
+        }
+        Op::Unlock { obj } => {
+            if let ObjectState::Mutex { locked, clock } = &mut st.objects[obj] {
+                *locked = false;
+                clock_join(clock, &thread_clock);
+            }
+            Grant::Proceed
+        }
+        Op::ChanSend { obj } | Op::ChanTrySend { obj } => {
+            if let ObjectState::Chan(ch) = &mut st.objects[obj] {
+                if matches!(op, Op::ChanTrySend { .. })
+                    && ch.cap.map(|c| ch.len >= c).unwrap_or(false)
+                {
+                    Grant::Full
+                } else {
+                    ch.len += 1;
+                    ch.msg_clocks.push_back(thread_clock.clone());
+                    Grant::Proceed
+                }
+            } else {
+                Grant::Proceed
+            }
+        }
+        Op::ChanRecv { obj, .. } => {
+            if let ObjectState::Chan(ch) = &mut st.objects[obj] {
+                if promoted || (ch.len == 0 && ch.senders > 0) {
+                    // Granted while empty: the timeout fires.
+                    Grant::Timeout
+                } else if ch.len == 0 {
+                    let oc = ch.clock.clone();
+                    clock_join(&mut st.threads[tid].clock, &oc);
+                    Grant::Disconnected
+                } else {
+                    ch.len -= 1;
+                    let mc = ch.msg_clocks.pop_front().unwrap_or_default();
+                    clock_join(&mut st.threads[tid].clock, &mc);
+                    Grant::Deliver
+                }
+            } else {
+                Grant::Proceed
+            }
+        }
+        Op::ChanSenderDrop { obj } => {
+            if let ObjectState::Chan(ch) = &mut st.objects[obj] {
+                ch.senders = ch.senders.saturating_sub(1);
+                clock_join(&mut ch.clock, &thread_clock);
+            }
+            Grant::Proceed
+        }
+        Op::CellRead { obj } => {
+            if let ObjectState::Cell(cell) = &mut st.objects[obj] {
+                if let Some((wt, wc)) = &cell.last_write {
+                    if *wt != tid && !clock_le(wc, &thread_clock) {
+                        return Err(Failure::Race {
+                            description: format!(
+                                "RaceCell #{obj}: read by thread {tid} races with write by thread {wt}"
+                            ),
+                            trace: st.trace.clone(),
+                        });
+                    }
+                }
+                cell.reads.push((tid, thread_clock.clone()));
+            }
+            Grant::Proceed
+        }
+        Op::CellWrite { obj } => {
+            if let ObjectState::Cell(cell) = &mut st.objects[obj] {
+                if let Some((wt, wc)) = &cell.last_write {
+                    if *wt != tid && !clock_le(wc, &thread_clock) {
+                        return Err(Failure::Race {
+                            description: format!(
+                                "RaceCell #{obj}: write by thread {tid} races with write by thread {wt}"
+                            ),
+                            trace: st.trace.clone(),
+                        });
+                    }
+                }
+                for (rt_, rc) in &cell.reads {
+                    if *rt_ != tid && !clock_le(rc, &thread_clock) {
+                        return Err(Failure::Race {
+                            description: format!(
+                                "RaceCell #{obj}: write by thread {tid} races with read by thread {rt_}"
+                            ),
+                            trace: st.trace.clone(),
+                        });
+                    }
+                }
+                cell.last_write = Some((tid, thread_clock.clone()));
+                cell.reads.clear();
+            }
+            Grant::Proceed
+        }
+    };
+    st.trace.push(format!("t{tid}: {op:?} -> {grant:?}"));
+    st.steps += 1;
+    // Any step wakes every spinning (yielded) thread except the actor.
+    for y in st.yielded.iter_mut() {
+        *y = false;
+    }
+    Ok(grant)
+}
+
+// ---------------------------------------------------------------------------
+// Public API: Config / Report / Failure
+// ---------------------------------------------------------------------------
+
+/// Exploration bounds and options.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Hard cap on explored executions; exceeded ⇒ `complete = false`.
+    pub max_executions: usize,
+    /// Per-execution schedule-point cap (livelock backstop).
+    pub max_steps: usize,
+    /// Allow `recv_timeout` to fire whenever its queue is empty (models
+    /// spurious expiry / slow senders) instead of only when the system
+    /// is otherwise stuck.
+    pub nondet_timeouts: bool,
+    /// Sleep-set pruning. `false` ⇒ plain exhaustive DFS (for
+    /// cross-checking the pruner).
+    pub dpor: bool,
+    /// CHESS-style preemption bounding: `Some(k)` explores every
+    /// schedule with at most `k` *preemptive* context switches (a
+    /// switch away from a thread that could have kept running; switches
+    /// forced by blocking are free). `None` ⇒ unbounded (full
+    /// exhaustiveness, feasible only for small models). Empirically
+    /// (CHESS, loom practice) almost all concurrency bugs manifest
+    /// within 2 preemptions.
+    pub max_preemptions: Option<usize>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_executions: 100_000,
+            max_steps: 5_000,
+            nondet_timeouts: false,
+            dpor: true,
+            max_preemptions: None,
+        }
+    }
+}
+
+/// What the exploration found.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Executions actually run (including the failing one).
+    pub executions: usize,
+    /// Executions cut short by sleep-set pruning.
+    pub pruned: usize,
+    /// Whole schedule space covered within the budget.
+    pub complete: bool,
+    pub failure: Option<Failure>,
+}
+
+/// A bug found by the explorer, with the schedule that produced it.
+#[derive(Clone, Debug)]
+pub enum Failure {
+    /// Model code panicked (assertion failure or explicit panic).
+    Panic {
+        thread: usize,
+        message: String,
+        trace: Vec<String>,
+    },
+    /// Live threads exist but none can make progress.
+    Deadlock {
+        waiting: Vec<String>,
+        trace: Vec<String>,
+    },
+    /// Happens-before violation on a [`crate::cell::RaceCell`].
+    Race {
+        description: String,
+        trace: Vec<String>,
+    },
+    /// An execution exceeded [`Config::max_steps`].
+    StepBound { steps: usize, trace: Vec<String> },
+    /// Replay diverged: the model is not deterministic.
+    Nondeterminism { detail: String },
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn tail(f: &mut fmt::Formatter<'_>, trace: &[String]) -> fmt::Result {
+            writeln!(f, "  schedule ({} steps, tail):", trace.len())?;
+            for line in trace.iter().rev().take(16).rev() {
+                writeln!(f, "    {line}")?;
+            }
+            Ok(())
+        }
+        match self {
+            Failure::Panic {
+                thread,
+                message,
+                trace,
+            } => {
+                writeln!(f, "model thread {thread} panicked: {message}")?;
+                tail(f, trace)
+            }
+            Failure::Deadlock { waiting, trace } => {
+                writeln!(f, "deadlock: no thread can make progress")?;
+                for w in waiting {
+                    writeln!(f, "  blocked: {w}")?;
+                }
+                tail(f, trace)
+            }
+            Failure::Race { description, trace } => {
+                writeln!(f, "data race: {description}")?;
+                tail(f, trace)
+            }
+            Failure::StepBound { steps, trace } => {
+                writeln!(f, "execution exceeded the step bound ({steps} steps) — livelock?")?;
+                tail(f, trace)
+            }
+            Failure::Nondeterminism { detail } => {
+                writeln!(f, "model is nondeterministic: {detail}")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS explorer
+// ---------------------------------------------------------------------------
+
+/// One decision node on the DFS path.
+struct Node {
+    /// Enabled (thread, pending-op) pairs, ascending thread id.
+    enabled: Vec<(usize, Op)>,
+    /// Threads asleep at this node (sleep-set pruning).
+    sleep: Vec<usize>,
+    /// Choices whose subtrees are fully explored.
+    tried: Vec<usize>,
+    chosen: usize,
+    /// Node created by timeout promotion (sleep sets not applied).
+    promoted: bool,
+}
+
+enum RunOutcome {
+    Done,
+    Pruned,
+    Failed(Failure),
+}
+
+/// Explore all schedules of `f` under `config`; never panics on model
+/// bugs — returns them in the [`Report`]. Use this to assert that a
+/// *known-bad* model is caught.
+pub fn explore<F>(config: Config, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut path: Vec<Node> = Vec::new();
+    let mut executions = 0usize;
+    let mut pruned = 0usize;
+    loop {
+        if executions >= config.max_executions {
+            return Report {
+                executions,
+                pruned,
+                complete: false,
+                failure: None,
+            };
+        }
+        executions += 1;
+        let outcome = run_one(&config, &f, &mut path);
+        match outcome {
+            RunOutcome::Done => {}
+            RunOutcome::Pruned => pruned += 1,
+            RunOutcome::Failed(failure) => {
+                return Report {
+                    executions,
+                    pruned,
+                    complete: false,
+                    failure: Some(failure),
+                }
+            }
+        }
+        if !advance(&mut path) {
+            return Report {
+                executions,
+                pruned,
+                complete: true,
+                failure: None,
+            };
+        }
+    }
+}
+
+/// Explore all schedules of `f`; panic with a full schedule report if
+/// any interleaving fails, or if the budget was too small to finish.
+pub fn model_with<F>(config: Config, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let report = explore(config, f);
+    if let Some(failure) = &report.failure {
+        panic!(
+            "modelcheck failed after {} executions ({} pruned):\n{failure}",
+            report.executions, report.pruned
+        );
+    }
+    assert!(
+        report.complete,
+        "modelcheck did not finish within max_executions={} (pruned {}); raise the budget",
+        report.executions, report.pruned
+    );
+}
+
+/// [`model_with`] under the default [`Config`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Config::default(), f);
+}
+
+/// Move to the next unexplored branch; `false` when the space is done.
+fn advance(path: &mut Vec<Node>) -> bool {
+    while let Some(node) = path.last_mut() {
+        node.tried.push(node.chosen);
+        let next = node
+            .enabled
+            .iter()
+            .map(|&(t, _)| t)
+            .find(|t| !node.tried.contains(t) && (node.promoted || !node.sleep.contains(t)));
+        if let Some(t) = next {
+            node.chosen = t;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Run a single execution, replaying `path` and extending it with fresh
+/// decisions. `path[depth]` for `depth < path.len()` is replayed; new
+/// nodes are appended with their first candidate chosen.
+fn run_one<F>(config: &Config, f: &Arc<F>, path: &mut Vec<Node>) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let rt = Arc::new(Rt {
+        state: Mutex::new(SchedState {
+            threads: Vec::new(),
+            objects: Vec::new(),
+            yielded: Vec::new(),
+            aborting: false,
+            user_panic: None,
+            trace: Vec::new(),
+            steps: 0,
+        }),
+        cv: Condvar::new(),
+        nondet_timeouts: config.nondet_timeouts,
+        handles: Mutex::new(Vec::new()),
+    });
+
+    // Thread 0 runs the model closure itself.
+    {
+        let mut st = rt.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.threads.push(ThreadState {
+            status: Status::Running,
+            grant: None,
+            clock: Vec::new(),
+            final_clock: None,
+        });
+        st.yielded.push(false);
+    }
+    let f2 = Arc::clone(f);
+    let rt0 = Arc::clone(&rt);
+    let h0 = std::thread::spawn(move || {
+        run_model_thread(rt0, 0, Box::new(move || f2()));
+    });
+    rt.handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(h0);
+
+    let outcome = schedule_loop(config, &rt, path);
+
+    // Teardown: release every parked thread, then join all OS threads.
+    {
+        let mut st = rt.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.aborting = true;
+        rt.cv.notify_all();
+    }
+    let handles = std::mem::take(&mut *rt.handles.lock().unwrap_or_else(|e| e.into_inner()));
+    for h in handles {
+        let _ = h.join();
+    }
+    outcome
+}
+
+/// The scheduler proper: wait for quiescence, pick, grant, repeat.
+fn schedule_loop(config: &Config, rt: &Arc<Rt>, path: &mut Vec<Node>) -> RunOutcome {
+    let mut depth = 0usize;
+    // Sleep set carried into the next decision node.
+    let mut cur_sleep: Vec<usize> = Vec::new();
+    // Preemption-bounding state (recomputed identically on replay).
+    let mut prev_chosen: Option<usize> = None;
+    let mut preemptions = 0usize;
+    let mut st = rt.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        // Quiescence: no thread mid-flight.
+        while st
+            .threads
+            .iter()
+            .any(|t| matches!(t.status, Status::Running))
+        {
+            st = rt.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some((thread, message)) = st.user_panic.take() {
+            let trace = st.trace.clone();
+            drop(st);
+            return RunOutcome::Failed(Failure::Panic {
+                thread,
+                message,
+                trace,
+            });
+        }
+        if st.steps >= config.max_steps {
+            let failure = Failure::StepBound {
+                steps: st.steps,
+                trace: st.trace.clone(),
+            };
+            drop(st);
+            return RunOutcome::Failed(failure);
+        }
+        let live: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.status, Status::Parked(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if live.is_empty() {
+            drop(st);
+            return RunOutcome::Done;
+        }
+        let pending = |st: &SchedState, t: usize| -> Op {
+            match st.threads[t].status {
+                Status::Parked(op) => op,
+                _ => unreachable!("live thread must be parked"),
+            }
+        };
+        let mut enabled: Vec<(usize, Op)> = live
+            .iter()
+            .map(|&t| (t, pending(&st, t)))
+            .filter(|&(t, op)| op_enabled(&st, t, op, rt.nondet_timeouts))
+            .collect();
+        let mut promoted = false;
+        if enabled.is_empty() {
+            // Stuck: promote timeout-blocked receives — only the ones
+            // with the *shortest* pending window, since those expire
+            // first in any real-time execution.
+            let blocked: Vec<(usize, Op, u64)> = live
+                .iter()
+                .map(|&t| (t, pending(&st, t)))
+                .filter_map(|(t, op)| op_timeout_blocked(&st, op).map(|ms| (t, op, ms)))
+                .collect();
+            let shortest = blocked.iter().map(|&(_, _, ms)| ms).min();
+            enabled = blocked
+                .into_iter()
+                .filter(|&(_, _, ms)| Some(ms) == shortest)
+                .map(|(t, op, _)| (t, op))
+                .collect();
+            promoted = true;
+            if enabled.is_empty() {
+                let waiting: Vec<String> = live
+                    .iter()
+                    .map(|&t| format!("t{t}: {:?}", pending(&st, t)))
+                    .collect();
+                let failure = Failure::Deadlock {
+                    waiting,
+                    trace: st.trace.clone(),
+                };
+                drop(st);
+                return RunOutcome::Failed(failure);
+            }
+        }
+        // Preemption bounding: once the budget is spent, keep running
+        // the previous thread while it remains enabled.
+        let full_enabled = enabled.clone();
+        if !promoted {
+            if let (Some(k), Some(p)) = (config.max_preemptions, prev_chosen) {
+                if preemptions >= k && enabled.iter().any(|&(t, _)| t == p) {
+                    enabled.retain(|&(t, _)| t == p);
+                }
+            }
+        }
+
+        // Resolve this depth against the DFS path.
+        let chosen = if depth < path.len() {
+            let node = &path[depth];
+            if node.enabled != enabled || node.promoted != promoted {
+                drop(st);
+                return RunOutcome::Failed(Failure::Nondeterminism {
+                    detail: format!(
+                        "replay diverged at depth {depth}: expected enabled set {:?}, got {:?}",
+                        path[depth].enabled, enabled
+                    ),
+                });
+            }
+            node.chosen
+        } else {
+            let sleep: Vec<usize> = if config.dpor && !promoted {
+                cur_sleep
+                    .iter()
+                    .copied()
+                    .filter(|s| live.contains(s))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let candidate = enabled
+                .iter()
+                .map(|&(t, _)| t)
+                .find(|t| promoted || !sleep.contains(t));
+            let Some(first) = candidate else {
+                // Every enabled move is asleep: this state is covered by
+                // an already-explored equivalent interleaving.
+                drop(st);
+                return RunOutcome::Pruned;
+            };
+            path.push(Node {
+                enabled: enabled.clone(),
+                sleep,
+                tried: Vec::new(),
+                chosen: first,
+                promoted,
+            });
+            first
+        };
+        if let Some(p) = prev_chosen {
+            if chosen != p && full_enabled.iter().any(|&(t, _)| t == p) {
+                preemptions += 1;
+            }
+        }
+        prev_chosen = Some(chosen);
+        let node = &path[depth];
+        let chosen_op = pending(&st, chosen);
+
+        // Sleep set for the child state: previously-explored and still-
+        // sleeping siblings stay asleep unless the chosen op wakes them.
+        cur_sleep = if config.dpor {
+            node.sleep
+                .iter()
+                .chain(node.tried.iter())
+                .copied()
+                .filter(|&s| s != chosen)
+                .filter(|&s| {
+                    matches!(st.threads[s].status, Status::Parked(_))
+                        && independent(pending(&st, s), chosen_op)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        depth += 1;
+
+        match apply(&mut st, chosen, chosen_op, promoted) {
+            Ok(grant) => {
+                // Mark Running here (not when the thread wakes) so the
+                // quiescence check can't double-schedule it.
+                st.threads[chosen].status = Status::Running;
+                st.threads[chosen].grant = Some(grant);
+                rt.cv.notify_all();
+            }
+            Err(failure) => {
+                drop(st);
+                return RunOutcome::Failed(failure);
+            }
+        }
+    }
+}

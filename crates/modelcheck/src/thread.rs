@@ -1,0 +1,80 @@
+//! Shimmed threads: [`spawn`] / [`JoinHandle::join`] / [`yield_now`].
+//!
+//! Inside a model, spawned closures become model threads scheduled by
+//! the explorer, and `yield_now` means "park me until some other thread
+//! takes a step" — the semantics a work-stealing spin loop relies on.
+//! Outside a model everything delegates to real `std::thread`.
+
+use crate::rt::{self, Op};
+use std::sync::{Arc, Mutex as StdMutex};
+
+enum Mode {
+    Model { tid: usize },
+    Real { handle: std::thread::JoinHandle<()> },
+}
+
+/// Handle to a spawned (model or real) thread.
+pub struct JoinHandle<T> {
+    slot: Arc<StdMutex<Option<T>>>,
+    mode: Mode,
+}
+
+/// Spawn a thread running `f`; model-scheduled inside a model, real
+/// otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(StdMutex::new(None));
+    let slot2 = Arc::clone(&slot);
+    let body = move || {
+        let r = f();
+        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+    };
+    let mode = if rt::in_model() {
+        Mode::Model {
+            tid: rt::spawn_thread(Box::new(body)),
+        }
+    } else {
+        Mode::Real {
+            handle: std::thread::spawn(body),
+        }
+    };
+    JoinHandle { slot, mode }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait (in model time or real time) for the thread to finish and
+    /// return its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.mode {
+            Mode::Model { tid } => {
+                rt::schedule(|| Op::Join { thread: tid });
+                match self.slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    // The child terminated without producing a value ⇒ it
+                    // panicked; the explorer reports that as the failure.
+                    None => Err(Box::new("model thread panicked before returning")),
+                }
+            }
+            Mode::Real { handle } => {
+                handle.join()?;
+                match self.slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("thread finished without a result")),
+                }
+            }
+        }
+    }
+}
+
+/// Cooperative yield. In a model the calling thread is parked until
+/// another thread performs an operation (so pure spin loops terminate
+/// instead of exploding the schedule space); outside a model this is
+/// `std::thread::yield_now`.
+pub fn yield_now() {
+    if rt::schedule(|| Op::Yield).is_none() {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,357 @@
+//! Model of the cluster communicator's two-round fault-tolerant gather
+//! handshake (`polaroct-cluster/src/comm.rs::ft_exchange`).
+//!
+//! The model reproduces the protocol's moving parts 1:1, on the shimmed
+//! channels (bounded(1), like the real fabric):
+//!
+//! * round 1 — every member `try_send`s its contribution up; the root
+//!   gathers with `recv_timeout`, marking silent ranks dead;
+//! * recovery rounds — lost contributions are re-assigned round-robin
+//!   over the survivors (rotated per attempt); members answer
+//!   `Down::Recover` with `Up::Recovered`; stale `Up::Data` arriving
+//!   after a timeout is dropped, not double-installed;
+//! * round 2 — the root `try_send`s `Down::Final` to survivors and
+//!   `Down::Abort` to dead-but-listening ranks; members wait out a
+//!   widened window.
+//!
+//! Checked properties, per interleaving: the handshake never deadlocks,
+//! every contribution is installed exactly once (the folded sum is
+//! exact even under faults, because Exact recovery regenerates the true
+//! value), and every surviving rank returns the same sum. The
+//! acceptance-criterion test re-introduces the blind-`recv` bug (a
+//! plain `recv` where the timeout belongs) and proves the model catches
+//! it as a deadlock.
+
+use polaroct_modelcheck::sync::atomic::{AtomicUsize, Ordering};
+use polaroct_modelcheck::sync::channel::{self, Receiver, RecvTimeoutError, Sender};
+use polaroct_modelcheck::{explore, model_with, thread, Config, Failure};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug)]
+enum Up {
+    /// Round-1 contribution; `ok = false` models a corrupt payload
+    /// (CRC mismatch at the root: contribution lost, rank alive).
+    Data { value: u64, ok: bool },
+    Recovered { parts: Vec<(usize, u64)> },
+}
+
+#[derive(Debug)]
+enum Down {
+    Recover { assignments: Vec<usize> },
+    Final { sum: u64 },
+    Abort,
+}
+
+/// Per-rank fault injection for one collective.
+#[derive(Clone, Copy, PartialEq)]
+enum Fault {
+    None,
+    /// Rank dies before the collective: sends nothing, listens to
+    /// nothing. The fabric keeps its channel ends alive, so the root
+    /// sees silence — not disconnection (the real failure mode).
+    Kill,
+    /// Payload corrupted in flight: arrives, fails the checksum.
+    Corrupt,
+}
+
+struct Fabric {
+    size: usize,
+    up_tx: Vec<Sender<Up>>,
+    up_rx: Vec<Receiver<Up>>,
+    down_tx: Vec<Sender<Down>>,
+    down_rx: Vec<Receiver<Down>>,
+    dead: Vec<AtomicUsize>,
+}
+
+impl Fabric {
+    fn new(size: usize) -> Self {
+        let (mut up_tx, mut up_rx, mut down_tx, mut down_rx) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..size {
+            let (t, r) = channel::bounded(1);
+            up_tx.push(t);
+            up_rx.push(r);
+            let (t, r) = channel::bounded(1);
+            down_tx.push(t);
+            down_rx.push(r);
+        }
+        Fabric {
+            size,
+            up_tx,
+            up_rx,
+            down_tx,
+            down_rx,
+            dead: (0..size).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    fn is_dead(&self, r: usize) -> bool {
+        self.dead[r].load(Ordering::SeqCst) != 0
+    }
+
+    fn mark_dead(&self, r: usize) {
+        self.dead[r].store(1, Ordering::SeqCst);
+    }
+}
+
+/// Rank r's true contribution (what Exact recovery regenerates).
+fn contrib(r: usize) -> u64 {
+    (r as u64 + 1) * 10
+}
+
+const TIMEOUT: Duration = Duration::from_millis(1);
+const MAX_ATTEMPTS: usize = 4;
+
+/// Root half of the handshake. `blind_recv` re-introduces the bug the
+/// protocol exists to avoid: a plain `recv` instead of `recv_timeout`.
+fn root(fab: &Fabric, blind_recv: bool) -> Result<u64, &'static str> {
+    let p = fab.size;
+    let mut entries: Vec<Option<u64>> = vec![None; p];
+    entries[0] = Some(contrib(0));
+    let mut missing: Vec<usize> = Vec::new();
+    // `r` indexes the fabric's channel arrays and `entries` in parallel,
+    // mirroring the real root loop in comm.rs.
+    #[allow(clippy::needless_range_loop)]
+    for r in 1..p {
+        if fab.is_dead(r) {
+            missing.push(r);
+            continue;
+        }
+        let got = if blind_recv {
+            // BUG variant: waits forever on a silent rank.
+            fab.up_rx[r].recv().map_err(|_| RecvTimeoutError::Disconnected)
+        } else {
+            fab.up_rx[r].recv_timeout(TIMEOUT)
+        };
+        match got {
+            Ok(Up::Data { value, ok: true }) => entries[r] = Some(value),
+            Ok(Up::Data { ok: false, .. }) => missing.push(r), // corrupt: alive, lost
+            Ok(Up::Recovered { .. }) => missing.push(r),       // stale: drop
+            Err(_) => {
+                fab.mark_dead(r);
+                missing.push(r);
+            }
+        }
+    }
+
+    let mut attempt = 0usize;
+    while !missing.is_empty() {
+        attempt += 1;
+        if attempt > MAX_ATTEMPTS {
+            for r in 1..p {
+                if !fab.is_dead(r) {
+                    let _ = fab.down_tx[r].try_send(Down::Abort);
+                }
+            }
+            return Err("recovery exhausted");
+        }
+        let alive: Vec<usize> = (0..p).filter(|&r| !fab.is_dead(r)).collect();
+        // Round-robin assignment, rotated per attempt (as in comm.rs).
+        let mut assign: Vec<Vec<usize>> = (0..p).map(|_| Vec::new()).collect();
+        for (i, &lost) in missing.iter().enumerate() {
+            assign[alive[(i + attempt - 1) % alive.len()]].push(lost);
+        }
+        for &r in &alive {
+            if r == 0 {
+                continue;
+            }
+            let msg = Down::Recover {
+                assignments: assign[r].clone(),
+            };
+            if fab.down_tx[r].try_send(msg).is_err() {
+                fab.mark_dead(r);
+            }
+        }
+        for &lost in &assign[0] {
+            entries[lost] = Some(contrib(lost));
+        }
+        for &r in &alive {
+            if r == 0 || fab.is_dead(r) {
+                continue;
+            }
+            match fab.up_rx[r].recv_timeout(TIMEOUT) {
+                Ok(Up::Recovered { parts }) => {
+                    for (lost, v) in parts {
+                        entries[lost] = Some(v);
+                    }
+                }
+                Ok(Up::Data { .. }) => { /* stale round-1 message: drop */ }
+                Err(_) => fab.mark_dead(r),
+            }
+        }
+        missing = (0..p).filter(|&r| entries[r].is_none()).collect();
+    }
+
+    let sum: u64 = entries.iter().map(|e| e.expect("no rank missing")).sum();
+    for r in 1..p {
+        if fab.is_dead(r) {
+            let _ = fab.down_tx[r].try_send(Down::Abort);
+        } else if fab.down_tx[r].try_send(Down::Final { sum }).is_err() {
+            fab.mark_dead(r);
+        }
+    }
+    Ok(sum)
+}
+
+/// Member half of the handshake.
+fn member(fab: &Fabric, rank: usize, fault: Fault) -> Result<u64, &'static str> {
+    if fault == Fault::Kill {
+        return Err("killed");
+    }
+    let _ = fab.up_tx[rank].try_send(Up::Data {
+        value: contrib(rank),
+        ok: fault != Fault::Corrupt,
+    });
+    // The root may serially wait TIMEOUT per rank, so the member's
+    // window covers the whole pass (size+1 slots in the real code; the
+    // model's timeouts are semantic, the width is symbolic).
+    let window = TIMEOUT * (fab.size as u32 + 1);
+    loop {
+        match fab.down_rx[rank].recv_timeout(window) {
+            Ok(Down::Final { sum }) => return Ok(sum),
+            Ok(Down::Recover { assignments }) => {
+                let parts: Vec<(usize, u64)> =
+                    assignments.into_iter().map(|lost| (lost, contrib(lost))).collect();
+                let _ = fab.up_tx[rank].try_send(Up::Recovered { parts });
+            }
+            Ok(Down::Abort) => return Err("aborted"),
+            Err(RecvTimeoutError::Timeout) => return Err("window expired"),
+            Err(RecvTimeoutError::Disconnected) => return Err("disconnected"),
+        }
+    }
+}
+
+/// Run one collective over `faults.len() + 1` ranks; returns
+/// (root result, member results).
+#[allow(clippy::type_complexity)]
+fn run_collective(
+    faults: &[Fault],
+    blind_recv: bool,
+) -> (Result<u64, &'static str>, Vec<Result<u64, &'static str>>) {
+    let size = faults.len() + 1;
+    let fab = Arc::new(Fabric::new(size));
+    let handles: Vec<_> = faults
+        .iter()
+        .enumerate()
+        .map(|(i, &fault)| {
+            let fab = Arc::clone(&fab);
+            let rank = i + 1;
+            thread::spawn(move || member(&fab, rank, fault))
+        })
+        .collect();
+    let got = root(&fab, blind_recv);
+    let members: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    (got, members)
+}
+
+fn cfg() -> Config {
+    Config {
+        max_executions: 400_000,
+        max_preemptions: Some(3),
+        ..Config::default()
+    }
+}
+
+#[test]
+fn fault_free_gather_agrees_on_the_exact_sum() {
+    model_with(cfg(), || {
+        let (root_sum, members) = run_collective(&[Fault::None, Fault::None], false);
+        let want = contrib(0) + contrib(1) + contrib(2);
+        assert_eq!(root_sum, Ok(want));
+        for (i, m) in members.iter().enumerate() {
+            assert_eq!(*m, Ok(want), "rank {}", i + 1);
+        }
+    });
+}
+
+#[test]
+fn killed_rank_is_recovered_and_survivors_agree() {
+    model_with(cfg(), || {
+        let (root_sum, members) = run_collective(&[Fault::None, Fault::Kill], false);
+        // Exact recovery regenerates rank 2's true value: the sum is
+        // the *full* sum even though rank 2 never spoke.
+        let want = contrib(0) + contrib(1) + contrib(2);
+        assert_eq!(root_sum, Ok(want));
+        assert_eq!(members[0], Ok(want), "surviving rank must get Final");
+        assert_eq!(members[1], Err("killed"));
+    });
+}
+
+#[test]
+fn two_corrupt_payloads_trigger_member_side_recovery() {
+    // Both members' payloads fail the checksum: the root stays in
+    // contact with both (alive, contribution lost) and the round-robin
+    // assignment hands one regeneration to a *member* — exercising
+    // Down::Recover with work, Up::Recovered, and install.
+    model_with(cfg(), || {
+        let (root_sum, members) = run_collective(&[Fault::Corrupt, Fault::Corrupt], false);
+        let want = contrib(0) + contrib(1) + contrib(2);
+        assert_eq!(root_sum, Ok(want));
+        for (i, m) in members.iter().enumerate() {
+            assert_eq!(*m, Ok(want), "rank {}", i + 1);
+        }
+    });
+}
+
+#[test]
+fn blind_recv_bug_is_caught_as_a_deadlock() {
+    // The acceptance-criterion regression: replace the root's
+    // recv_timeout with a blocking recv and kill a rank. The fabric
+    // holds the dead rank's sender, so the recv can never error — the
+    // explorer must report the root stuck on ChanRecv.
+    let report = explore(cfg(), || {
+        let _ = run_collective(&[Fault::None, Fault::Kill], true);
+    });
+    match report.failure {
+        Some(Failure::Deadlock { waiting, .. }) => {
+            assert!(
+                waiting.iter().any(|w| w.contains("ChanRecv")),
+                "deadlock should pin the blind recv, waiting: {waiting:?}"
+            );
+        }
+        other => panic!("expected the blind-recv deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn spurious_timeouts_never_corrupt_the_sum() {
+    // Nondeterministic timeouts model slow senders: the root may give
+    // up on a rank whose Data is still in flight. Whatever the
+    // schedule, Exact recovery keeps the folded sum exact, the
+    // handshake terminates, and the stale Data is dropped (never
+    // double-installed).
+    use std::collections::BTreeSet;
+    use std::sync::Mutex as StdMutex;
+    let member_outcomes = Arc::new(StdMutex::new(BTreeSet::new()));
+    let sink = Arc::clone(&member_outcomes);
+    let config = Config {
+        nondet_timeouts: true,
+        max_executions: 400_000,
+        max_preemptions: Some(2),
+        ..Config::default()
+    };
+    let report = explore(config, move || {
+        let (root_sum, members) = run_collective(&[Fault::None], false);
+        let want = contrib(0) + contrib(1);
+        // The root must always terminate with the exact sum — recovery
+        // absorbs any spurious timeout.
+        assert_eq!(root_sum, Ok(want), "root sum corrupted");
+        // The member either got Final or was (spuriously) aborted /
+        // timed out — but never a wrong sum.
+        if let Ok(s) = members[0] {
+            assert_eq!(s, want, "member sum corrupted");
+        }
+        sink.lock().unwrap().insert(members[0].is_ok());
+    });
+    assert!(
+        report.failure.is_none(),
+        "handshake failed under spurious timeouts: {:?}",
+        report.failure
+    );
+    let seen = member_outcomes.lock().unwrap().clone();
+    assert!(
+        seen.contains(&true),
+        "the happy path was never explored: {seen:?}"
+    );
+}

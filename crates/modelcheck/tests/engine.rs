@@ -1,0 +1,354 @@
+//! Self-tests for the exploration engine: known-good models must pass
+//! exhaustively, and known-bad models must be caught — with pruning on
+//! (the default) and off (plain DFS) agreeing on both.
+
+use polaroct_modelcheck::cell::{RaceCell, WriteOnce};
+use polaroct_modelcheck::sync::atomic::{AtomicUsize, Ordering};
+use polaroct_modelcheck::sync::{channel, Mutex};
+use polaroct_modelcheck::{explore, model, model_with, thread, Config, Failure};
+use std::sync::Arc;
+
+fn cfg(dpor: bool) -> Config {
+    Config {
+        dpor,
+        ..Config::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Known-good models pass
+// ---------------------------------------------------------------------------
+
+#[test]
+fn atomic_counter_is_exact() {
+    model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+}
+
+#[test]
+fn mutex_guards_plain_memory() {
+    // A RaceCell protected by a Mutex must never report a race: the
+    // lock's vector-clock edges order every access pair.
+    model(|| {
+        let m = Arc::new(Mutex::new(()));
+        let c = Arc::new(RaceCell::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    let _g = m.lock();
+                    let v = c.get();
+                    c.set(v + 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 2);
+    });
+}
+
+#[test]
+fn channel_delivers_in_order() {
+    model(|| {
+        let (tx, rx) = channel::unbounded();
+        let t = thread::spawn(move || {
+            tx.send(1);
+            tx.send(2);
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn recv_timeout_fires_when_no_sender_will_send() {
+    // The sender side stays alive but never sends: a blocking recv
+    // would deadlock, recv_timeout must time out instead.
+    model(|| {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let got = rx.recv_timeout(std::time::Duration::from_millis(1));
+        assert_eq!(got, Err(channel::RecvTimeoutError::Timeout));
+        drop(tx);
+    });
+}
+
+#[test]
+fn yielding_spin_loop_terminates() {
+    // The pool's "spin until work appears" idiom: yield_now parks the
+    // spinner until another thread steps, so exploration terminates.
+    model(|| {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            f2.store(1, Ordering::SeqCst);
+        });
+        while flag.load(Ordering::SeqCst) == 0 {
+            thread::yield_now();
+        }
+        t.join().unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Known-bad models are caught (with and without pruning)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unsynchronized_writes_race() {
+    for dpor in [true, false] {
+        let report = explore(cfg(dpor), || {
+            let c = Arc::new(RaceCell::new(0u32));
+            let c2 = Arc::clone(&c);
+            let t = thread::spawn(move || c2.set(1));
+            c.set(2);
+            t.join().unwrap();
+        });
+        match report.failure {
+            Some(Failure::Race { .. }) => {}
+            other => panic!("expected a data race (dpor={dpor}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn lost_update_read_modify_write_is_caught() {
+    // Classic lost update: load + store instead of fetch_add. Some
+    // interleaving makes the final count 1; the assert catches it.
+    for dpor in [true, false] {
+        let report = explore(cfg(dpor), || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        let v = n.load(Ordering::SeqCst);
+                        n.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+        });
+        match report.failure {
+            Some(Failure::Panic { message, .. }) => {
+                assert!(message.contains("lost update"), "message: {message}")
+            }
+            other => panic!("expected the lost-update assert (dpor={dpor}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn ab_ba_lock_order_deadlocks() {
+    for dpor in [true, false] {
+        let report = explore(cfg(dpor), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock();
+                let _gb = b2.lock();
+            });
+            let _gb = b.lock();
+            let _ga = a.lock();
+            drop((_ga, _gb));
+            t.join().unwrap();
+        });
+        match report.failure {
+            Some(Failure::Deadlock { .. }) => {}
+            other => panic!("expected a deadlock (dpor={dpor}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn blocking_recv_with_live_idle_sender_deadlocks() {
+    // The blind-recv shape: the sender is alive (no disconnect) but
+    // never sends — a plain `recv` hangs forever.
+    let report = explore(cfg(true), || {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let _ = rx.recv();
+        drop(tx);
+    });
+    match report.failure {
+        Some(Failure::Deadlock { waiting, .. }) => {
+            assert!(waiting.iter().any(|w| w.contains("ChanRecv")));
+        }
+        other => panic!("expected a deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn write_once_double_write_is_caught() {
+    let report = explore(cfg(true), || {
+        let w = Arc::new(Mutex::new(()));
+        let slot = Arc::new(WriteOnce::new());
+        let (w2, s2) = (Arc::clone(&w), Arc::clone(&slot));
+        let t = thread::spawn(move || {
+            let _g = w2.lock();
+            s2.set(1u32);
+        });
+        {
+            let _g = w.lock();
+            slot.set(2u32);
+        }
+        t.join().unwrap();
+    });
+    match report.failure {
+        Some(Failure::Panic { message, .. }) => {
+            assert!(message.contains("exactly-once"), "message: {message}")
+        }
+        other => panic!("expected the WriteOnce assert, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration quality
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sc_interleavings_are_exhaustive() {
+    // Dekker-style: both threads store their flag, then read the other.
+    // Under sequential consistency (0,0) is impossible; the other three
+    // outcomes must all be observed.
+    use std::collections::BTreeSet;
+    use std::sync::Mutex as StdMutex;
+    let outcomes = Arc::new(StdMutex::new(BTreeSet::new()));
+    let sink = Arc::clone(&outcomes);
+    let report = explore(cfg(false), move || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        y.store(1, Ordering::SeqCst);
+        let r0 = x.load(Ordering::SeqCst);
+        let r1 = t.join().unwrap();
+        sink.lock().unwrap().insert((r0, r1));
+    });
+    assert!(report.failure.is_none(), "failure: {:?}", report.failure);
+    assert!(report.complete, "exploration did not finish");
+    let seen = outcomes.lock().unwrap().clone();
+    let expected: std::collections::BTreeSet<_> =
+        [(0usize, 1usize), (1, 0), (1, 1)].into_iter().collect();
+    assert_eq!(seen, expected, "SC outcome set mismatch");
+}
+
+#[test]
+fn sleep_sets_prune_without_losing_outcomes() {
+    // Two threads on two *independent* atomics: pruning should cut the
+    // schedule count strictly, and both runs must be complete and pass.
+    let run = |dpor: bool| {
+        let report = explore(cfg(dpor), || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = Arc::new(AtomicUsize::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || {
+                a2.store(1, Ordering::SeqCst);
+                a2.store(2, Ordering::SeqCst);
+            });
+            b.store(1, Ordering::SeqCst);
+            b.store(2, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+            assert_eq!(b.load(Ordering::SeqCst), 2);
+        });
+        assert!(report.failure.is_none(), "dpor={dpor}: {:?}", report.failure);
+        assert!(report.complete, "dpor={dpor} did not finish");
+        report.executions
+    };
+    let with_dpor = run(true);
+    let without = run(false);
+    assert!(
+        with_dpor < without,
+        "sleep sets did not prune: {with_dpor} vs {without}"
+    );
+}
+
+#[test]
+fn nondet_timeouts_explore_spurious_expiry() {
+    // With nondeterministic timeouts, recv_timeout may fire even though
+    // the sender eventually sends: both outcomes must be explored.
+    use std::collections::BTreeSet;
+    use std::sync::Mutex as StdMutex;
+    let outcomes = Arc::new(StdMutex::new(BTreeSet::new()));
+    let sink = Arc::clone(&outcomes);
+    let config = Config {
+        nondet_timeouts: true,
+        ..Config::default()
+    };
+    let report = explore(config, move || {
+        let (tx, rx) = channel::unbounded();
+        let t = thread::spawn(move || {
+            tx.send(7u8);
+        });
+        let got = rx.recv_timeout(std::time::Duration::from_millis(1));
+        sink.lock().unwrap().insert(got.is_ok());
+        t.join().unwrap();
+    });
+    assert!(report.failure.is_none(), "failure: {:?}", report.failure);
+    let seen = outcomes.lock().unwrap().clone();
+    assert!(
+        seen.contains(&true) && seen.contains(&false),
+        "expected both delivery and timeout, saw {seen:?}"
+    );
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let count = || {
+        let report = explore(cfg(true), || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+        });
+        assert!(report.complete && report.failure.is_none());
+        report.executions
+    };
+    assert_eq!(count(), count());
+}
+
+#[test]
+fn model_with_reports_budget_exhaustion() {
+    let tight = Config {
+        max_executions: 1,
+        ..Config::default()
+    };
+    let result = std::panic::catch_unwind(|| {
+        model_with(tight, || {
+            let n = Arc::new(AtomicUsize::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::SeqCst);
+            });
+            n.fetch_add(1, Ordering::SeqCst);
+            t.join().unwrap();
+        });
+    });
+    assert!(result.is_err(), "a 1-execution budget cannot be exhaustive");
+}

@@ -1,0 +1,123 @@
+//! Model of the `SyncSlice` write-once disjointness contract
+//! (`polaroct-sched/src/pool.rs`).
+//!
+//! `SyncSlice` lets pool workers write `out[i]` through a raw pointer
+//! with no per-slot synchronization; soundness rests on two claims:
+//!
+//! 1. the index space is partitioned — no two tasks share an `i`
+//!    (exactly-once execution, checked by `pool_model.rs`);
+//! 2. the writes are published to the reader by the scoped-thread
+//!    joins, not by any per-slot ordering.
+//!
+//! Here each slot is a [`RaceCell`] — the model-world equivalent of an
+//! unsynchronized memory location — so the explorer's vector clocks
+//! check claim 2 directly: if join edges were not sufficient, reading
+//! the slots after the join would race. The negative test drops
+//! claim 1 (two tasks write the same slot) and must be caught as a
+//! data race.
+
+use polaroct_modelcheck::cell::RaceCell;
+use polaroct_modelcheck::sync::atomic::{AtomicUsize, Ordering};
+use polaroct_modelcheck::{explore, model, thread, Config, Failure};
+use std::sync::Arc;
+
+/// try_map in miniature: workers claim indices from a shared counter
+/// (a stand-in for the deque protocol, which `pool_model.rs` verifies
+/// delivers exactly-once) and write their slot with no further sync.
+fn try_map_model(n: usize, workers: usize, collide: Option<(usize, usize)>) {
+    let slots: Arc<Vec<RaceCell<Option<usize>>>> =
+        Arc::new((0..n).map(|_| RaceCell::new(None)).collect());
+    let next = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..workers)
+        .map(|wid| {
+            let slots = Arc::clone(&slots);
+            let next = Arc::clone(&next);
+            thread::spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                // Bug injection: worker also writes a slot it does not
+                // own, breaking disjointness.
+                if let Some((at, victim)) = collide {
+                    if i == at {
+                        slots[victim].set(Some(wid + 100));
+                    }
+                }
+                slots[i].set(Some(i * 7));
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The joins are the only ordering between the workers' raw writes
+    // and these reads — exactly the real try_map publication argument.
+    for (i, slot) in slots.iter().enumerate() {
+        if collide.is_none() {
+            assert_eq!(slot.get(), Some(i * 7), "slot {i}");
+        }
+    }
+}
+
+#[test]
+fn disjoint_writes_join_publication_is_race_free() {
+    model(|| try_map_model(3, 2, None));
+}
+
+#[test]
+fn overlapping_writes_are_reported_as_a_race() {
+    // Worker handling index 1 also stomps slot 2 — some interleaving
+    // has two unordered writes (or a write racing the other worker's
+    // write) on slot 2.
+    let report = explore(Config::default(), || try_map_model(3, 2, Some((1, 2))));
+    match report.failure {
+        Some(Failure::Race { description, .. }) => {
+            assert!(description.contains("write"), "description: {description}");
+        }
+        // Depending on schedule the collision may also surface as the
+        // final-value assert — but a race must be found first because
+        // race checking is schedule-independent (clock-based).
+        other => panic!("expected a data race, got {other:?}"),
+    }
+}
+
+#[test]
+fn panicking_task_slot_stays_unwritten_without_racing() {
+    // try_map's panic path: f(i) panics ⇒ the write is skipped, the
+    // slot stays None, and nothing races. (catch_unwind is modeled by
+    // simply skipping the write.)
+    model(|| {
+        let n = 3;
+        let poisoned = 1usize;
+        let slots: Arc<Vec<RaceCell<Option<usize>>>> =
+            Arc::new((0..n).map(|_| RaceCell::new(None)).collect());
+        let next = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let slots = Arc::clone(&slots);
+                let next = Arc::clone(&next);
+                thread::spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    if i == poisoned {
+                        continue; // body panicked: no write happens
+                    }
+                    slots[i].set(Some(i));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            if i == poisoned {
+                assert_eq!(slot.get(), None);
+            } else {
+                assert_eq!(slot.get(), Some(i));
+            }
+        }
+    });
+}

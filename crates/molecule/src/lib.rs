@@ -30,6 +30,8 @@
 //! [`io`] reads and writes the simple `xyzr`/`xyzrq` formats and a useful
 //! subset of PQR, so real molecules can be dropped in when available.
 
+#![forbid(unsafe_code)]
+
 pub mod atom;
 pub mod elements;
 pub mod io;

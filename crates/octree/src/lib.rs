@@ -27,6 +27,8 @@
 //! the caller's arrays, permuted into Morton order via
 //! [`Octree::point_order`].
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod node;
 pub mod query;

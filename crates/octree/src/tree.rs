@@ -266,8 +266,8 @@ mod tests {
         let back = t.unpermute(&sorted);
         assert_eq!(back, payload);
         // sorted payload lines up with sorted points
-        for i in 0..300 {
-            assert_eq!(sorted[i] as usize, t.point_order[i] as usize);
+        for (i, &s) in sorted.iter().enumerate() {
+            assert_eq!(s as usize, t.point_order[i] as usize);
         }
     }
 

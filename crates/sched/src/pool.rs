@@ -6,8 +6,8 @@
 //! oldest — and therefore largest — subrange, which is also the
 //! least-recently-touched data, the cache-friendliness argument of §V.A).
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A contiguous index subrange of the task space.
 type Chunk = (usize, usize);
@@ -200,11 +200,18 @@ impl WorkStealingPool {
             let slots = SyncSlice(out.as_mut_ptr(), n);
             metrics = self.run(n, |i| {
                 let v = f(i);
-                // SAFETY: each index is executed exactly once, so every
-                // slot is written by at most one thread; if `f(i)` panics
-                // we never reach the write and the slot stays `None`
-                // (overwriting a `None` drops nothing).
-                unsafe { slots.write(i, Some(v)) };
+                // SAFETY: `run` executes each index in `0..n` exactly once
+                // (model-checked exhaustively in
+                // `modelcheck/tests/pool_model.rs`), so every slot is
+                // written by at most one thread and `i < n` always holds;
+                // if `f(i)` panics we never reach the write and the slot
+                // stays `None` (overwriting a `None` drops nothing). The
+                // writes are published to this (borrowing) thread by the
+                // scoped-thread joins inside `run`.
+                #[allow(unsafe_code)]
+                unsafe {
+                    slots.write(i, Some(v))
+                };
             });
         }
         (out, metrics)
@@ -226,14 +233,39 @@ impl WorkStealingPool {
 }
 
 /// Send+Sync wrapper allowing disjoint-index writes from the pool.
+///
+/// The write-once/disjointness protocol this type relies on is verified
+/// two ways beyond code review: the interleaving explorer in
+/// `crates/modelcheck` checks it exhaustively on a small configuration
+/// (`tests/syncslice_model.rs`), and `syncslice_disjoint_writes_small`
+/// below runs the real thing under Miri in the nightly CI job.
 struct SyncSlice<T>(*mut T, usize);
+
+// SAFETY: the pointer refers to a live `Vec` owned by the caller of
+// `try_map`, which outlives the scoped threads that use this handle;
+// sending the pointer itself is therefore fine whenever `T: Send`.
+#[allow(unsafe_code)]
 unsafe impl<T: Send> Send for SyncSlice<T> {}
+
+// SAFETY: shared use is confined to `write`, whose contract demands
+// disjoint indices — concurrent calls never alias the same slot, so no
+// `&self` method can observe a data race.
+#[allow(unsafe_code)]
 unsafe impl<T: Send> Sync for SyncSlice<T> {}
+
 impl<T> SyncSlice<T> {
-    /// SAFETY: caller guarantees `i < len` and that no two calls share `i`.
+    // SAFETY: (contract) callers guarantee `i < len` and that no two
+    // concurrent calls share the same `i`.
+    #[allow(unsafe_code)]
     unsafe fn write(&self, i: usize, v: T) {
         debug_assert!(i < self.1);
-        unsafe { self.0.add(i).write(v) };
+        // SAFETY: `i < self.1` (slot count) by the caller contract, so
+        // the offset stays inside the allocation; disjoint `i` across
+        // threads means no two writes alias.
+        #[allow(unsafe_code)]
+        unsafe {
+            self.0.add(i).write(v)
+        };
     }
 }
 
@@ -242,7 +274,33 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+    /// Small enough to run under Miri (the advisory nightly CI job):
+    /// exercises the whole `SyncSlice` unsafe path — raw-pointer writes
+    /// from several real threads into one output buffer — so Miri's
+    /// aliasing and data-race checkers audit the disjointness argument
+    /// on every nightly run.
     #[test]
+    fn syncslice_disjoint_writes_small() {
+        let pool = WorkStealingPool::new(3);
+        let (slots, m) = pool.try_map(17, |i| i * 7);
+        assert_eq!(m.panics, 0);
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(*s, Some(i * 7), "index {i}");
+        }
+        // And the panicking variant: the skipped slot stays None.
+        let (slots, m) = pool.try_map(9, |i| {
+            if i == 4 {
+                panic!("injected");
+            }
+            i
+        });
+        assert_eq!(m.panics, 1);
+        assert!(slots[4].is_none());
+        assert_eq!(slots[8], Some(8));
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "10k tasks is too slow under the interpreter")]
     fn executes_every_index_exactly_once() {
         let n = 10_000;
         let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
@@ -375,6 +433,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "50k-iteration busy loops are too slow under the interpreter")]
     fn uneven_task_costs_still_complete() {
         // A few heavy tasks among many light ones — stealing must cover.
         let n = 512;

@@ -74,6 +74,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "100k-element sweep is too slow under the interpreter")]
     fn pairwise_is_more_accurate_than_naive_on_adversarial_input() {
         // Alternating large/small values accumulate error sequentially.
         let xs: Vec<f64> = (0..100_000)
@@ -100,6 +101,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "5k parallel leaves is too slow under the interpreter")]
     fn sum_f64_deterministic_across_widths() {
         let f = |i: usize| ((i as f64) * 0.1).sin() * 1e8;
         let s1 = WorkStealingPool::new(1).sum_f64(5000, f);

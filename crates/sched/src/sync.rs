@@ -1,0 +1,21 @@
+//! Facade over the sync primitives the scheduler uses.
+//!
+//! Normal builds re-export `std::sync::atomic` unchanged — zero cost,
+//! zero behavioral difference. Builds with `RUSTFLAGS="--cfg modelcheck"`
+//! swap in the instrumented shims from `polaroct-modelcheck`, whose
+//! operations are schedule points for the bounded-interleaving explorer
+//! (and which fall back to plain sequentially-consistent behavior when no
+//! exploration is active, so a `--cfg modelcheck` build still passes the
+//! regular test suite).
+//!
+//! Code under `crates/sched` should import atomics from here rather than
+//! from `std` directly; that keeps the concurrency kernel permanently
+//! one `--cfg` away from exhaustive schedule exploration. The faithful
+//! protocol models that are explored in CI live in
+//! `crates/modelcheck/tests/` (see DESIGN.md §9).
+
+#[cfg(not(modelcheck))]
+pub use std::sync::atomic;
+
+#[cfg(modelcheck)]
+pub use polaroct_modelcheck::sync::atomic;

@@ -27,6 +27,8 @@
 //! (icosahedron × 1-point rule = 20 candidate points per atom, of which
 //! roughly a quarter survive burial filtering in a packed interior).
 
+#![forbid(unsafe_code)]
+
 pub mod area;
 pub mod cell_list;
 pub mod dunavant;

@@ -271,7 +271,7 @@ mod tests {
         let per_atom = q.len() as f64 / 1500.0;
         let isolated = SurfaceParams::default().points_per_atom() as f64;
         assert!(per_atom < 0.8 * isolated, "per-atom {per_atom} vs isolated {isolated}");
-        assert!(q.len() > 0);
+        assert!(!q.is_empty());
     }
 
     #[test]

@@ -47,8 +47,8 @@ fn main() {
         let f = forces_original_order(&sys, &f_sorted);
         // Net polarization force on the ligand's rigid body.
         let mut f_lig = Vec3::ZERO;
-        for i in receptor.len()..complex.len() {
-            f_lig += f[i];
+        for fi in &f[receptor.len()..complex.len()] {
+            f_lig += *fi;
         }
 
         let gap = (offset + ligand.centroid() - receptor.centroid()).norm() - rx;

@@ -12,6 +12,8 @@
 //! Input files are `.xyzrq` or `.pqr` (extension-sniffed). Argument
 //! parsing is hand-rolled (no CLI dependency) and unit-tested below.
 
+#![forbid(unsafe_code)]
+
 use polaroct::prelude::*;
 use std::process::ExitCode;
 

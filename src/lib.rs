@@ -42,6 +42,8 @@
 //! assert!((hybrid.energy_kcal - report.energy_kcal).abs() / report.energy_kcal.abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use polaroct_baselines as baselines;
 pub use polaroct_cluster as cluster;
 pub use polaroct_core as core;

@@ -11,6 +11,8 @@
 //! every benchmark body runs exactly once as a smoke test, matching
 //! upstream's behavior.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

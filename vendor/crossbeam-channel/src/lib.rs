@@ -7,6 +7,8 @@
 //! the whole run, so disconnect semantics (the part of crossbeam this
 //! shim does not reproduce) are unreachable in-tree.
 
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};

@@ -8,6 +8,8 @@
 //! few pointer moves, so for the coarse leaf-block tasks this workspace
 //! schedules the difference is noise next to the kernels.
 
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, PoisonError};
 

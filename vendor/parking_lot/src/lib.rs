@@ -6,6 +6,8 @@
 //! `lock()` returns the guard directly (poisoning is swallowed — a
 //! panicked holder does not poison subsequent lockers).
 
+#![forbid(unsafe_code)]
+
 use std::sync::PoisonError;
 
 /// A mutex whose `lock` never returns a poison error.

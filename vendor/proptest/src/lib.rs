@@ -14,6 +14,8 @@
 //!   across runs and machines. Set `PROPTEST_SEED=<u64>` to perturb the
 //!   whole suite.
 
+#![forbid(unsafe_code)]
+
 use rand::SeedableRng;
 
 /// The RNG strategies draw from.

@@ -9,6 +9,8 @@
 //! sequences (the seed repo never built offline, so no recorded results
 //! depend on them).
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// The core source of randomness: 32/64-bit uniform words.
@@ -204,7 +206,7 @@ mod tests {
         let mut rng = SplitMix64 { state: 9 };
         for _ in 0..1000 {
             let v = rng.gen_range(f64::EPSILON..1.0);
-            assert!(v >= f64::EPSILON && v < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&v));
         }
     }
 }

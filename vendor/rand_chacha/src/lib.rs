@@ -8,6 +8,8 @@
 //! statistical quality and is deterministic per seed — which is all the
 //! synthetic-molecule generators and simulators in-tree rely on.
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];

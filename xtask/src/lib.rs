@@ -1,0 +1,8 @@
+//! Workspace automation library (see `src/main.rs` for the CLI).
+//!
+//! The linter lives in [`analyze`] so the integration tests can drive
+//! individual rules against fixture files without shelling out.
+
+#![forbid(unsafe_code)]
+
+pub mod analyze;

@@ -1,0 +1,22 @@
+//! Workspace automation entry point (`cargo xtask <command>`).
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+use xtask::analyze;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("analyze") => analyze::run(&args.collect::<Vec<_>>()),
+        Some(other) => {
+            eprintln!("unknown xtask command: {other}");
+            eprintln!("usage: cargo xtask analyze [paths...]");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask analyze [paths...]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root with no unsafe_code hygiene attribute.
+//! Expected: unsafe-attr at line 1 when linted as a crate root.
+
+pub fn hello() -> u32 {
+    42
+}
