@@ -1,0 +1,198 @@
+//! Octree construction scaling: serial builder vs the pool-parallel
+//! builder at 1..N threads, over both octrees of a prepared system (the
+//! atoms tree and the much larger q-points tree).
+//!
+//! Before any timing is reported, every parallel tree is checked
+//! **byte-identical** to the serial one via `Octree::content_digest`
+//! (the tentpole guarantee: parallel construction is a pure performance
+//! knob). Each configuration runs `reps` times keeping the minimum wall
+//! time.
+//!
+//! Emits `BENCH_build.json` (to `$POLAROCT_OUT` if set, else
+//! `results/`) plus the usual TSV table. Smoke mode
+//! (`POLAROCT_QUICK=1`) shrinks the cloud and sweeps {1, 2} threads so
+//! CI can run it as a blocking step.
+//!
+//! Note: on a single-core host the parallel build cannot beat the
+//! serial one — chunking/scatter overhead with no extra cores lands it
+//! at ~1x or slightly below. See EXPERIMENTS.md "Octree build scaling"
+//! for the caveat and the identity-check role this bench still plays
+//! there.
+
+#![forbid(unsafe_code)]
+
+use polaroct_bench::{fmt_time, quick_mode, Table};
+use polaroct_core::ApproxParams;
+use polaroct_geom::Vec3;
+use polaroct_molecule::synth;
+use polaroct_octree::{build, BuildParams};
+use polaroct_sched::WorkStealingPool;
+use polaroct_surface::surface_quadrature;
+use std::io::Write;
+use std::time::Instant;
+
+struct TreeCase {
+    tree: &'static str,
+    points: Vec<Vec3>,
+    leaf_capacity: usize,
+}
+
+struct Row {
+    tree: &'static str,
+    points: usize,
+    threads: usize, // 0 = serial builder
+    wall: f64,
+    digest: u64,
+}
+
+fn main() {
+    let n = if quick_mode() { 3_000 } else { 40_000 };
+    let reps = if quick_mode() { 1 } else { 3 };
+    let threads: &[usize] = if quick_mode() { &[1, 2] } else { &[1, 2, 4, 8] };
+    let host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    eprintln!("[octree_build_scaling] generating protein ({n} atoms) + surface...");
+    let mol = synth::protein("buildbench", n, 0x0C7);
+    let params = ApproxParams::default();
+    let quad = surface_quadrature(&mol, params.surface);
+    eprintln!(
+        "[octree_build_scaling] {} atoms, {} q-points, {host_cores} host cores",
+        mol.positions.len(),
+        quad.positions.len()
+    );
+
+    let cases = [
+        TreeCase { tree: "atoms", points: mol.positions.clone(), leaf_capacity: params.leaf_cap_atoms },
+        TreeCase {
+            tree: "qpoints",
+            points: quad.positions.clone(),
+            leaf_capacity: params.leaf_cap_qpoints,
+        },
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for case in &cases {
+        let serial_params =
+            BuildParams { leaf_capacity: case.leaf_capacity, ..Default::default() };
+
+        let mut wall = f64::INFINITY;
+        let mut digest = 0u64;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let tree = build(&case.points, serial_params);
+            wall = wall.min(t.elapsed().as_secs_f64());
+            digest = tree.content_digest();
+        }
+        eprintln!(
+            "[octree_build_scaling] {} serial: {} (digest {digest:016x})",
+            case.tree,
+            fmt_time(wall)
+        );
+        rows.push(Row { tree: case.tree, points: case.points.len(), threads: 0, wall, digest });
+
+        for &t_count in threads {
+            let pool = WorkStealingPool::new(t_count);
+            let mut wall = f64::INFINITY;
+            let mut digest = 0u64;
+            for _ in 0..reps {
+                let t = Instant::now();
+                let tree =
+                    build(&case.points, BuildParams { pool: Some(&pool), ..serial_params });
+                wall = wall.min(t.elapsed().as_secs_f64());
+                digest = tree.content_digest();
+            }
+            eprintln!(
+                "[octree_build_scaling] {} threads={t_count}: {}",
+                case.tree,
+                fmt_time(wall)
+            );
+            rows.push(Row {
+                tree: case.tree,
+                points: case.points.len(),
+                threads: t_count,
+                wall,
+                digest,
+            });
+        }
+    }
+
+    // Identity gate: refuse to report timings from a builder that does
+    // not reproduce the serial tree bit-for-bit.
+    for case in &cases {
+        let serial = rows
+            .iter()
+            .find(|r| r.tree == case.tree && r.threads == 0)
+            .expect("serial row exists");
+        for r in rows.iter().filter(|r| r.tree == case.tree && r.threads > 0) {
+            assert_eq!(
+                r.digest, serial.digest,
+                "{} tree at {} threads is not byte-identical to serial",
+                r.tree, r.threads
+            );
+        }
+    }
+
+    let mut t = Table::new("octree_build_scaling", &["tree", "points", "builder", "wall_s", "speedup_vs_serial"]);
+    println!("tree     points  builder   wall        speedup");
+    for r in &rows {
+        let serial_wall = rows
+            .iter()
+            .find(|s| s.tree == r.tree && s.threads == 0)
+            .map(|s| s.wall)
+            .unwrap_or(r.wall);
+        let builder =
+            if r.threads == 0 { "serial".to_string() } else { format!("par@{}", r.threads) };
+        let speedup = serial_wall / r.wall;
+        println!("{:<8} {:>6}  {:<8} {:>10}  {:>6.2}", r.tree, r.points, builder, fmt_time(r.wall), speedup);
+        t.push(vec![
+            r.tree.to_string(),
+            r.points.to_string(),
+            builder,
+            format!("{:.6}", r.wall),
+            format!("{speedup:.3}"),
+        ]);
+    }
+    t.emit();
+
+    // BENCH_build.json — machine-readable record of the sweep.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    json.push_str("  \"trees\": [\n");
+    for (ci, case) in cases.iter().enumerate() {
+        let serial = rows
+            .iter()
+            .find(|r| r.tree == case.tree && r.threads == 0)
+            .expect("serial row exists");
+        json.push_str(&format!(
+            "    {{\"tree\": \"{}\", \"points\": {}, \"leaf_capacity\": {}, \
+             \"serial_wall_s\": {:.6e}, \"content_digest\": \"{:016x}\", \"parallel\": [\n",
+            case.tree, serial.points, case.leaf_capacity, serial.wall, serial.digest
+        ));
+        let par: Vec<&Row> =
+            rows.iter().filter(|r| r.tree == case.tree && r.threads > 0).collect();
+        for (i, r) in par.iter().enumerate() {
+            json.push_str(&format!(
+                "      {{\"threads\": {}, \"wall_s\": {:.6e}, \"speedup_vs_serial\": {:.4}, \
+                 \"identical_to_serial\": true}}{}\n",
+                r.threads,
+                r.wall,
+                serial.wall / r.wall,
+                if i + 1 == par.len() { "" } else { "," }
+            ));
+        }
+        json.push_str(&format!(
+            "    ]}}{}\n",
+            if ci + 1 == cases.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let dir = std::env::var("POLAROCT_OUT").ok().filter(|d| !d.is_empty());
+    let dir = dir.unwrap_or_else(|| "results".to_string());
+    let _ = std::fs::create_dir_all(&dir);
+    let path = std::path::Path::new(&dir).join("BENCH_build.json");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("[octree_build_scaling] wrote {}", path.display()),
+        Err(e) => eprintln!("[octree_build_scaling] could not write {}: {e}", path.display()),
+    }
+}

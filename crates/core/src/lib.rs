@@ -56,7 +56,8 @@ pub mod workdiv;
 
 pub use drivers::{
     fork_join_makespan, run_naive, run_oct_cilk, run_oct_hybrid, run_oct_hybrid_ft, run_oct_mpi,
-    run_oct_mpi_ft, run_oct_threads, run_oct_threads_ft, run_serial, validate_system, DriverError,
+    run_oct_mpi_ft, run_oct_threads, run_oct_threads_ft, run_oct_threads_mol, run_serial,
+    run_serial_mol, validate_system, DriverError,
     FtConfig, PhaseTimes, RecoveryMode, RunOutcome, RunReport, EPS_DEGRADED,
 };
 pub use error::{energy_error_pct, ErrorStats};

@@ -4,6 +4,7 @@ use crate::params::ApproxParams;
 use polaroct_geom::Vec3;
 use polaroct_molecule::Molecule;
 use polaroct_octree::{build, BuildParams, Octree};
+use polaroct_sched::WorkStealingPool;
 use polaroct_surface::{surface_quadrature, QuadratureSet};
 
 /// Everything the kernels need, laid out for traversal:
@@ -34,8 +35,20 @@ pub struct GbSystem {
 impl GbSystem {
     /// Sample the surface and build both octrees.
     pub fn prepare(mol: &Molecule, params: &ApproxParams) -> GbSystem {
+        Self::prepare_pooled(mol, params, None)
+    }
+
+    /// [`GbSystem::prepare`] with the octree builds optionally routed
+    /// over a work-stealing pool. The trees (and therefore every
+    /// downstream energy) are byte-identical with or without a pool at
+    /// any width — parallel construction is a pure performance knob.
+    pub fn prepare_pooled(
+        mol: &Molecule,
+        params: &ApproxParams,
+        pool: Option<&WorkStealingPool>,
+    ) -> GbSystem {
         let quad = surface_quadrature(mol, params.surface);
-        Self::prepare_with_surface(mol, &quad, params)
+        Self::prepare_with_surface_pooled(mol, &quad, params, pool)
     }
 
     /// Build from an externally supplied surface (lets tests craft exact
@@ -45,6 +58,17 @@ impl GbSystem {
         quad: &QuadratureSet,
         params: &ApproxParams,
     ) -> GbSystem {
+        Self::prepare_with_surface_pooled(mol, quad, params, None)
+    }
+
+    /// [`GbSystem::prepare_with_surface`] with optionally-pooled octree
+    /// builds (see [`GbSystem::prepare_pooled`]).
+    pub fn prepare_with_surface_pooled(
+        mol: &Molecule,
+        quad: &QuadratureSet,
+        params: &ApproxParams,
+        pool: Option<&WorkStealingPool>,
+    ) -> GbSystem {
         assert!(!mol.is_empty(), "empty molecule");
         assert!(!quad.is_empty(), "empty surface");
 
@@ -52,6 +76,7 @@ impl GbSystem {
             &mol.positions,
             BuildParams {
                 leaf_capacity: params.leaf_cap_atoms,
+                pool,
                 ..Default::default()
             },
         );
@@ -62,6 +87,7 @@ impl GbSystem {
             &quad.positions,
             BuildParams {
                 leaf_capacity: params.leaf_cap_qpoints,
+                pool,
                 ..Default::default()
             },
         );
@@ -182,6 +208,29 @@ mod tests {
                     "node {id} normal sum mismatch"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn pooled_prepare_is_bit_identical_to_serial() {
+        let mol = synth::protein("p", 400, 11);
+        let params = ApproxParams::default();
+        let serial = GbSystem::prepare(&mol, &params);
+        for width in [1, 2, 4] {
+            let pool = WorkStealingPool::new(width);
+            let pooled = GbSystem::prepare_pooled(&mol, &params, Some(&pool));
+            assert_eq!(
+                serial.atoms.content_digest(),
+                pooled.atoms.content_digest(),
+                "atom tree differs at width {width}"
+            );
+            assert_eq!(
+                serial.qtree.content_digest(),
+                pooled.qtree.content_digest(),
+                "q-point tree differs at width {width}"
+            );
+            assert_eq!(serial.charge, pooled.charge);
+            assert_eq!(serial.q_weight, pooled.q_weight);
         }
     }
 

@@ -1,0 +1,176 @@
+//! Model of the radix-sort scatter partition protocol
+//! (`polaroct-sched/src/radix.rs`).
+//!
+//! The real scatter writes `(key, payload)` pairs through a `SyncSlice`
+//! with no per-slot synchronization; soundness rests on the
+//! histogram/prefix-sum construction: the column-major exclusive scan
+//! hands every `(chunk, bucket)` cell a start offset such that the
+//! cells are **disjoint and tile `0..n`**, and each cell is written
+//! only by its own chunk's task, exactly `hist[chunk][bucket]` times.
+//!
+//! The model is a miniature of that protocol (the real code cannot be
+//! imported — `sched` depends on this crate for its shims): workers
+//! claim chunks from a shared counter (exactly-once delivery is
+//! `pool_model.rs`'s claim), replay their chunk through per-cell
+//! cursors, and write `RaceCell` slots. The explorer's vector clocks
+//! verify the disjointness claim on every interleaving; the negative
+//! tests break the offset table the two ways that matter — overlapping
+//! cells and a stale cursor — and both must surface as data races.
+
+use polaroct_modelcheck::cell::RaceCell;
+use polaroct_modelcheck::sync::atomic::{AtomicUsize, Ordering};
+use polaroct_modelcheck::{explore, model, thread, Config, Failure};
+use std::sync::Arc;
+
+const BUCKETS: usize = 2;
+
+/// How the per-(chunk, bucket) offset table is derived.
+#[derive(Clone, Copy)]
+enum Offsets {
+    /// The real protocol: column-major exclusive prefix sum over the
+    /// per-chunk histograms (bucket-major, chunk-minor).
+    PrefixSum,
+    /// Bug injection: every chunk uses the *bucket base* offset,
+    /// ignoring the counts of preceding chunks — cells overlap.
+    OverlappingBucketBase,
+    /// Bug injection: chunk 0's cursor advances by 2 per write, so its
+    /// writes spill past its cell into a neighbor chunk's cell.
+    OverAdvancingCursor,
+}
+
+/// Scatter `chunks` (each element = its bucket id) into one output
+/// array, `workers` tasks claiming chunks from a shared counter.
+fn scatter_model(chunks: &[Vec<usize>], workers: usize, offsets_mode: Offsets) {
+    let n: usize = chunks.iter().map(|c| c.len()).sum();
+
+    // Per-chunk histograms (serial in the model; each is a pure
+    // function of one chunk).
+    let hists: Vec<[usize; BUCKETS]> = chunks
+        .iter()
+        .map(|c| {
+            let mut h = [0usize; BUCKETS];
+            for &b in c {
+                h[b] += 1;
+            }
+            h
+        })
+        .collect();
+
+    // Offset table under test.
+    let mut offsets = vec![[0usize; BUCKETS]; chunks.len()];
+    {
+        let mut cursor = 0usize;
+        let mut bucket_base = [0usize; BUCKETS];
+        for b in 0..BUCKETS {
+            bucket_base[b] = cursor;
+            for (c, h) in hists.iter().enumerate() {
+                offsets[c][b] = cursor;
+                cursor += h[b];
+            }
+        }
+        assert_eq!(cursor, n, "cells tile 0..n");
+        if let Offsets::OverlappingBucketBase = offsets_mode {
+            offsets.fill(bucket_base);
+        }
+    }
+
+    type Slot = RaceCell<Option<(usize, usize)>>;
+    let slots: Arc<Vec<Slot>> = Arc::new((0..n).map(|_| RaceCell::new(None)).collect());
+    let next = Arc::new(AtomicUsize::new(0));
+    let chunks: Arc<Vec<Vec<usize>>> = Arc::new(chunks.to_vec());
+    let offsets = Arc::new(offsets);
+
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let slots = Arc::clone(&slots);
+            let next = Arc::clone(&next);
+            let chunks = Arc::clone(&chunks);
+            let offsets = Arc::clone(&offsets);
+            thread::spawn(move || loop {
+                let c = next.fetch_add(1, Ordering::SeqCst);
+                if c >= chunks.len() {
+                    break;
+                }
+                let mut cursor = offsets[c];
+                for (k, &b) in chunks[c].iter().enumerate() {
+                    slots[cursor[b]].set(Some((c, k)));
+                    cursor[b] += match offsets_mode {
+                        Offsets::OverAdvancingCursor if c == 0 => 2,
+                        _ => 1,
+                    };
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    if let Offsets::PrefixSum = offsets_mode {
+        // Exactly-once: every slot written, and by the (chunk, element)
+        // the serial replay of the protocol would place there.
+        let mut expect: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut cursor: Vec<[usize; BUCKETS]> = (0..chunks.len()).map(|c| offsets[c]).collect();
+        for (c, chunk) in chunks.iter().enumerate() {
+            for (k, &b) in chunk.iter().enumerate() {
+                assert!(expect[cursor[c][b]].is_none(), "cells are disjoint");
+                expect[cursor[c][b]] = Some((c, k));
+                cursor[c][b] += 1;
+            }
+        }
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(slot.get(), expect[i], "slot {i}");
+            assert!(slot.get().is_some(), "slot {i} written exactly once");
+        }
+    }
+}
+
+/// Two chunks with different bucket mixes: chunk 0 = [b0, b1],
+/// chunk 1 = [b1, b1]. Skewed on purpose — bucket 1's cells from the
+/// two chunks abut, the configuration an off-by-one in the prefix sum
+/// would break first.
+fn skewed_chunks() -> Vec<Vec<usize>> {
+    vec![vec![0, 1], vec![1, 1]]
+}
+
+#[test]
+fn prefix_sum_scatter_is_race_free_and_exactly_once() {
+    model(|| scatter_model(&skewed_chunks(), 2, Offsets::PrefixSum));
+}
+
+#[test]
+fn single_worker_scatter_is_trivially_correct() {
+    model(|| scatter_model(&skewed_chunks(), 1, Offsets::PrefixSum));
+}
+
+#[test]
+fn overlapping_offsets_are_reported_as_a_race() {
+    // Both chunks write bucket 1 starting at the bucket base — their
+    // cells overlap, so two unordered writes hit the same slot in some
+    // (in fact every) interleaving.
+    let report = explore(Config::default(), || {
+        scatter_model(&skewed_chunks(), 2, Offsets::OverlappingBucketBase)
+    });
+    match report.failure {
+        Some(Failure::Race { description, .. }) => {
+            assert!(description.contains("write"), "description: {description}");
+        }
+        other => panic!("expected a data race, got {other:?}"),
+    }
+}
+
+#[test]
+fn cursor_spilling_past_its_cell_is_reported_as_a_race() {
+    // Chunk 0 = [b1, b1] owns slots {0, 1} of bucket 1; the
+    // over-advancing cursor sends its second write to slot 2, which is
+    // chunk 1's cell — an unordered cross-thread write pair.
+    let chunks = vec![vec![1, 1], vec![1]];
+    let report =
+        explore(Config::default(), move || scatter_model(&chunks, 2, Offsets::OverAdvancingCursor));
+    match report.failure {
+        Some(Failure::Race { description, .. }) => {
+            assert!(description.contains("write"), "description: {description}");
+        }
+        other => panic!("expected a data race, got {other:?}"),
+    }
+}

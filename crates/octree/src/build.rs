@@ -4,15 +4,24 @@
 //! cost analysis. The recursion never copies points: each node is carved
 //! out of the sorted array by binary-searching octant boundaries in the
 //! Morton codes.
+//!
+//! Construction comes in two flavors with **bit-identical** output: the
+//! serial path below, and [`crate::parallel`] (selected by
+//! [`BuildParams::pool`]), which runs Morton encoding, the sort, and
+//! subtree emission on a work-stealing pool. Identity holds because the
+//! sort key `(code, original index)` is a total order (unique result)
+//! and the node array layout is a pure function of the sorted codes
+//! (DESIGN.md §10).
 
 use crate::node::{Node, NodeId, NO_CHILD};
 use crate::tree::Octree;
 use polaroct_geom::morton::{self, MortonQuantizer};
 use polaroct_geom::{Aabb, Vec3};
+use polaroct_sched::WorkStealingPool;
 
 /// Construction parameters.
 #[derive(Clone, Copy, Debug)]
-pub struct BuildParams {
+pub struct BuildParams<'p> {
     /// Maximum points per leaf. The paper's kernels do exact `O(|A|·|Q|)`
     /// work at leaf pairs, so this bounds the exact-interaction tile size.
     pub leaf_capacity: usize,
@@ -23,32 +32,141 @@ pub struct BuildParams {
     /// Padding added around the point cloud when the cubical domain is
     /// derived (Å). Avoids boundary-cell degeneracies.
     pub domain_pad: f64,
+    /// When set, construction runs on this pool ([`crate::parallel`]);
+    /// the output is byte-identical to the serial builder at any pool
+    /// width, so this is a pure performance knob.
+    pub pool: Option<&'p WorkStealingPool>,
 }
 
-impl Default for BuildParams {
+impl Default for BuildParams<'_> {
     fn default() -> Self {
-        BuildParams { leaf_capacity: 32, max_depth: 21, domain_pad: 1.0 }
+        BuildParams { leaf_capacity: 32, max_depth: 21, domain_pad: 1.0, pool: None }
     }
 }
 
-/// Build an octree over `points`.
+/// Why a build request was rejected (before any work happened).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// An octree needs at least one point.
+    EmptyInput,
+    /// `leaf_capacity` must be at least 1.
+    ZeroLeafCapacity,
+    /// `max_depth` exceeds the Morton resolution
+    /// ([`morton::BITS_PER_AXIS`]); deeper levels cannot separate points.
+    DepthExceedsMortonResolution {
+        /// The offending requested depth.
+        max_depth: u8,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyInput => write!(f, "cannot build an octree over zero points"),
+            BuildError::ZeroLeafCapacity => write!(f, "leaf_capacity must be >= 1"),
+            BuildError::DepthExceedsMortonResolution { max_depth } => write!(
+                f,
+                "max_depth {} exceeds the Morton resolution of {} bits per axis",
+                max_depth,
+                morton::BITS_PER_AXIS
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Build an octree over `points`, panicking on invalid parameters (the
+/// historical infallible entry point; use [`try_build`] to handle
+/// parameter errors as values).
 ///
 /// Returns an [`Octree`] whose `points` are a Morton-sorted copy;
 /// `point_order[i]` is the index in the *original* slice of sorted point
 /// `i`, so callers can permute per-point payloads to match.
-pub fn build(points: &[Vec3], params: BuildParams) -> Octree {
-    assert!(!points.is_empty(), "cannot build an octree over zero points");
-    assert!(params.leaf_capacity >= 1);
-    assert!(params.max_depth as u32 <= morton::BITS_PER_AXIS);
+pub fn build(points: &[Vec3], params: BuildParams<'_>) -> Octree {
+    match try_build(points, params) {
+        Ok(tree) => tree,
+        // Fallible callers use `try_build` instead.
+        // PANIC-OK: invalid build parameters are caller bugs at this infallible entry point.
+        Err(e) => panic!("octree build: {e}"),
+    }
+}
 
+/// Build an octree over `points`, rejecting invalid parameters as a
+/// [`BuildError`] instead of panicking.
+pub fn try_build(points: &[Vec3], params: BuildParams<'_>) -> Result<Octree, BuildError> {
+    if points.is_empty() {
+        return Err(BuildError::EmptyInput);
+    }
+    if params.leaf_capacity < 1 {
+        return Err(BuildError::ZeroLeafCapacity);
+    }
+    if params.max_depth as u32 > morton::BITS_PER_AXIS {
+        return Err(BuildError::DepthExceedsMortonResolution { max_depth: params.max_depth });
+    }
+    Ok(match params.pool {
+        Some(pool) => crate::parallel::build_parallel(points, &params, pool),
+        None => build_serial(points, &params),
+    })
+}
+
+/// Derive the cubical Morton domain and its quantizer from the cloud.
+/// Order-insensitive over `points` (min/max folds), so serial and
+/// parallel builders can share it verbatim.
+pub(crate) fn domain_and_quantizer(points: &[Vec3], pad: f64) -> (Aabb, MortonQuantizer) {
     let tight = Aabb::from_points(points.iter().copied());
-    let domain = Aabb::cube_containing(tight, params.domain_pad);
+    let domain = Aabb::cube_containing(tight, pad);
     let quant = MortonQuantizer::new(&domain);
+    (domain, quant)
+}
 
-    // Morton-sort the point indices.
+/// The split predicate shared (verbatim) by the serial DFS, the parallel
+/// frontier scan, and the parallel subtree builder — a node over
+/// `sorted_codes[b..e]` at `depth` becomes internal iff this holds.
+pub(crate) fn can_split(
+    sorted_codes: &[u64],
+    b: usize,
+    e: usize,
+    depth: u8,
+    params: &BuildParams<'_>,
+) -> bool {
+    e - b > params.leaf_capacity
+        && depth < params.max_depth
+        // All points in the same Morton cell — cannot split further.
+        && sorted_codes[b] != sorted_codes[e - 1]
+}
+
+/// Visit the non-empty octant runs of `sorted_codes[b..e]` at tree
+/// `level` in octant order, calling `emit(lo, hi)` for each run. Both
+/// builders derive child ranges exclusively through this function.
+pub(crate) fn for_each_octant_run(
+    sorted_codes: &[u64],
+    b: usize,
+    e: usize,
+    level: u32,
+    mut emit: impl FnMut(usize, usize),
+) {
+    let mut lo = b;
+    while lo < e {
+        let oct = morton::child_index_at_level(sorted_codes[lo], level);
+        // Binary search the end of this octant's run.
+        let hi =
+            upper_bound(&sorted_codes[lo..e], |&c| morton::child_index_at_level(c, level) == oct)
+                + lo;
+        emit(lo, hi);
+        lo = hi;
+    }
+}
+
+fn build_serial(points: &[Vec3], params: &BuildParams<'_>) -> Octree {
+    let (domain, quant) = domain_and_quantizer(points, params.domain_pad);
+
+    // Morton-sort the point indices by `(code, original index)` — a
+    // total order with a unique result, which is what lets the parallel
+    // builder reproduce it bit-for-bit.
     let mut order: Vec<u32> = (0..points.len() as u32).collect();
-    let codes_by_orig: Vec<u64> = points.iter().map(|&p| quant.code_of(p)).collect();
-    order.sort_unstable_by_key(|&i| codes_by_orig[i as usize]);
+    let codes_by_orig: Vec<u64> = quant.codes_of(points);
+    order.sort_unstable_by_key(|&i| (codes_by_orig[i as usize], i));
 
     let sorted_points: Vec<Vec3> = order.iter().map(|&i| points[i as usize]).collect();
     let sorted_codes: Vec<u64> = order.iter().map(|&i| codes_by_orig[i as usize]).collect();
@@ -61,28 +179,15 @@ pub fn build(points: &[Vec3], params: BuildParams) -> Octree {
     while let Some(id) = stack.pop() {
         let node = nodes[id as usize];
         let (b, e) = (node.begin as usize, node.end as usize);
-        let n = e - b;
-        if n <= params.leaf_capacity || node.depth >= params.max_depth {
+        if !can_split(&sorted_codes, b, e, node.depth, params) {
             continue; // stays a leaf
         }
-        // All points in the same Morton cell — cannot split further.
-        if sorted_codes[b] == sorted_codes[e - 1] {
-            continue;
-        }
-        let level = node.depth as u32;
         let first_child = nodes.len() as NodeId;
         let mut child_count = 0u8;
-        let mut lo = b;
-        while lo < e {
-            let oct = morton::child_index_at_level(sorted_codes[lo], level);
-            // Binary search the end of this octant's run.
-            let hi = upper_bound(&sorted_codes[lo..e], |&c| {
-                morton::child_index_at_level(c, level) == oct
-            }) + lo;
+        for_each_octant_run(&sorted_codes, b, e, node.depth as u32, |lo, hi| {
             nodes.push(make_node(&sorted_points, lo as u32, hi as u32, node.depth + 1));
             child_count += 1;
-            lo = hi;
-        }
+        });
         debug_assert!((1..=8).contains(&child_count));
         let m = &mut nodes[id as usize];
         m.first_child = first_child;
@@ -101,7 +206,7 @@ pub fn build(points: &[Vec3], params: BuildParams) -> Octree {
 
 /// Number of leading elements of `slice` satisfying `pred` (the slice must
 /// be partitioned: all satisfying elements first).
-fn upper_bound<T, F: Fn(&T) -> bool>(slice: &[T], pred: F) -> usize {
+pub(crate) fn upper_bound<T, F: Fn(&T) -> bool>(slice: &[T], pred: F) -> usize {
     let mut lo = 0usize;
     let mut hi = slice.len();
     while lo < hi {
@@ -115,7 +220,10 @@ fn upper_bound<T, F: Fn(&T) -> bool>(slice: &[T], pred: F) -> usize {
     lo
 }
 
-fn make_node(points: &[Vec3], begin: u32, end: u32, depth: u8) -> Node {
+/// Materialize the node over `points[begin..end]`: sequential centroid
+/// fold, then the max-distance radius. Both builders call this on the
+/// same globally-sorted slice, so the float results agree bit-for-bit.
+pub(crate) fn make_node(points: &[Vec3], begin: u32, end: u32, depth: u8) -> Node {
     let slice = &points[begin as usize..end as usize];
     let mut c = Vec3::ZERO;
     for &p in slice {
@@ -169,6 +277,15 @@ mod tests {
         let t = build(&pts, BuildParams { leaf_capacity: 4, ..Default::default() });
         assert_eq!(t.nodes.len(), 1);
         assert_eq!(t.nodes[0].len(), 100);
+    }
+
+    #[test]
+    fn duplicate_codes_sort_by_original_index() {
+        // Equal Morton codes must tie-break on the original index — the
+        // canonical order both builders reproduce.
+        let pts = vec![Vec3::new(2.0, 2.0, 2.0); 7];
+        let t = build(&pts, BuildParams::default());
+        assert_eq!(t.point_order, (0..7).collect::<Vec<u32>>());
     }
 
     #[test]
@@ -276,5 +393,26 @@ mod tests {
     #[should_panic]
     fn empty_input_panics() {
         let _ = build(&[], BuildParams::default());
+    }
+
+    #[test]
+    fn try_build_reports_typed_errors() {
+        let pts = [Vec3::new(1.0, 2.0, 3.0)];
+        assert_eq!(
+            try_build(&[], BuildParams::default()).unwrap_err(),
+            BuildError::EmptyInput
+        );
+        assert_eq!(
+            try_build(&pts, BuildParams { leaf_capacity: 0, ..Default::default() }).unwrap_err(),
+            BuildError::ZeroLeafCapacity
+        );
+        assert_eq!(
+            try_build(&pts, BuildParams { max_depth: 22, ..Default::default() }).unwrap_err(),
+            BuildError::DepthExceedsMortonResolution { max_depth: 22 }
+        );
+        // Display strings are actionable.
+        let msg = BuildError::DepthExceedsMortonResolution { max_depth: 22 }.to_string();
+        assert!(msg.contains("22") && msg.contains("21"), "{msg}");
+        assert!(try_build(&pts, BuildParams::default()).is_ok());
     }
 }

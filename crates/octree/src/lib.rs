@@ -31,11 +31,12 @@
 
 pub mod build;
 pub mod node;
+pub mod parallel;
 pub mod query;
 pub mod stats;
 pub mod tree;
 
-pub use build::{build, BuildParams};
+pub use build::{build, try_build, BuildError, BuildParams};
 pub use node::{Node, NodeId, NO_CHILD};
 pub use stats::TreeStats;
 pub use tree::Octree;

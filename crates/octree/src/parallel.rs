@@ -1,0 +1,360 @@
+//! Parallel octree construction with **bit-identical** output.
+//!
+//! Every stage either computes a value that is a pure per-element
+//! function of the input (encoding, gathers — chunked over the pool and
+//! concatenated in index order) or produces the unique result of a
+//! total order (the `(code, index)` radix sort), so no stage's output
+//! depends on scheduling. Node emission then exploits the serial
+//! builder's layout law (DESIGN.md §10): when the serial DFS pops a
+//! node, it emits that node's entire subtree *contiguously* —
+//! `[children block] ++ layout(last child) ++ … ++ layout(first child)`
+//! — before touching anything deeper on its stack. So a subtree built
+//! in isolation (with arena-local child indices) can be spliced into
+//! the global array at the position where the serial DFS would have
+//! started it, re-based by a constant offset, and match byte-for-byte.
+//!
+//! Pipeline:
+//! 1. pool-mapped Morton encoding (chunk + concatenate);
+//! 2. parallel MSB radix sort of `(code, original index)` pairs
+//!    ([`polaroct_sched::radix`]);
+//! 3. pool-mapped gathers of `point_order`, sorted codes, sorted points;
+//! 4. **frontier scan** (serial, ranges only): repeatedly split the
+//!    widest splittable range breadth-first until ≥ 8 × pool-width
+//!    independent ranges exist — the split rules are shared with the
+//!    serial builder ([`build::can_split`] / [`build::for_each_octant_run`]),
+//!    so these ranges are exactly nodes the serial DFS would visit;
+//! 5. pool-mapped subtree arenas: each frontier range is built with the
+//!    serial stack discipline into a private `Vec<Node>`;
+//! 6. **splice pass** (serial, cheap): replay the serial DFS; at a
+//!    frontier node, append its pre-built arena (child indices re-based
+//!    by the splice position) instead of recursing.
+//!
+//! Which ranges land on the frontier affects only *who* builds each
+//! subtree, never the bytes produced — that is what makes the result
+//! independent of the pool width.
+
+use crate::build::{self, BuildParams};
+use crate::node::{Node, NodeId};
+use crate::tree::Octree;
+use polaroct_geom::Vec3;
+use polaroct_sched::{par_sort_pairs, WorkStealingPool};
+use std::collections::HashMap;
+
+/// Frontier fan-out per pool worker: more subtrees than workers lets
+/// the work-stealing pool balance unevenly-sized octants.
+const SUBTREES_PER_WORKER: usize = 8;
+
+/// A point range at a depth — a node the serial DFS would visit,
+/// identified before any node is materialized.
+#[derive(Clone, Copy)]
+struct Seg {
+    b: usize,
+    e: usize,
+    depth: u8,
+}
+
+/// Run `f` over near-even chunks of `0..n` on the pool and concatenate
+/// the pieces in index order. Since `f` is a pure function of its
+/// range, the result is identical to `f(0, n)` regardless of chunking
+/// or scheduling.
+fn par_concat<T, F>(pool: &WorkStealingPool, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> Vec<T> + Sync,
+{
+    let chunks = (pool.width() * 4).clamp(1, n.max(1));
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut lo = 0usize;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        bounds.push((lo, lo + len));
+        lo += len;
+    }
+    let parts = pool.map(chunks, |c| {
+        let (lo, hi) = bounds[c];
+        f(lo, hi)
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Build `points` into an octree on `pool`. Parameters are already
+/// validated by [`build::try_build`]; `points` is non-empty.
+pub(crate) fn build_parallel(
+    points: &[Vec3],
+    params: &BuildParams<'_>,
+    pool: &WorkStealingPool,
+) -> Octree {
+    let n = points.len();
+    let (domain, quant) = build::domain_and_quantizer(points, params.domain_pad);
+
+    // 1. Pool-mapped Morton encoding, paired with original indices.
+    let pairs: Vec<(u64, u32)> = par_concat(pool, n, |lo, hi| {
+        quant
+            .codes_of(&points[lo..hi])
+            .into_iter()
+            .enumerate()
+            .map(|(k, code)| (code, (lo + k) as u32))
+            .collect()
+    });
+
+    // 2. Parallel radix sort by `(code, original index)` — the same
+    // total order as the serial `sort_unstable_by_key`, hence the same
+    // unique result.
+    let sorted_pairs = par_sort_pairs(pool, &pairs);
+
+    // 3. Pool-mapped gathers.
+    let order: Vec<u32> =
+        par_concat(pool, n, |lo, hi| sorted_pairs[lo..hi].iter().map(|p| p.1).collect());
+    let sorted_codes: Vec<u64> =
+        par_concat(pool, n, |lo, hi| sorted_pairs[lo..hi].iter().map(|p| p.0).collect());
+    let sorted_points: Vec<Vec3> =
+        par_concat(pool, n, |lo, hi| order[lo..hi].iter().map(|&i| points[i as usize]).collect());
+
+    // 4. Frontier scan: split ranges (no node emission) breadth-first,
+    // always expanding the widest splittable range, until enough
+    // independent subtrees exist to keep the pool busy.
+    let target = pool.width() * SUBTREES_PER_WORKER;
+    let mut frontier: Vec<Seg> = vec![Seg { b: 0, e: n, depth: 0 }];
+    while frontier.len() < target {
+        let mut best: Option<usize> = None;
+        for (i, s) in frontier.iter().enumerate() {
+            if !build::can_split(&sorted_codes, s.b, s.e, s.depth, params) {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                // (width, begin) is a unique key — ranges are disjoint.
+                Some(j) => {
+                    let t = frontier[j];
+                    (s.e - s.b, s.b) > (t.e - t.b, t.b)
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let Some(i) = best else { break }; // nothing splittable left
+        let s = frontier.swap_remove(i);
+        build::for_each_octant_run(&sorted_codes, s.b, s.e, s.depth as u32, |lo, hi| {
+            frontier.push(Seg { b: lo, e: hi, depth: s.depth + 1 });
+        });
+    }
+
+    // Ranges are disjoint per depth and depths differ along chains, so
+    // (begin, end, depth) names a node uniquely.
+    let frontier_map: HashMap<(u32, u32, u8), usize> = frontier
+        .iter()
+        .enumerate()
+        .map(|(i, s)| ((s.b as u32, s.e as u32, s.depth), i))
+        .collect();
+
+    // 5. Pool-mapped subtree arenas.
+    let arenas: Vec<(u8, Vec<Node>)> = pool.map(frontier.len(), |i| {
+        let s = frontier[i];
+        build_subtree(&sorted_points, &sorted_codes, s, params)
+    });
+
+    // 6. Splice pass: the serial DFS verbatim, except that popping a
+    // frontier node appends its pre-built arena instead of recursing.
+    let mut nodes: Vec<Node> = Vec::with_capacity(2 * n / params.leaf_capacity + 8);
+    nodes.push(build::make_node(&sorted_points, 0, n as u32, 0));
+    let mut stack: Vec<NodeId> = vec![0];
+    while let Some(id) = stack.pop() {
+        let node = nodes[id as usize];
+        if let Some(&fi) = frontier_map.get(&(node.begin, node.end, node.depth)) {
+            let (root_children, arena) = &arenas[fi];
+            if *root_children == 0 {
+                continue; // the whole subtree is this one leaf
+            }
+            let splice = nodes.len() as NodeId;
+            for sub in arena {
+                let mut g = *sub;
+                if g.child_count > 0 {
+                    // Arena-local child indices -> global positions.
+                    g.first_child += splice;
+                }
+                nodes.push(g);
+            }
+            let m = &mut nodes[id as usize];
+            m.first_child = splice;
+            m.child_count = *root_children;
+            // Push nothing: the arena already holds the full subtree in
+            // the exact order the serial DFS would have emitted it.
+            continue;
+        }
+        // Spine node (expanded during the frontier scan): split inline,
+        // exactly the serial step.
+        let (b, e) = (node.begin as usize, node.end as usize);
+        if !build::can_split(&sorted_codes, b, e, node.depth, params) {
+            continue;
+        }
+        let first_child = nodes.len() as NodeId;
+        let mut child_count = 0u8;
+        build::for_each_octant_run(&sorted_codes, b, e, node.depth as u32, |lo, hi| {
+            nodes.push(build::make_node(&sorted_points, lo as u32, hi as u32, node.depth + 1));
+            child_count += 1;
+        });
+        let m = &mut nodes[id as usize];
+        m.first_child = first_child;
+        m.child_count = child_count;
+        for c in 0..child_count as NodeId {
+            stack.push(first_child + c);
+        }
+    }
+
+    let leaf_ids: Vec<NodeId> = (0..nodes.len() as NodeId)
+        .filter(|&i| nodes[i as usize].is_leaf())
+        .collect();
+
+    Octree { domain, nodes, points: sorted_points, point_order: order, leaf_ids }
+}
+
+/// Build the subtree under the node over `seg` into a private arena
+/// with arena-local child indices, using the serial stack discipline.
+///
+/// The frontier node itself is *not* stored (the splice pass patches
+/// the already-emitted record); the arena starts with its children
+/// block. Returns `(child count of the frontier node, arena)` —
+/// `(0, [])` when the range stays a leaf.
+fn build_subtree(
+    sorted_points: &[Vec3],
+    sorted_codes: &[u64],
+    seg: Seg,
+    params: &BuildParams<'_>,
+) -> (u8, Vec<Node>) {
+    if !build::can_split(sorted_codes, seg.b, seg.e, seg.depth, params) {
+        return (0, Vec::new());
+    }
+    let mut arena: Vec<Node> = Vec::new();
+    let mut root_children = 0u8;
+    build::for_each_octant_run(sorted_codes, seg.b, seg.e, seg.depth as u32, |lo, hi| {
+        arena.push(build::make_node(sorted_points, lo as u32, hi as u32, seg.depth + 1));
+        root_children += 1;
+    });
+    let mut stack: Vec<NodeId> = (0..root_children as NodeId).collect();
+    while let Some(id) = stack.pop() {
+        let node = arena[id as usize];
+        let (b, e) = (node.begin as usize, node.end as usize);
+        if !build::can_split(sorted_codes, b, e, node.depth, params) {
+            continue;
+        }
+        let first_child = arena.len() as NodeId;
+        let mut child_count = 0u8;
+        build::for_each_octant_run(sorted_codes, b, e, node.depth as u32, |lo, hi| {
+            arena.push(build::make_node(sorted_points, lo as u32, hi as u32, node.depth + 1));
+            child_count += 1;
+        });
+        let m = &mut arena[id as usize];
+        m.first_child = first_child;
+        m.child_count = child_count;
+        for c in 0..child_count as NodeId {
+            stack.push(first_child + c);
+        }
+    }
+    (root_children, arena)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s as f64 / u64::MAX as f64) * 40.0 - 20.0
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    fn assert_identical(a: &Octree, b: &Octree, what: &str) {
+        assert_eq!(a.content_digest(), b.content_digest(), "digest mismatch: {what}");
+        // Digest equality is the headline; spot-check the pieces so a
+        // failure localizes.
+        assert_eq!(a.nodes.len(), b.nodes.len(), "{what}: node count");
+        assert_eq!(a.point_order, b.point_order, "{what}: point_order");
+        assert_eq!(a.leaf_ids, b.leaf_ids, "{what}: leaf_ids");
+        for (i, (x, y)) in a.nodes.iter().zip(&b.nodes).enumerate() {
+            assert_eq!(x.begin, y.begin, "{what}: node {i} begin");
+            assert_eq!(x.end, y.end, "{what}: node {i} end");
+            assert_eq!(x.first_child, y.first_child, "{what}: node {i} first_child");
+            assert_eq!(x.child_count, y.child_count, "{what}: node {i} child_count");
+            assert_eq!(x.depth, y.depth, "{what}: node {i} depth");
+            assert_eq!(
+                x.center.x.to_bits(),
+                y.center.x.to_bits(),
+                "{what}: node {i} center.x bits"
+            );
+            assert_eq!(x.radius.to_bits(), y.radius.to_bits(), "{what}: node {i} radius bits");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_across_widths() {
+        let pts = cloud(4000, 42);
+        let serial = build(&pts, BuildParams { leaf_capacity: 16, ..Default::default() });
+        for width in [1, 2, 4, 8] {
+            let pool = WorkStealingPool::new(width);
+            let par = build(
+                &pts,
+                BuildParams { leaf_capacity: 16, pool: Some(&pool), ..Default::default() },
+            );
+            assert_identical(&serial, &par, &format!("width {width}"));
+            par.check_invariants().expect("parallel tree passes structural invariants");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_degenerate_clouds() {
+        let pool = WorkStealingPool::new(4);
+        let cases: Vec<(&str, Vec<Vec3>)> = vec![
+            ("single point", vec![Vec3::new(1.0, 2.0, 3.0)]),
+            ("all coincident", vec![Vec3::new(0.5, 0.5, 0.5); 333]),
+            (
+                "colinear",
+                (0..500).map(|i| Vec3::new(i as f64 * 0.01, 0.0, 0.0)).collect(),
+            ),
+            (
+                "two clusters + duplicates",
+                (0..600)
+                    .map(|i| {
+                        if i % 3 == 0 {
+                            Vec3::new(-10.0, -10.0, -10.0)
+                        } else {
+                            Vec3::new(10.0 + (i % 7) as f64 * 0.1, 10.0, 10.0)
+                        }
+                    })
+                    .collect(),
+            ),
+        ];
+        for (what, pts) in &cases {
+            let serial = build(pts, BuildParams { leaf_capacity: 8, ..Default::default() });
+            let par = build(
+                pts,
+                BuildParams { leaf_capacity: 8, pool: Some(&pool), ..Default::default() },
+            );
+            assert_identical(&serial, &par, what);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_shallow_depth_caps() {
+        let pts = cloud(2500, 99);
+        let pool = WorkStealingPool::new(3);
+        for max_depth in [0, 1, 2, 5, 21] {
+            let p = BuildParams { leaf_capacity: 4, max_depth, ..Default::default() };
+            let serial = build(&pts, p);
+            let par = build(&pts, BuildParams { pool: Some(&pool), ..p });
+            assert_identical(&serial, &par, &format!("max_depth {max_depth}"));
+        }
+    }
+}

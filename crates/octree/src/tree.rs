@@ -55,6 +55,56 @@ impl Octree {
         &self.points[node.range()]
     }
 
+    /// FNV-1a digest over the tree's complete content — domain, every
+    /// node field (float *bits*, not values), sorted points,
+    /// `point_order`, `leaf_ids`. Two trees digest equal iff they are
+    /// byte-identical; benches and tests use this to compare the serial
+    /// and parallel builders without holding both trees.
+    pub fn content_digest(&self) -> u64 {
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        fn mix_f64(h: &mut u64, v: f64) {
+            mix(h, &v.to_bits().to_le_bytes());
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in [
+            self.domain.min.x,
+            self.domain.min.y,
+            self.domain.min.z,
+            self.domain.max.x,
+            self.domain.max.y,
+            self.domain.max.z,
+        ] {
+            mix_f64(&mut h, v);
+        }
+        for n in &self.nodes {
+            mix_f64(&mut h, n.center.x);
+            mix_f64(&mut h, n.center.y);
+            mix_f64(&mut h, n.center.z);
+            mix_f64(&mut h, n.radius);
+            mix(&mut h, &n.begin.to_le_bytes());
+            mix(&mut h, &n.end.to_le_bytes());
+            mix(&mut h, &n.first_child.to_le_bytes());
+            mix(&mut h, &[n.child_count, n.depth]);
+        }
+        for p in &self.points {
+            mix_f64(&mut h, p.x);
+            mix_f64(&mut h, p.y);
+            mix_f64(&mut h, p.z);
+        }
+        for &o in &self.point_order {
+            mix(&mut h, &o.to_le_bytes());
+        }
+        for &l in &self.leaf_ids {
+            mix(&mut h, &l.to_le_bytes());
+        }
+        h
+    }
+
     /// Permute a per-point payload array (indexed like the *original*
     /// input) into this tree's Morton order, so `payload[i]` lines up with
     /// `self.points[i]`.

@@ -1,7 +1,9 @@
-//! Property-based tests of the octree's structural invariants.
+//! Property-based tests of the octree's structural invariants, and of
+//! the parallel builder's bit-identity to the serial one.
 
 use polaroct_geom::Vec3;
-use polaroct_octree::{build, BuildParams};
+use polaroct_octree::{build, try_build, BuildError, BuildParams, Octree, TreeStats};
+use polaroct_sched::WorkStealingPool;
 use proptest::prelude::*;
 
 fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<Vec3>> {
@@ -9,6 +11,65 @@ fn arb_points(max_n: usize) -> impl Strategy<Value = Vec<Vec3>> {
         (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
         1..max_n,
     )
+}
+
+/// Clouds biased toward the degenerate shapes the parallel builder must
+/// reproduce exactly: duplicates, coincident stacks, colinear runs, and
+/// plain random clouds (single-point clouds arise from all arms).
+fn degenerate_cloud(kind: usize, base: &[Vec3], site: Vec3, copies: usize, pitch: f64) -> Vec<Vec3> {
+    match kind {
+        // Random cloud (includes n == 1).
+        0 => base.to_vec(),
+        // Few distinct sites, many exact duplicates of each.
+        1 => {
+            let sites = &base[..base.len().min(5)];
+            let mut pts = Vec::new();
+            for _ in 0..copies {
+                pts.extend_from_slice(sites);
+            }
+            pts
+        }
+        // Everything coincident.
+        2 => vec![site; copies],
+        // Colinear along an axis with a random pitch.
+        _ => (0..copies)
+            .map(|i| {
+                let v = i as f64 * pitch;
+                match copies % 3 {
+                    0 => Vec3::new(v, 0.0, 0.0),
+                    1 => Vec3::new(0.0, v, 0.0),
+                    _ => Vec3::new(0.0, 0.0, v),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Field-by-field bitwise equality (floats compared as bits), plus the
+/// digest and derived stats — "equals serial `build()` exactly".
+fn assert_trees_identical(serial: &Octree, par: &Octree) {
+    prop_assert_eq!(serial.content_digest(), par.content_digest());
+    prop_assert_eq!(serial.nodes.len(), par.nodes.len());
+    for (a, b) in serial.nodes.iter().zip(&par.nodes) {
+        prop_assert_eq!(a.begin, b.begin);
+        prop_assert_eq!(a.end, b.end);
+        prop_assert_eq!(a.first_child, b.first_child);
+        prop_assert_eq!(a.child_count, b.child_count);
+        prop_assert_eq!(a.depth, b.depth);
+        prop_assert_eq!(a.center.x.to_bits(), b.center.x.to_bits());
+        prop_assert_eq!(a.center.y.to_bits(), b.center.y.to_bits());
+        prop_assert_eq!(a.center.z.to_bits(), b.center.z.to_bits());
+        prop_assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+    }
+    prop_assert_eq!(serial.points.len(), par.points.len());
+    for (a, b) in serial.points.iter().zip(&par.points) {
+        prop_assert_eq!(a.x.to_bits(), b.x.to_bits());
+        prop_assert_eq!(a.y.to_bits(), b.y.to_bits());
+        prop_assert_eq!(a.z.to_bits(), b.z.to_bits());
+    }
+    prop_assert_eq!(&serial.point_order, &par.point_order);
+    prop_assert_eq!(&serial.leaf_ids, &par.leaf_ids);
+    prop_assert_eq!(TreeStats::of(serial), TreeStats::of(par));
 }
 
 proptest! {
@@ -67,4 +128,33 @@ proptest! {
         let t = build(&pts, BuildParams { leaf_capacity: 4, ..Default::default() });
         prop_assert!(t.check_invariants().is_ok());
     }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_serial(
+        kind in 0usize..4,
+        base in arb_points(250),
+        site in (-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0),
+        copies in 1usize..100,
+        pitch in 0.001f64..2.0,
+        cap in 1usize..48,
+        max_depth in 0u8..22,
+    ) {
+        let pts = degenerate_cloud(kind, &base, Vec3::new(site.0, site.1, site.2), copies, pitch);
+        let serial_params = BuildParams { leaf_capacity: cap, max_depth, ..Default::default() };
+        let serial = build(&pts, serial_params);
+        for width in [1usize, 2, 4, 8] {
+            let pool = WorkStealingPool::new(width);
+            let par = build(&pts, BuildParams { pool: Some(&pool), ..serial_params });
+            assert_trees_identical(&serial, &par);
+        }
+    }
+}
+
+#[test]
+fn empty_cloud_fails_identically_in_both_modes() {
+    let pool = WorkStealingPool::new(4);
+    let serial = try_build(&[], BuildParams::default());
+    let par = try_build(&[], BuildParams { pool: Some(&pool), ..Default::default() });
+    assert_eq!(serial.unwrap_err(), BuildError::EmptyInput);
+    assert_eq!(par.unwrap_err(), BuildError::EmptyInput);
 }

@@ -35,13 +35,16 @@
 //! `polaroct-modelcheck` and exercised under Miri.
 
 // New `unsafe` must opt in via a scoped `#[allow(unsafe_code)]` next to
-// its SAFETY comment; see `pool::SyncSlice` for the audited pattern.
+// its SAFETY comment; see `slice::SyncSlice` for the audited pattern.
 #![deny(unsafe_code)]
 
 pub mod pool;
+pub mod radix;
 pub mod reduce;
 pub mod sim;
+mod slice;
 pub mod sync;
 
 pub use pool::{PoolMetrics, WorkStealingPool};
+pub use radix::par_sort_pairs;
 pub use sim::{SimOutcome, StealSimParams, StealSimulator};

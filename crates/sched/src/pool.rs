@@ -6,6 +6,7 @@
 //! oldest — and therefore largest — subrange, which is also the
 //! least-recently-touched data, the cache-friendliness argument of §V.A).
 
+use crate::slice::SyncSlice;
 use crate::sync::atomic::{AtomicUsize, Ordering};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 
@@ -197,7 +198,7 @@ impl WorkStealingPool {
         let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let metrics;
         {
-            let slots = SyncSlice(out.as_mut_ptr(), n);
+            let slots = SyncSlice::new(out.as_mut_ptr(), n);
             metrics = self.run(n, |i| {
                 let v = f(i);
                 // SAFETY: `run` executes each index in `0..n` exactly once
@@ -232,40 +233,12 @@ impl WorkStealingPool {
     }
 }
 
-/// Send+Sync wrapper allowing disjoint-index writes from the pool.
-///
-/// The write-once/disjointness protocol this type relies on is verified
-/// two ways beyond code review: the interleaving explorer in
-/// `crates/modelcheck` checks it exhaustively on a small configuration
-/// (`tests/syncslice_model.rs`), and `syncslice_disjoint_writes_small`
-/// below runs the real thing under Miri in the nightly CI job.
-struct SyncSlice<T>(*mut T, usize);
-
-// SAFETY: the pointer refers to a live `Vec` owned by the caller of
-// `try_map`, which outlives the scoped threads that use this handle;
-// sending the pointer itself is therefore fine whenever `T: Send`.
-#[allow(unsafe_code)]
-unsafe impl<T: Send> Send for SyncSlice<T> {}
-
-// SAFETY: shared use is confined to `write`, whose contract demands
-// disjoint indices — concurrent calls never alias the same slot, so no
-// `&self` method can observe a data race.
-#[allow(unsafe_code)]
-unsafe impl<T: Send> Sync for SyncSlice<T> {}
-
-impl<T> SyncSlice<T> {
-    // SAFETY: (contract) callers guarantee `i < len` and that no two
-    // concurrent calls share the same `i`.
-    #[allow(unsafe_code)]
-    unsafe fn write(&self, i: usize, v: T) {
-        debug_assert!(i < self.1);
-        // SAFETY: `i < self.1` (slot count) by the caller contract, so
-        // the offset stays inside the allocation; disjoint `i` across
-        // threads means no two writes alias.
-        #[allow(unsafe_code)]
-        unsafe {
-            self.0.add(i).write(v)
-        };
+impl std::fmt::Debug for WorkStealingPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkStealingPool")
+            .field("width", &self.width)
+            .field("grain", &self.grain)
+            .finish()
     }
 }
 

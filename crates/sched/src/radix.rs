@@ -1,0 +1,268 @@
+//! Parallel MSB radix sort over `(u64 key, u32 payload)` pairs.
+//!
+//! Built for the octree's Morton-code sort (key = Morton code, payload
+//! = original point index), but generic over any pair stream whose
+//! payloads are distinct: `(key, payload)` is then a *total* order with
+//! a unique sorted sequence, so every execution — serial or parallel,
+//! any worker count, any interleaving — produces byte-identical output.
+//!
+//! One most-significant-byte pass, then comparison sorts per bucket:
+//!
+//! 1. **Histogram**: the input is cut into `C` contiguous chunks; each
+//!    pool task counts its chunk's keys into a 256-bucket histogram on
+//!    `key >> 56`.
+//! 2. **Prefix sum** (serial, O(256·C)): a column-major exclusive scan
+//!    assigns every `(chunk, bucket)` cell a start offset. Cells tile
+//!    `0..n` — consecutive, disjoint, exhaustive — because the scan
+//!    visits buckets in order and, within a bucket, chunks in order.
+//! 3. **Scatter**: each chunk task replays its elements in order,
+//!    writing each to its cell's next slot through a [`SyncSlice`].
+//!    Writes are race-free because cells are disjoint and a cell is
+//!    written only by its own chunk's task (the partition protocol is
+//!    model-checked in `modelcheck/tests/radix_model.rs`, including a
+//!    deliberately-broken overlapping-offset variant the explorer must
+//!    flag as a race).
+//! 4. **Per-bucket sort**: buckets are now contiguous and independent;
+//!    each is comparison-sorted by `(key, payload)` as a pool task.
+//!
+//! Step 3 additionally preserves *chunk order within a cell*, but step 4
+//! does not rely on it: the final order is pinned by the total order
+//! alone, which is what makes the result schedule-independent.
+
+use crate::pool::WorkStealingPool;
+use crate::slice::SyncSlice;
+
+/// Number of top-byte buckets in the MSB pass.
+pub const RADIX_BUCKETS: usize = 256;
+
+/// Below this size the serial `sort_unstable` fallback wins; the output
+/// is identical either way (unique total order), so the cutoff is a
+/// pure performance knob.
+const PAR_CUTOFF: usize = 2048;
+
+/// Chunks per worker: more chunks than workers smooths load imbalance
+/// from skewed key distributions.
+const CHUNKS_PER_WORKER: usize = 4;
+
+#[inline]
+fn bucket_of(key: u64) -> usize {
+    (key >> 56) as usize
+}
+
+/// Cut `0..n` into `chunks` near-even contiguous ranges.
+fn chunk_bounds(n: usize, chunks: usize) -> Vec<(usize, usize)> {
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut bounds = Vec::with_capacity(chunks);
+    let mut lo = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        bounds.push((lo, lo + len));
+        lo += len;
+    }
+    bounds
+}
+
+/// 256-bucket histogram of one chunk's top key bytes.
+pub fn chunk_histogram(pairs: &[(u64, u32)]) -> Vec<u32> {
+    let mut hist = vec![0u32; RADIX_BUCKETS];
+    for &(key, _) in pairs {
+        hist[bucket_of(key)] += 1;
+    }
+    hist
+}
+
+/// Column-major exclusive prefix sum over per-chunk histograms.
+///
+/// Returns `(offsets, bucket_ranges)` where `offsets[c][b]` is the
+/// output index at which chunk `c`'s bucket-`b` elements begin, and
+/// `bucket_ranges[b]` is bucket `b`'s full `(begin, end)` range. The
+/// `(chunk, bucket)` cells `offsets[c][b] .. offsets[c][b] + hist[c][b]`
+/// partition `0..n` exactly — this is the disjointness invariant the
+/// scatter's `SyncSlice` writes rely on.
+pub fn scatter_offsets(hists: &[Vec<u32>]) -> (Vec<Vec<usize>>, Vec<(usize, usize)>) {
+    let chunks = hists.len();
+    let mut offsets = vec![vec![0usize; RADIX_BUCKETS]; chunks];
+    let mut bucket_ranges = vec![(0usize, 0usize); RADIX_BUCKETS];
+    let mut cursor = 0usize;
+    for b in 0..RADIX_BUCKETS {
+        let begin = cursor;
+        for c in 0..chunks {
+            offsets[c][b] = cursor;
+            cursor += hists[c][b] as usize;
+        }
+        bucket_ranges[b] = (begin, cursor);
+    }
+    (offsets, bucket_ranges)
+}
+
+/// Sort `(key, payload)` pairs ascending by `(key, payload)` on `pool`.
+///
+/// When payloads are distinct (the intended use: payload = original
+/// index) the comparison key is a total order, so the result is the
+/// unique sorted sequence — byte-identical to
+/// `pairs.to_vec().sort_unstable()` at every pool width.
+pub fn par_sort_pairs(pool: &WorkStealingPool, pairs: &[(u64, u32)]) -> Vec<(u64, u32)> {
+    let n = pairs.len();
+    if n < PAR_CUTOFF || pool.width() == 1 {
+        let mut out = pairs.to_vec();
+        out.sort_unstable();
+        return out;
+    }
+
+    // 1. Per-chunk histograms (pool-mapped).
+    let chunks = (pool.width() * CHUNKS_PER_WORKER).min(n);
+    let bounds = chunk_bounds(n, chunks);
+    let hists: Vec<Vec<u32>> = pool.map(chunks, |c| {
+        let (lo, hi) = bounds[c];
+        chunk_histogram(&pairs[lo..hi])
+    });
+
+    // 2. Serial prefix sum assigning disjoint (chunk, bucket) cells.
+    let (offsets, bucket_ranges) = scatter_offsets(&hists);
+
+    // 3. Scatter into bucket order through a SyncSlice.
+    let mut scattered: Vec<(u64, u32)> = vec![(0, 0); n];
+    {
+        let slots = SyncSlice::new(scattered.as_mut_ptr(), n);
+        let offsets = &offsets;
+        let bounds = &bounds;
+        pool.run(chunks, |c| {
+            let mut cursor: Vec<usize> = offsets[c].clone();
+            let (lo, hi) = bounds[c];
+            for &pair in &pairs[lo..hi] {
+                let b = bucket_of(pair.0);
+                // SAFETY: `cursor[b]` walks chunk `c`'s (chunk, bucket)
+                // cell, which `scatter_offsets` carved disjoint from
+                // every other task's cells and inside `0..n` (the cells
+                // tile `0..n`; cell width == this chunk's bucket-b
+                // count, and exactly that many writes occur). `run`
+                // executes each chunk exactly once, so no two writes
+                // alias. Model-checked in
+                // `modelcheck/tests/radix_model.rs`; published to this
+                // thread by the scoped joins inside `run`.
+                #[allow(unsafe_code)]
+                unsafe {
+                    slots.write(cursor[b], pair)
+                };
+                cursor[b] += 1;
+            }
+        });
+    }
+
+    // 4. Independent per-bucket comparison sorts (pool-mapped), then a
+    // serial concatenation in bucket order.
+    let sorted: Vec<Vec<(u64, u32)>> = pool.map(RADIX_BUCKETS, |b| {
+        let (lo, hi) = bucket_ranges[b];
+        let mut bucket = scattered[lo..hi].to_vec();
+        bucket.sort_unstable();
+        bucket
+    });
+    let mut out = Vec::with_capacity(n);
+    for bucket in &sorted {
+        out.extend_from_slice(bucket);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_sort(pairs: &[(u64, u32)]) -> Vec<(u64, u32)> {
+        let mut v = pairs.to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Deterministic pseudo-random pairs with heavy key duplication
+    /// (distinct payloads, as in the Morton use case).
+    fn synth_pairs(n: usize, seed: u64, key_mod: u64) -> Vec<(u64, u32)> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let key = if key_mod == 0 { state } else { state % key_mod };
+                (key, i as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunk_bounds_tile_the_range() {
+        for (n, chunks) in [(10, 3), (7, 7), (100, 9), (5000, 16)] {
+            let b = chunk_bounds(n, chunks);
+            assert_eq!(b.len(), chunks);
+            assert_eq!(b[0].0, 0);
+            assert_eq!(b[chunks - 1].1, n);
+            for w in b.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_offsets_partition_the_output() {
+        let pairs = synth_pairs(4096, 0xABCD, 0);
+        let bounds = chunk_bounds(pairs.len(), 7);
+        let hists: Vec<Vec<u32>> =
+            bounds.iter().map(|&(lo, hi)| chunk_histogram(&pairs[lo..hi])).collect();
+        let (offsets, ranges) = scatter_offsets(&hists);
+        // Cells are consecutive in column-major (bucket, chunk) order
+        // and tile 0..n exactly.
+        let mut expect = 0usize;
+        for b in 0..RADIX_BUCKETS {
+            assert_eq!(ranges[b].0, expect);
+            for (c, hist) in hists.iter().enumerate() {
+                assert_eq!(offsets[c][b], expect);
+                expect += hist[b] as usize;
+            }
+            assert_eq!(ranges[b].1, expect);
+        }
+        assert_eq!(expect, pairs.len());
+    }
+
+    #[test]
+    fn sorts_match_reference_across_shapes() {
+        let pool = WorkStealingPool::new(4);
+        for (n, key_mod) in [(0, 0), (1, 0), (100, 0), (5000, 0), (5000, 17), (4099, 1)] {
+            let pairs = synth_pairs(n, 0x5EED ^ n as u64, key_mod);
+            assert_eq!(
+                par_sort_pairs(&pool, &pairs),
+                reference_sort(&pairs),
+                "n={n} key_mod={key_mod}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_output_at_every_width() {
+        let pairs = synth_pairs(10_000, 0xF00D, 255);
+        let expect = reference_sort(&pairs);
+        for width in [1, 2, 3, 4, 8] {
+            let pool = WorkStealingPool::new(width);
+            assert_eq!(par_sort_pairs(&pool, &pairs), expect, "width={width}");
+        }
+    }
+
+    #[test]
+    fn all_equal_keys_sort_by_payload() {
+        let pairs: Vec<(u64, u32)> = (0..6000).rev().map(|i| (42, i as u32)).collect();
+        let pool = WorkStealingPool::new(3);
+        let sorted = par_sort_pairs(&pool, &pairs);
+        for (i, &(k, p)) in sorted.iter().enumerate() {
+            assert_eq!((k, p), (42, i as u32));
+        }
+    }
+
+    #[test]
+    fn keys_spanning_all_top_bytes() {
+        // Force every one of the 256 buckets to be non-empty.
+        let pairs: Vec<(u64, u32)> =
+            (0..PAR_CUTOFF * 2).map(|i| (((i % 256) as u64) << 56 | i as u64, i as u32)).collect();
+        let pool = WorkStealingPool::new(4);
+        assert_eq!(par_sort_pairs(&pool, &pairs), reference_sort(&pairs));
+    }
+}

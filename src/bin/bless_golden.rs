@@ -1,0 +1,21 @@
+//! Regenerate the golden-value fixtures in `tests/golden/`.
+//!
+//! Run via `cargo xtask bless` (or directly:
+//! `cargo run --release -p polaroct --bin bless_golden`). Overwrites
+//! every `<case>.golden` file with a freshly computed snapshot; review
+//! the resulting git diff before committing — a blessed change to these
+//! files is a deliberate statement that the numerics moved.
+
+#![forbid(unsafe_code)]
+
+use polaroct::golden::{golden_dir, snapshot_all};
+
+fn main() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create tests/golden");
+    for (file, contents) in snapshot_all() {
+        let path = dir.join(&file);
+        std::fs::write(&path, &contents).expect("write golden file");
+        println!("blessed {}", path.display());
+    }
+}

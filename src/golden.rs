@@ -1,0 +1,128 @@
+//! Golden-value regression fixtures: exact-bits snapshots of `E_pol`
+//! and an FNV-1a digest of the Born radii for a fixed set of bundled
+//! example molecules.
+//!
+//! The snapshots live in `tests/golden/*.golden` and are compared by
+//! **exact string diff** in `tests/golden_values.rs` — any change to
+//! the numerics, the octree layout, the surface sampler, or the
+//! traversal order shows up as a failed diff with both strings printed.
+//! To accept an intentional change, regenerate with `cargo xtask bless`
+//! (which runs the `bless_golden` binary) and review the diff in git.
+//!
+//! Snapshot contents are pure functions of the molecule and
+//! `ApproxParams::default()`: the energy as both decimal and raw IEEE
+//! bits (hex), the Born-radii digest (FNV-1a over the f64 bit patterns,
+//! in original atom order), and the input sizes so a generator change
+//! is distinguishable from a numeric change.
+
+use polaroct_cluster::comm::checksum;
+use polaroct_core::drivers::DriverConfig;
+use polaroct_core::{run_serial, ApproxParams, GbSystem};
+use polaroct_molecule::{synth, Molecule};
+use std::path::PathBuf;
+
+/// One golden case: a deterministic synthetic molecule.
+pub struct GoldenCase {
+    /// File-safe case name (`tests/golden/<name>.golden`).
+    pub name: &'static str,
+    /// Builds the molecule (must be deterministic).
+    pub make: fn() -> Molecule,
+}
+
+/// The bundled example molecules covered by the suite: a small ligand,
+/// a mid-size globular protein, and a hollow capsid shell — the three
+/// synthetic geometries the paper's evaluation draws on, at sizes small
+/// enough to keep the tier-1 suite fast.
+pub fn cases() -> Vec<GoldenCase> {
+    vec![
+        GoldenCase {
+            name: "ligand_60",
+            make: || synth::ligand("golden-ligand", 60, 0x11AD),
+        },
+        GoldenCase {
+            name: "protein_800",
+            make: || synth::protein("golden-protein", 800, 0xA11CE),
+        },
+        GoldenCase {
+            name: "capsid_1500",
+            make: || synth::capsid("golden-capsid", 1_500, 0xCAB51D),
+        },
+    ]
+}
+
+/// Directory holding the committed `.golden` files.
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Render the snapshot for one molecule: run the serial octree driver
+/// under default parameters and format the exact results.
+pub fn snapshot(name: &str, mol: &Molecule) -> String {
+    let params = ApproxParams::default();
+    let sys = GbSystem::prepare(mol, &params);
+    let report = run_serial(&sys, &params, &DriverConfig::default())
+        .expect("golden molecules are valid inputs");
+    let radii_digest = checksum(&report.born_radii);
+    format!(
+        "case: {name}\n\
+         atoms: {}\n\
+         qpoints: {}\n\
+         energy_kcal: {:.17e}\n\
+         energy_kcal_bits: 0x{:016x}\n\
+         born_radii_fnv1a: 0x{radii_digest:016x}\n",
+        sys.n_atoms(),
+        sys.n_qpoints(),
+        report.energy_kcal,
+        report.energy_kcal.to_bits(),
+    )
+}
+
+/// Snapshot every case. Returns `(file_name, contents)` pairs.
+pub fn snapshot_all() -> Vec<(String, String)> {
+    cases()
+        .iter()
+        .map(|c| {
+            let mol = (c.make)();
+            (format!("{}.golden", c.name), snapshot(c.name, &mol))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        for c in cases() {
+            let a = (c.make)();
+            let b = (c.make)();
+            assert_eq!(a.positions, b.positions, "case {}", c.name);
+            assert_eq!(a.charges, b.charges, "case {}", c.name);
+        }
+    }
+
+    #[test]
+    fn case_names_are_file_safe_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in cases() {
+            assert!(
+                c.name
+                    .chars()
+                    .all(|ch| ch.is_ascii_alphanumeric() || ch == '_'),
+                "name {:?} not file-safe",
+                c.name
+            );
+            assert!(seen.insert(c.name), "duplicate case name {:?}", c.name);
+        }
+    }
+
+    #[test]
+    fn snapshot_is_reproducible() {
+        let c = &cases()[0];
+        let mol = (c.make)();
+        assert_eq!(snapshot(c.name, &mol), snapshot(c.name, &mol));
+    }
+}

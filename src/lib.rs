@@ -44,6 +44,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod golden;
+
 pub use polaroct_baselines as baselines;
 pub use polaroct_cluster as cluster;
 pub use polaroct_core as core;

@@ -1,0 +1,43 @@
+//! Golden-value regression: the committed `tests/golden/*.golden`
+//! snapshots must match freshly computed ones bit-for-bit.
+//!
+//! A failure here means the physics output moved — the energy bits or
+//! the Born-radii digest changed for a bundled example molecule. If the
+//! change is intentional, regenerate with `cargo xtask bless` and
+//! commit the diff; if not, you have a regression.
+
+use polaroct::golden::{cases, golden_dir, snapshot};
+
+#[test]
+fn golden_snapshots_match_committed_files() {
+    for c in cases() {
+        let path = golden_dir().join(format!("{}.golden", c.name));
+        let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run `cargo xtask bless` to create it",
+                path.display()
+            )
+        });
+        let fresh = snapshot(c.name, &(c.make)());
+        assert_eq!(
+            fresh, committed,
+            "golden mismatch for case `{}`:\n--- fresh ---\n{fresh}\n--- committed ({}) ---\n{committed}\n\
+             if this change is intentional, run `cargo xtask bless` and commit the diff",
+            c.name,
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_dir_has_no_stale_files() {
+    let expected: Vec<String> = cases().iter().map(|c| format!("{}.golden", c.name)).collect();
+    let entries = std::fs::read_dir(golden_dir()).expect("tests/golden exists");
+    for entry in entries {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(
+            expected.contains(&name),
+            "stale file tests/golden/{name}: no golden case produces it; delete it or add the case"
+        );
+    }
+}

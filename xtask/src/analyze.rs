@@ -79,6 +79,8 @@ const NO_PANIC_FILES: &[&str] = &[
     "crates/cluster/src/comm.rs",
     "crates/cluster/src/runner.rs",
     "crates/core/src/drivers.rs",
+    "crates/octree/src/build.rs",
+    "crates/octree/src/parallel.rs",
 ];
 
 /// Files allowed to contain scheduling-order float accumulation (the
