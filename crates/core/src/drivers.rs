@@ -14,17 +14,13 @@
 //! and the §V.B memory-replication slowdown (see `polaroct-cluster`).
 
 use crate::born::{
-    approx_integrals, approx_integrals_clipped, approx_integrals_scratch, push_integrals_to_atoms,
-    BornAccumulators,
+    approx_integrals, approx_integrals_clipped, push_integrals_to_atoms, BornAccumulators,
 };
-use crate::dual::{born_radii_dual, epol_dual_raw};
-use crate::epol::{
-    approx_epol_leaf, approx_epol_leaf_clipped, approx_epol_leaf_scratch, ChargeBins,
-};
+use crate::epol::{approx_epol_leaf, approx_epol_leaf_clipped, ChargeBins};
 use crate::gb::epol_from_raw_sum;
+use crate::lists::{BornLists, EpolLists};
 use crate::naive::{born_radii_naive, epol_naive_raw};
 use crate::params::ApproxParams;
-use crate::soa::{AtomSoa, QLeafSoa};
 use crate::system::GbSystem;
 use crate::workdiv::WorkDivision;
 use polaroct_cluster::{
@@ -265,12 +261,17 @@ pub struct PhaseTimes {
     pub bins: f64,
     /// `APPROX-E_pol` over all atom leaves (Step 6).
     pub epol: f64,
+    /// Interaction-list construction (the traversal passes of
+    /// `core::lists` — separate from `integrals`/`epol`, which now time
+    /// only the flat kernel sweeps). Zero for drivers that still
+    /// interleave traversal and kernels (naive, Fig. 4 cluster drivers).
+    pub lists: f64,
 }
 
 impl PhaseTimes {
     /// Sum of the phase times (excludes setup not covered by a phase).
     pub fn total(&self) -> f64 {
-        self.build + self.integrals + self.push + self.bins + self.epol
+        self.build + self.integrals + self.push + self.bins + self.epol + self.lists
     }
 }
 
@@ -307,6 +308,13 @@ pub struct RunReport {
     /// Fault-tolerance outcome ([`RunOutcome::Completed`] when no fault
     /// plan was active).
     pub outcome: RunOutcome,
+    /// Evaluations served by previously built interaction lists (always
+    /// zero for the one-shot drivers; populated by MD via
+    /// [`crate::lists::ListEngine`]).
+    pub lists_reused: u64,
+    /// Interaction-list builds performed (1 for the list-based one-shot
+    /// drivers, 0 for drivers that do not build lists).
+    pub lists_rebuilt: u64,
 }
 
 impl RunReport {
@@ -354,16 +362,20 @@ pub fn run_naive(
             ..Default::default()
         },
         outcome: RunOutcome::Completed,
+        lists_reused: 0,
+        lists_rebuilt: 0,
     })
 }
 
 /// Serial single-tree octree run (one core; the baseline the speedup
 /// plots divide by when assessing parallel efficiency).
 ///
-/// Phase-by-phase equivalent of [`run_oct_threads`] with one worker: the
-/// same SoA kernels in the same leaf order, so the threaded driver's
-/// energies can be validated against this one to reduction-roundoff
-/// (≤1e-12 relative) rather than approximation tolerance.
+/// Runs on the interaction-list engine (`core::lists`): the traversal
+/// pass is timed as `phases.lists`, the flat kernel sweeps as
+/// `phases.integrals` / `phases.epol`. List execution replays the
+/// recursion's every floating-point add in order, so energies and radii
+/// are bit-identical to the historical recursive driver (the golden
+/// suite pins this) and to [`run_oct_threads`] at any width.
 pub fn run_serial(
     sys: &GbSystem,
     params: &ApproxParams,
@@ -373,20 +385,15 @@ pub fn run_serial(
     let wall = Instant::now();
     let math = params.math;
 
-    // ---- APPROX-INTEGRALS over every quadrature leaf (leaf order).
+    // ---- List traversal pass for APPROX-INTEGRALS (q-leaf sweep order).
+    let t = Instant::now();
+    let born_lists = BornLists::build_single(sys, params.eps_born);
+    let mut lists_t = t.elapsed().as_secs_f64();
+
+    // ---- APPROX-INTEGRALS: flat near/far sweep.
     let t = Instant::now();
     let mut acc = BornAccumulators::zeros(sys);
-    let mut ops = OpCounts::default();
-    let mut q_scratch = QLeafSoa::default();
-    for &q in &sys.qtree.leaf_ids {
-        ops.add(&approx_integrals_scratch(
-            sys,
-            q,
-            params.eps_born,
-            &mut acc,
-            &mut q_scratch,
-        ));
-    }
+    let mut ops = born_lists.execute(sys, None, &mut acc);
     let integrals = t.elapsed().as_secs_f64();
 
     // ---- PUSH-INTEGRALS-TO-ATOMS.
@@ -406,16 +413,15 @@ pub fn run_serial(
     let bins = ChargeBins::build(sys, &born, params.eps_epol);
     let bins_t = t.elapsed().as_secs_f64();
 
-    // ---- APPROX-E_pol over every atom leaf (leaf order).
+    // ---- List traversal pass for APPROX-E_pol (atom-leaf sweep order).
     let t = Instant::now();
-    let mut raw = 0.0;
-    let mut a_scratch = AtomSoa::default();
-    for &v in &sys.atoms.leaf_ids {
-        let (r, o) =
-            approx_epol_leaf_scratch(sys, &bins, &born, v, params.eps_epol, math, &mut a_scratch);
-        raw += r;
-        ops.add(&o);
-    }
+    let epol_lists = EpolLists::build_single(sys, &bins, params.eps_epol);
+    lists_t += t.elapsed().as_secs_f64();
+
+    // ---- APPROX-E_pol: flat near/far sweep + sum-tree replay.
+    let t = Instant::now();
+    let (raw, eops) = epol_lists.execute(sys, &bins, &born, math, None);
+    ops.add(&eops);
     let epol = t.elapsed().as_secs_f64();
 
     let time = seconds(cfg, &ops, math);
@@ -428,7 +434,10 @@ pub fn run_serial(
         comm: 0.0,
         wait: 0.0,
         ops,
-        memory_per_process: sys.memory_bytes() + bins.memory_bytes(),
+        memory_per_process: sys.memory_bytes()
+            + bins.memory_bytes()
+            + born_lists.memory_bytes()
+            + epol_lists.memory_bytes(),
         cores: 1,
         wall_seconds: wall.elapsed().as_secs_f64(),
         phases: PhaseTimes {
@@ -437,8 +446,11 @@ pub fn run_serial(
             push,
             bins: bins_t,
             epol,
+            lists: lists_t,
         },
         outcome: RunOutcome::Completed,
+        lists_reused: 0,
+        lists_rebuilt: 1,
     })
 }
 
@@ -454,14 +466,33 @@ pub fn run_oct_cilk(
     assert!(threads >= 1);
     validate_system(sys)?;
     let wall = Instant::now();
+
+    // Dual-tree interaction lists ([6]'s traversal, flattened): far
+    // entries may pair *internal* nodes of both trees. Execution is
+    // bit-identical to `born_radii_dual` / `epol_dual_raw`.
     let t = Instant::now();
-    let (born, mut ops) = born_radii_dual(sys, params.eps_born, params.math);
+    let born_lists = BornLists::build_dual(sys, params.eps_born);
+    let mut lists_t = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut acc = BornAccumulators::zeros(sys);
+    let mut ops = born_lists.execute(sys, None, &mut acc);
+    let mut born = vec![0.0; sys.n_atoms()];
+    ops.add(&push_integrals_to_atoms(
+        sys,
+        &acc,
+        0..sys.n_atoms(),
+        params.math,
+        &mut born,
+    ));
     let integrals = t.elapsed().as_secs_f64();
     let t = Instant::now();
     let bins = ChargeBins::build(sys, &born, params.eps_epol);
     let bins_t = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    let (raw, eops) = epol_dual_raw(sys, &bins, &born, params.eps_epol, params.math);
+    let epol_lists = EpolLists::build_dual(sys, &bins, params.eps_epol);
+    lists_t += t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let (raw, eops) = epol_lists.execute(sys, &bins, &born, params.math, None);
     let epol = t.elapsed().as_secs_f64();
     ops.add(&eops);
 
@@ -496,16 +527,22 @@ pub fn run_oct_cilk(
         comm: 0.0,
         wait: 0.0,
         ops,
-        memory_per_process: sys.memory_bytes() + bins.memory_bytes(),
+        memory_per_process: sys.memory_bytes()
+            + bins.memory_bytes()
+            + born_lists.memory_bytes()
+            + epol_lists.memory_bytes(),
         cores: threads,
         wall_seconds: wall.elapsed().as_secs_f64(),
         phases: PhaseTimes {
             integrals,
             bins: bins_t,
             epol,
+            lists: lists_t,
             ..Default::default()
         },
         outcome: RunOutcome::Completed,
+        lists_reused: 0,
+        lists_rebuilt: 1,
     })
 }
 
@@ -527,19 +564,21 @@ pub fn fork_join_makespan(t1: f64, n_tasks: usize, depth: u32, p: usize, steal_c
 /// value (see the determinism note on the driver).
 const THREAD_BLOCKS: usize = 64;
 
-/// Shared-memory single-tree run on *real* OS threads: fans the
-/// `APPROX-INTEGRALS` q-point leaves and the `APPROX-E_pol` atom leaves
-/// over [`WorkStealingPool`], with the same SoA leaf kernels as
-/// [`run_serial`].
+/// Shared-memory single-tree run on *real* OS threads: builds the
+/// `core::lists` interaction lists once, then fans their cost-balanced
+/// chunks over [`WorkStealingPool`] — the same SoA leaf kernels as
+/// [`run_serial`], minus any traversal on the hot path.
 ///
-/// **Determinism.** Leaves are grouped into [`THREAD_BLOCKS`] contiguous
-/// blocks (a fixed partition independent of `threads`). Each block task
-/// accumulates its own `BornAccumulators` / raw E_pol partial / op counts
-/// over its leaves *in leaf-id order*, and the per-block partials are
-/// merged serially *in block order* — never in completion order. Energies
-/// are therefore bit-identical across thread counts, and differ from
-/// [`run_serial`] only by the block-boundary reassociation of the same
-/// ordered term list (≤1e-12 relative in practice).
+/// **Determinism.** List entries are grouped into at most
+/// [`crate::lists::LIST_CHUNKS`] chunks balanced by per-entry cost
+/// (`len_a · len_q` near, O(1) far) via
+/// [`polaroct_sched::partition_by_cost`] — a fixed partition independent
+/// of `threads`. Each chunk task computes only *pure per-entry outputs*
+/// (Phase A); the serial apply pass (Phase B) then folds them in
+/// emission order, replaying the recursion's exact floating-point add
+/// sequence. Energies are therefore bit-identical across thread counts
+/// **and** bit-identical to [`run_serial`] — not merely within
+/// reduction roundoff, as the pre-list block-merge driver was.
 ///
 /// `RunReport::time` still carries the fork-join *model* prediction (for
 /// modeled-vs-measured comparisons); the measured host times live in
@@ -584,11 +623,11 @@ fn fire_threads_fault(
 }
 
 /// [`run_oct_threads`] with fault injection (entries for rank 0 fire at
-/// phase starts). A `PanicWorker` fault poisons one leaf block — chosen
+/// phase starts). A `PanicWorker` fault poisons one list chunk — chosen
 /// from the plan seed — whose task panics inside the pool; the pool
 /// contains it ([`WorkStealingPool::try_map`]), and the driver
-/// re-executes the lost block *serially, in block order*, so the merged
-/// energy stays bit-identical to the fault-free run
+/// re-executes the lost chunk *serially, before the apply pass*, so the
+/// folded energy stays bit-identical to the fault-free run
 /// ([`RunOutcome::Recovered`]).
 pub fn run_oct_threads_ft(
     sys: &GbSystem,
@@ -608,55 +647,40 @@ pub fn run_oct_threads_ft(
     let mut recovered_blocks = 0u32;
     let mut delay_s = 0.0;
 
-    // ---- APPROX-INTEGRALS: q-leaf blocks fanned over the pool.
+    // ---- List traversal pass for APPROX-INTEGRALS.
     let t = Instant::now();
-    let q_blocks = sys
-        .qtree
-        .partition_leaves(THREAD_BLOCKS.min(sys.qtree.leaf_count().max(1)));
-    let poison = fire_threads_fault(&plan, phase::INTEGRALS, q_blocks.len(), &mut delay_s)?;
-    let born_block = |b: usize| {
-        let mut acc = BornAccumulators::zeros(sys);
-        let mut ops = OpCounts::default();
-        let mut scratch = QLeafSoa::default();
-        for &q in &sys.qtree.leaf_ids[q_blocks[b].clone()] {
-            ops.add(&approx_integrals_scratch(
-                sys,
-                q,
-                params.eps_born,
-                &mut acc,
-                &mut scratch,
-            ));
-        }
-        (acc, ops)
-    };
-    let (mut born_parts, _) = pool.try_map(q_blocks.len(), |b| {
-        if Some(b) == poison {
+    let born_lists = BornLists::build_single(sys, params.eps_born);
+    let mut lists_t = t.elapsed().as_secs_f64();
+
+    // ---- APPROX-INTEGRALS: cost-balanced list chunks fanned over the
+    // pool (Phase A: pure per-entry outputs, no shared accumulators).
+    let t = Instant::now();
+    let poison = fire_threads_fault(&plan, phase::INTEGRALS, born_lists.n_chunks(), &mut delay_s)?;
+    let (mut born_parts, _) = pool.try_map(born_lists.n_chunks(), |c| {
+        if Some(c) == poison {
             // PANIC-OK: deliberate fault injection; contained by the pool's try_map.
-            panic!("injected worker panic in integrals block {b}");
+            panic!("injected worker panic in integrals chunk {c}");
         }
-        born_block(b)
+        born_lists.run_chunk(sys, c)
     });
-    // Merge in block order (deterministic reduction); a panicked block's
-    // slot is `None` and is re-executed inline by the same closure, so
-    // the merged values cannot differ from the fault-free run.
-    let mut acc = BornAccumulators::zeros(sys);
-    let mut ops = OpCounts::default();
-    for (b, slot) in born_parts.iter_mut().enumerate() {
-        let (pa, po) = match slot.take() {
+    // A panicked chunk's slot is `None` and is re-executed inline by the
+    // same pure function, so the apply pass below cannot observe any
+    // difference from the fault-free run.
+    let mut born_outputs: Vec<Vec<f64>> = Vec::with_capacity(born_parts.len());
+    for (c, slot) in born_parts.iter_mut().enumerate() {
+        born_outputs.push(match slot.take() {
             Some(v) => v,
             None => {
                 recovered_blocks += 1;
-                born_block(b)
+                born_lists.run_chunk(sys, c)
             }
-        };
-        for (a, p) in acc.node.iter_mut().zip(&pa.node) {
-            *a += p;
-        }
-        for (a, p) in acc.atom.iter_mut().zip(&pa.atom) {
-            *a += p;
-        }
-        ops.add(&po);
+        });
     }
+    // Phase B: serial fold in emission order — the determinism anchor.
+    let mut acc = BornAccumulators::zeros(sys);
+    let mut ops = OpCounts::default();
+    born_lists.apply(sys, &born_outputs, &mut acc);
+    ops.add(&born_lists.ops);
     let integrals = t.elapsed().as_secs_f64();
 
     // ---- PUSH-INTEGRALS-TO-ATOMS: disjoint atom chunks. Radii are
@@ -702,43 +726,34 @@ pub fn run_oct_threads_ft(
     let bins = ChargeBins::build(sys, &born, params.eps_epol);
     let bins_t = t.elapsed().as_secs_f64();
 
-    // ---- APPROX-E_pol: atom-leaf blocks fanned over the pool.
+    // ---- List traversal pass for APPROX-E_pol.
     let t = Instant::now();
-    let a_blocks = sys
-        .atoms
-        .partition_leaves(THREAD_BLOCKS.min(sys.atoms.leaf_count().max(1)));
-    let poison = fire_threads_fault(&plan, phase::EPOL, a_blocks.len(), &mut delay_s)?;
-    let epol_block = |b: usize| {
-        let mut raw = 0.0;
-        let mut ops = OpCounts::default();
-        let mut scratch = AtomSoa::default();
-        for &v in &sys.atoms.leaf_ids[a_blocks[b].clone()] {
-            let (r, o) =
-                approx_epol_leaf_scratch(sys, &bins, &born, v, params.eps_epol, math, &mut scratch);
-            raw += r;
-            ops.add(&o);
-        }
-        (raw, ops)
-    };
-    let (mut epol_parts, _) = pool.try_map(a_blocks.len(), |b| {
-        if Some(b) == poison {
+    let epol_lists = EpolLists::build_single(sys, &bins, params.eps_epol);
+    lists_t += t.elapsed().as_secs_f64();
+
+    // ---- APPROX-E_pol: list chunks fanned over the pool.
+    let t = Instant::now();
+    let poison = fire_threads_fault(&plan, phase::EPOL, epol_lists.n_chunks(), &mut delay_s)?;
+    let (mut epol_parts, _) = pool.try_map(epol_lists.n_chunks(), |c| {
+        if Some(c) == poison {
             // PANIC-OK: deliberate fault injection; contained by the pool's try_map.
-            panic!("injected worker panic in epol block {b}");
+            panic!("injected worker panic in epol chunk {c}");
         }
-        epol_block(b)
+        epol_lists.run_chunk(sys, &bins, &born, math, c)
     });
-    let mut raw = 0.0;
-    for (b, slot) in epol_parts.iter_mut().enumerate() {
-        let (r, po) = match slot.take() {
+    let mut epol_outputs: Vec<Vec<f64>> = Vec::with_capacity(epol_parts.len());
+    for (c, slot) in epol_parts.iter_mut().enumerate() {
+        epol_outputs.push(match slot.take() {
             Some(v) => v,
             None => {
                 recovered_blocks += 1;
-                epol_block(b)
+                epol_lists.run_chunk(sys, &bins, &born, math, c)
             }
-        };
-        raw += r;
-        ops.add(&po);
+        });
     }
+    // Phase B: the sum-tree replay — serial, in emission order.
+    let raw = epol_lists.apply(&epol_outputs);
+    ops.add(&epol_lists.ops);
     let epol = t.elapsed().as_secs_f64();
 
     // Modeled fork-join makespan over the same work, for side-by-side
@@ -762,7 +777,10 @@ pub fn run_oct_threads_ft(
         comm: 0.0,
         wait: 0.0,
         ops,
-        memory_per_process: sys.memory_bytes() + bins.memory_bytes(),
+        memory_per_process: sys.memory_bytes()
+            + bins.memory_bytes()
+            + born_lists.memory_bytes()
+            + epol_lists.memory_bytes(),
         cores: threads,
         wall_seconds: wall.elapsed().as_secs_f64(),
         phases: PhaseTimes {
@@ -771,6 +789,7 @@ pub fn run_oct_threads_ft(
             push,
             bins: bins_t,
             epol,
+            lists: lists_t,
         },
         outcome: if recovered_blocks > 0 {
             RunOutcome::Recovered {
@@ -779,6 +798,8 @@ pub fn run_oct_threads_ft(
         } else {
             RunOutcome::Completed
         },
+        lists_reused: 0,
+        lists_rebuilt: 1,
     })
 }
 
@@ -1312,6 +1333,8 @@ fn run_fig4(
         // a per-phase host clock would be meaningless here.
         phases: PhaseTimes::default(),
         outcome,
+        lists_reused: 0,
+        lists_rebuilt: 0,
     })
 }
 
@@ -1567,8 +1590,15 @@ mod tests {
 
     #[test]
     fn phase_total_includes_build() {
-        let p = PhaseTimes { build: 1.0, integrals: 2.0, push: 3.0, bins: 4.0, epol: 5.0 };
-        assert_eq!(p.total(), 15.0);
+        let p = PhaseTimes {
+            build: 1.0,
+            integrals: 2.0,
+            push: 3.0,
+            bins: 4.0,
+            epol: 5.0,
+            lists: 6.0,
+        };
+        assert_eq!(p.total(), 21.0);
         assert_eq!(PhaseTimes::default().total(), 0.0);
     }
 

@@ -11,8 +11,8 @@
 
 use crate::born::BornAccumulators;
 use crate::epol::ChargeBins;
-use crate::gb::inv_f_gb;
 use crate::naive::born_radius_from_integral;
+use crate::soa::{AtomSoa, QLeafSoa};
 use crate::system::GbSystem;
 use polaroct_cluster::simtime::OpCounts;
 use polaroct_geom::fastmath::MathMode;
@@ -25,7 +25,8 @@ pub fn born_radii_dual(sys: &GbSystem, eps_born: f64, math: MathMode) -> (Vec<f6
     let mac = (theta + 1.0) / (theta - 1.0);
     let mut acc = BornAccumulators::zeros(sys);
     let mut ops = OpCounts::default();
-    born_recurse(sys, 0, 0, mac, &mut acc, &mut ops);
+    let mut scratch = QLeafSoa::default();
+    born_recurse(sys, 0, 0, mac, &mut acc, &mut scratch, &mut ops);
     // Reuse the single-tree push (it is exact given the accumulators).
     let mut out = vec![0.0; sys.n_atoms()];
     ops.add(&crate::born::push_integrals_to_atoms(
@@ -44,6 +45,7 @@ fn born_recurse(
     q_id: NodeId,
     mac: f64,
     acc: &mut BornAccumulators,
+    scratch: &mut QLeafSoa,
     ops: &mut OpCounts,
 ) {
     let a = sys.atoms.node(a_id);
@@ -60,27 +62,23 @@ fn born_recurse(
     }
     match (a.is_leaf(), q.is_leaf()) {
         (true, true) => {
+            // One kernel implementation for every path: the same
+            // SoA-batched leaf kernel the serial, threaded and list
+            // engines use (`QLeafSoa::born_term`).
+            scratch.gather(sys, q.range());
             for ai in a.range() {
-                let xa = sys.atoms.points[ai];
-                let mut s = 0.0;
-                for qi in q.range() {
-                    let dv = sys.qtree.points[qi] - xa;
-                    let d2 = dv.norm2();
-                    let inv2 = 1.0 / d2;
-                    s += sys.q_weight[qi] * sys.q_normal[qi].dot(dv) * inv2 * inv2 * inv2;
-                }
-                acc.atom[ai] += s;
+                acc.atom[ai] += scratch.born_term(sys.atoms.points[ai]);
             }
             ops.born_near += (a.len() * q.len()) as u64;
         }
         (true, false) => {
             for qc in q.children() {
-                born_recurse(sys, a_id, qc, mac, acc, ops);
+                born_recurse(sys, a_id, qc, mac, acc, scratch, ops);
             }
         }
         (false, true) => {
             for ac in a.children() {
-                born_recurse(sys, ac, q_id, mac, acc, ops);
+                born_recurse(sys, ac, q_id, mac, acc, scratch, ops);
             }
         }
         (false, false) => {
@@ -88,11 +86,11 @@ fn born_recurse(
             // refinement rule — shrinks the acceptance gap fastest).
             if a.radius >= q.radius {
                 for ac in a.children() {
-                    born_recurse(sys, ac, q_id, mac, acc, ops);
+                    born_recurse(sys, ac, q_id, mac, acc, scratch, ops);
                 }
             } else {
                 for qc in q.children() {
-                    born_recurse(sys, a_id, qc, mac, acc, ops);
+                    born_recurse(sys, a_id, qc, mac, acc, scratch, ops);
                 }
             }
         }
@@ -112,7 +110,8 @@ pub fn epol_dual_raw(
 ) -> (f64, OpCounts) {
     let mac = 1.0 + 2.0 / eps_epol;
     let mut ops = OpCounts::default();
-    let raw = epol_recurse(sys, bins, born, 0, 0, mac, math, &mut ops);
+    let mut scratch = AtomSoa::default();
+    let raw = epol_recurse(sys, bins, born, 0, 0, mac, math, &mut scratch, &mut ops);
     (raw, ops)
 }
 
@@ -125,6 +124,7 @@ fn epol_recurse(
     v_id: NodeId,
     mac: f64,
     math: MathMode,
+    scratch: &mut AtomSoa,
     ops: &mut OpCounts,
 ) -> f64 {
     let u = sys.atoms.node(u_id);
@@ -163,28 +163,32 @@ fn epol_recurse(
 
     match (u.is_leaf(), v.is_leaf()) {
         (true, true) => {
+            // Shared SoA kernel: `AtomSoa::still_term` is bit-identical
+            // to the scalar `q·inv_f_gb` accumulation it replaces (see
+            // soa.rs's `still_term_bit_identical_to_scalar_kernel`).
+            scratch.gather(sys, born, v.range());
             let mut raw = 0.0;
             for ui in u.range() {
-                let xu = sys.atoms.points[ui];
-                let (qu, ru) = (sys.charge[ui], born[ui]);
-                let mut acc = 0.0;
-                for vi in v.range() {
-                    let d2 = xu.dist2(sys.atoms.points[vi]);
-                    acc += sys.charge[vi] * inv_f_gb(d2, ru, born[vi], math);
-                }
-                raw += qu * acc;
+                let term = scratch.still_term(sys.atoms.points[ui], born[ui], math);
+                raw += sys.charge[ui] * term;
             }
             ops.epol_near += (u.len() * v.len()) as u64;
             raw
         }
-        (true, false) => v
-            .children()
-            .map(|vc| epol_recurse(sys, bins, born, u_id, vc, mac, math, ops))
-            .sum(),
-        (false, true) => u
-            .children()
-            .map(|uc| epol_recurse(sys, bins, born, uc, v_id, mac, math, ops))
-            .sum(),
+        (true, false) => {
+            let mut raw = 0.0;
+            for vc in v.children() {
+                raw += epol_recurse(sys, bins, born, u_id, vc, mac, math, scratch, ops);
+            }
+            raw
+        }
+        (false, true) => {
+            let mut raw = 0.0;
+            for uc in u.children() {
+                raw += epol_recurse(sys, bins, born, uc, v_id, mac, math, scratch, ops);
+            }
+            raw
+        }
         (false, false) => {
             if u_id == v_id {
                 // Same node: expand into all ordered child pairs so the
@@ -192,18 +196,22 @@ fn epol_recurse(
                 let mut raw = 0.0;
                 for uc in u.children() {
                     for vc in v.children() {
-                        raw += epol_recurse(sys, bins, born, uc, vc, mac, math, ops);
+                        raw += epol_recurse(sys, bins, born, uc, vc, mac, math, scratch, ops);
                     }
                 }
                 raw
             } else if u.radius >= v.radius {
-                u.children()
-                    .map(|uc| epol_recurse(sys, bins, born, uc, v_id, mac, math, ops))
-                    .sum()
+                let mut raw = 0.0;
+                for uc in u.children() {
+                    raw += epol_recurse(sys, bins, born, uc, v_id, mac, math, scratch, ops);
+                }
+                raw
             } else {
-                v.children()
-                    .map(|vc| epol_recurse(sys, bins, born, u_id, vc, mac, math, ops))
-                    .sum()
+                let mut raw = 0.0;
+                for vc in v.children() {
+                    raw += epol_recurse(sys, bins, born, u_id, vc, mac, math, scratch, ops);
+                }
+                raw
             }
         }
     }

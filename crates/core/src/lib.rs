@@ -46,6 +46,7 @@ pub mod epol;
 pub mod error;
 pub mod forces;
 pub mod gb;
+pub mod lists;
 pub mod md;
 pub mod naive;
 pub mod params;
@@ -62,6 +63,7 @@ pub use drivers::{
 };
 pub use error::{energy_error_pct, ErrorStats};
 pub use gb::{f_gb, COULOMB_KCAL};
+pub use lists::{BornLists, EngineEval, EpolLists, ListEngine, ListEntry, LIST_CHUNKS};
 pub use params::ApproxParams;
 pub use system::GbSystem;
 pub use workdiv::WorkDivision;

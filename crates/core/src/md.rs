@@ -8,12 +8,18 @@
 //! not a full force field — stays bounded). It is the consumer that makes
 //! the force API's contract concrete and testable (energy drift, time
 //! reversibility).
+//!
+//! Energies and Born radii come from a persistent
+//! [`crate::lists::ListEngine`]: octrees and interaction lists are built
+//! with node bounds inflated by [`MdParams::skin`] and reused across
+//! steps, rebuilt only when the tracked max displacement from the build
+//! geometry exceeds `skin / 2` (the Verlet-list protocol, DESIGN.md §11).
 
 use crate::forces::forces_cutoff;
-use crate::naive::born_radii_naive;
+use crate::lists::ListEngine;
 use crate::params::ApproxParams;
 use crate::system::GbSystem;
-use polaroct_geom::fastmath::MathMode;
+use polaroct_cluster::simtime::OpCounts;
 use polaroct_geom::Vec3;
 use polaroct_molecule::Molecule;
 
@@ -24,12 +30,19 @@ pub struct MdParams {
     pub dt_fs: f64,
     /// Pair cutoff for the force kernel (Å).
     pub cutoff: f64,
-    /// Steps between Born-radius refreshes (radii are geometry-dependent;
-    /// production GB codes refresh every step, demos can stretch).
+    /// Steps between Born-radius refreshes. Retained for configuration
+    /// compatibility; the list engine now refreshes radii every step
+    /// (cheap: a flat kernel sweep over prebuilt lists) and rebuilds the
+    /// octrees/lists only on skin violation, superseding this schedule.
     pub born_refresh_every: usize,
     /// Harmonic restraint to each atom's start position
     /// (kcal/mol/Å²; 0 disables).
     pub restraint_k: f64,
+    /// Verlet skin (Å): node bounds are inflated by this margin at build
+    /// time, so octrees and interaction lists stay valid until any atom
+    /// drifts more than `skin / 2` from the build geometry. `0.0`
+    /// rebuilds whenever the geometry changes at all.
+    pub skin: f64,
 }
 
 impl Default for MdParams {
@@ -39,6 +52,7 @@ impl Default for MdParams {
             cutoff: 20.0,
             born_refresh_every: 5,
             restraint_k: 1.0,
+            skin: 0.5,
         }
     }
 }
@@ -52,6 +66,14 @@ pub struct MdReport {
     pub max_displacement: f64,
     /// Final positions.
     pub positions: Vec<Vec3>,
+    /// Steps whose energy was served by previously built interaction
+    /// lists (Verlet-skin hit count).
+    pub lists_reused: u64,
+    /// Octree + list rebuilds over the trajectory (includes the initial
+    /// build before step 0).
+    pub lists_rebuilt: u64,
+    /// Total kernel ops across all energy evaluations.
+    pub ops: OpCounts,
 }
 
 /// Run `steps` of velocity Verlet on `mol` (masses from the element
@@ -66,39 +88,29 @@ pub fn run_md(mol: &Molecule, approx: &ApproxParams, md: &MdParams, steps: usize
     let mut pos = mol.positions.clone();
     let mut vel = vec![Vec3::ZERO; n];
     let mut energies = Vec::with_capacity(steps);
+    let mut ops = OpCounts::default();
 
-    let mut work = mol.clone();
-    let compute = |positions: &[Vec3], work: &mut Molecule| -> (GbSystem, Vec<f64>) {
-        work.positions.copy_from_slice(positions);
-        let sys = GbSystem::prepare(work, approx);
-        let (born, _) = born_radii_naive(&sys, MathMode::Exact);
-        (sys, born)
-    };
+    let mut engine = ListEngine::new(mol, approx, md.skin);
+    let mut forces = force_field(engine.system(), engine.born(), &pos, &start, approx, md);
 
-    let (mut sys, mut born) = compute(&pos, &mut work);
-    let mut forces = force_field(&sys, &born, &pos, &start, approx, md);
-
-    for step in 0..steps {
+    for _ in 0..steps {
         let dt = md.dt_fs;
         // Kick-drift.
         for i in 0..n {
             vel[i] += forces[i] * (0.5 * dt * ACC / masses[i]);
             pos[i] += vel[i] * dt;
         }
-        // Refresh radii (and the octrees) on schedule.
-        if step % md.born_refresh_every == 0 {
-            let (s, b) = compute(&pos, &mut work);
-            sys = s;
-            born = b;
-        }
-        forces = force_field(&sys, &born, &pos, &start, approx, md);
+        // Refresh radii + energy through the list engine: lists are
+        // reused while max displacement stays within skin/2, rebuilt
+        // (with the octrees) the moment it does not.
+        let eval = engine.evaluate(&pos);
+        ops.add(&eval.ops);
+        forces = force_field(engine.system(), engine.born(), &pos, &start, approx, md);
         // Second kick.
         for i in 0..n {
             vel[i] += forces[i] * (0.5 * dt * ACC / masses[i]);
         }
-        // Record the GB energy on the *current* system snapshot.
-        let raw = crate::naive::epol_naive_raw(&sys, &born, MathMode::Exact).0;
-        energies.push(crate::gb::epol_from_raw_sum(raw, approx.eps_solvent));
+        energies.push(eval.energy_kcal);
     }
 
     let max_displacement = pos
@@ -110,6 +122,9 @@ pub fn run_md(mol: &Molecule, approx: &ApproxParams, md: &MdParams, steps: usize
         energies,
         max_displacement,
         positions: pos,
+        lists_reused: engine.lists_reused,
+        lists_rebuilt: engine.lists_rebuilt,
+        ops,
     }
 }
 
@@ -123,9 +138,10 @@ fn force_field(
     approx: &ApproxParams,
     md: &MdParams,
 ) -> Vec<Vec3> {
-    // Forces are computed on the snapshot geometry inside `sys`; between
-    // refreshes we keep them frozen (standard multiple-time-step trick)
-    // and only the restraint follows the live positions.
+    // Forces are computed on the snapshot geometry inside `sys` (the list
+    // engine refreshes its Morton-ordered positions every evaluate, so
+    // only node bounds/aggregates lag by at most skin/2); the restraint
+    // follows the live positions.
     let (sorted, _) = forces_cutoff(sys, born, approx.eps_solvent, md.cutoff, approx.math);
     let mut f = crate::forces::forces_original_order(sys, &sorted);
     if md.restraint_k > 0.0 {
@@ -155,6 +171,9 @@ mod tests {
             "atoms flew {} Å in 10 fs",
             report.max_displacement
         );
+        // Every step either reused or rebuilt, plus the initial build.
+        assert_eq!(report.lists_reused + report.lists_rebuilt, 11);
+        assert!(report.ops.total() > 0);
     }
 
     #[test]
@@ -164,6 +183,8 @@ mod tests {
         assert!(report.energies.is_empty());
         assert_eq!(report.max_displacement, 0.0);
         assert_eq!(report.positions, mol.positions);
+        assert_eq!(report.lists_reused, 0);
+        assert_eq!(report.lists_rebuilt, 1);
     }
 
     #[test]
@@ -193,5 +214,46 @@ mod tests {
             tight.max_displacement,
             loose.max_displacement
         );
+    }
+
+    #[test]
+    fn skin_reuses_lists_on_most_steps() {
+        // Restrained ligand dynamics moves ≪ 0.25 Å/step, so a 0.5 Å
+        // skin must serve the majority of steps from prebuilt lists.
+        let mol = synth::ligand("md", 30, 5);
+        let report = run_md(
+            &mol,
+            &ApproxParams::default(),
+            &MdParams {
+                skin: 0.5,
+                ..Default::default()
+            },
+            12,
+        );
+        assert!(
+            report.lists_reused > report.lists_rebuilt,
+            "reused {} vs rebuilt {}",
+            report.lists_reused,
+            report.lists_rebuilt
+        );
+    }
+
+    #[test]
+    fn zero_skin_rebuilds_every_step() {
+        let mol = synth::ligand("md", 20, 3);
+        let steps = 6;
+        let report = run_md(
+            &mol,
+            &ApproxParams::default(),
+            &MdParams {
+                skin: 0.0,
+                ..Default::default()
+            },
+            steps,
+        );
+        // Atoms move every step (forces are nonzero), so skin 0 rebuilds
+        // on every evaluate plus the initial build.
+        assert_eq!(report.lists_rebuilt, steps as u64 + 1);
+        assert_eq!(report.lists_reused, 0);
     }
 }

@@ -1,0 +1,98 @@
+//! Property: the Verlet-skin revalidation protocol never serves stale
+//! interaction lists past its contract. The [`ListEngine`] may reuse
+//! lists only while `max_disp <= skin/2` (the boundary itself is a legal
+//! reuse — the inflation covers it); the moment the tracked displacement
+//! exceeds the threshold it must rebuild, and a rebuild must leave the
+//! engine bit-identical to a freshly constructed one at the same
+//! geometry (no state leaks across the rebuild).
+
+use polaroct_core::lists::ListEngine;
+use polaroct_core::ApproxParams;
+use polaroct_molecule::synth;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn skin_boundary_is_exact_and_rebuilds_match_fresh_engines(
+        n in 15usize..40,
+        seed in 0u64..500,
+        skin_i in 0usize..3,
+        atom_sel in 0usize..1000,
+    ) {
+        let skin = [0.6, 1.0, 1.6][skin_i];
+        let mol = synth::ligand("prop", n, seed);
+        let approx = ApproxParams::default();
+        let mut engine = ListEngine::new(&mol, &approx, skin);
+        prop_assert_eq!(engine.lists_rebuilt, 1);
+
+        let mut pos = mol.positions.clone();
+        let k = atom_sel % n;
+        let anchor = mol.positions[k].x;
+
+        // 1. Jitter one atom to *exactly* the rebuild boundary: the
+        //    largest representable coordinate whose displacement is
+        //    still <= skin/2 (`anchor + skin/2` rounds, so walk the last
+        //    ulps explicitly). Boundary reuse is legal — the skin
+        //    inflation covers a displacement of exactly skin/2 — and
+        //    must be taken.
+        let mut cand = anchor + skin * 0.5;
+        for _ in 0..4 {
+            if cand - anchor <= skin * 0.5 {
+                break;
+            }
+            cand = cand.next_down();
+        }
+        prop_assert!(cand - anchor <= skin * 0.5 && cand > anchor);
+        pos[k].x = cand;
+        let eval = engine.evaluate(&pos);
+        prop_assert!(!eval.rebuilt,
+            "boundary displacement {} rebuilt at skin {}", eval.max_disp, skin);
+        prop_assert!(eval.max_disp <= skin * 0.5);
+        prop_assert!(eval.max_disp > 0.49 * skin, "jitter missed the boundary region");
+        prop_assert!(eval.energy_kcal.is_finite());
+
+        // 2. The smallest step past the boundary: lists are now stale
+        //    and must NOT be used — the engine has to rebuild.
+        let mut past = cand;
+        for _ in 0..4 {
+            past = past.next_up();
+            if past - anchor > skin * 0.5 {
+                break;
+            }
+        }
+        prop_assert!(past - anchor > skin * 0.5);
+        pos[k].x = past;
+        let eval = engine.evaluate(&pos);
+        prop_assert!(eval.rebuilt,
+            "displacement {} > skin/2 {} served stale lists", eval.max_disp, skin * 0.5);
+
+        // 3. The rebuild must match a fresh engine at the same geometry
+        //    bit-for-bit: energy, raw sum, and Born radii.
+        let mut fresh_mol = mol.clone();
+        fresh_mol.positions.copy_from_slice(&pos);
+        let mut fresh = ListEngine::new(&fresh_mol, &approx, skin);
+        let fresh_eval = fresh.evaluate(&pos);
+        prop_assert!(!fresh_eval.rebuilt); // unmoved since its own build
+        prop_assert_eq!(eval.raw.to_bits(), fresh_eval.raw.to_bits(),
+            "rebuilt raw {} vs fresh {}", eval.raw, fresh_eval.raw);
+        prop_assert_eq!(eval.energy_kcal.to_bits(), fresh_eval.energy_kcal.to_bits());
+        for (a, b) in engine.born().iter().zip(fresh.born()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "born radius {} vs {}", a, b);
+        }
+
+        // 4. After the rebuild the reference geometry has been reset:
+        //    small drift reuses again, drift past skin/2 rebuilds again —
+        //    the protocol is stateless across rebuilds.
+        let rebuilds_before = engine.lists_rebuilt;
+        pos[k].y += skin * 0.25;
+        let eval = engine.evaluate(&pos);
+        prop_assert!(!eval.rebuilt);
+        pos[k].y += skin * 0.5;
+        let eval = engine.evaluate(&pos);
+        prop_assert!(eval.rebuilt);
+        prop_assert_eq!(engine.lists_rebuilt, rebuilds_before + 1);
+        prop_assert_eq!(engine.lists_reused, 2);
+    }
+}

@@ -215,6 +215,35 @@ impl Octree {
             .collect()
     }
 
+    /// Inflate every node's bounding-sphere radius by `margin` (a
+    /// Verlet-style skin). Classification decisions made against the
+    /// inflated radii stay conservative while no point has moved more
+    /// than `margin / 2` from where the tree was built: for any two
+    /// nodes whose *inflated* spheres pass a separation test, the true
+    /// current spheres still pass it after both sides drift by up to
+    /// `margin / 2` each. Topology, centers and point order are
+    /// untouched, so `check_invariants` still holds (containment only
+    /// loosens). No-op for `margin == 0` at the bit level: `r + 0.0 == r`
+    /// for the non-negative radii a build produces.
+    pub fn inflate_radii(&mut self, margin: f64) {
+        for n in &mut self.nodes {
+            n.radius += margin;
+        }
+    }
+
+    /// Largest distance from `id`'s center to any point it contains
+    /// (its tight bounding radius right now, as opposed to the stored
+    /// `radius`, which is build-time and possibly inflated). Used to
+    /// audit how much slack a skin margin actually leaves.
+    pub fn max_extent(&self, id: NodeId) -> f64 {
+        let n = self.node(id);
+        let mut m = 0.0f64;
+        for i in n.range() {
+            m = m.max(n.center.dist(self.points[i]));
+        }
+        m
+    }
+
     /// Heap bytes held by the tree (§V.B memory accounting).
     pub fn memory_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<Node>()
@@ -382,6 +411,36 @@ mod tests {
         assert_eq!(ranges.len(), 4);
         assert_eq!(ranges[0], 0..1);
         assert!(ranges[1..].iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn inflate_radii_keeps_invariants_and_zero_is_identity() {
+        let t0 = tree(800, 11, 16);
+        let mut t = t0.clone();
+        t.inflate_radii(0.0);
+        assert_eq!(t.content_digest(), t0.content_digest(), "zero skin must be a bit-level no-op");
+        t.inflate_radii(1.5);
+        t.check_invariants().unwrap();
+        for (n, n0) in t.nodes.iter().zip(&t0.nodes) {
+            assert_eq!(n.radius, n0.radius + 1.5);
+            assert_eq!(n.center, n0.center);
+        }
+    }
+
+    #[test]
+    fn max_extent_is_within_stored_radius() {
+        let mut t = tree(600, 17, 8);
+        for &lid in &t.leaf_ids.clone() {
+            let ext = t.max_extent(lid);
+            assert!(ext <= t.node(lid).radius + 1e-9);
+        }
+        // After inflation the slack is at least the margin.
+        let margin = 2.0;
+        t.inflate_radii(margin);
+        for &lid in &t.leaf_ids.clone() {
+            let ext = t.max_extent(lid);
+            assert!(t.node(lid).radius - ext >= margin - 1e-9);
+        }
     }
 
     #[test]

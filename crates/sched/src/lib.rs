@@ -38,6 +38,7 @@
 // its SAFETY comment; see `slice::SyncSlice` for the audited pattern.
 #![deny(unsafe_code)]
 
+pub mod chunk;
 pub mod pool;
 pub mod radix;
 pub mod reduce;
@@ -45,6 +46,7 @@ pub mod sim;
 mod slice;
 pub mod sync;
 
+pub use chunk::partition_by_cost;
 pub use pool::{PoolMetrics, WorkStealingPool};
 pub use radix::par_sort_pairs;
 pub use sim::{SimOutcome, StealSimParams, StealSimulator};
