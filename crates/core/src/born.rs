@@ -21,8 +21,8 @@
 //! precisely why its error drifts with `P` (partial leaves get different
 //! pseudo-particle aggregates — §IV.A's observation).
 
-use crate::naive::born_radius_from_integral;
-use crate::soa::QLeafSoa;
+use crate::naive::born_radii_from_integrals;
+use crate::soa::{QView, CHUNK};
 use crate::system::GbSystem;
 use polaroct_cluster::simtime::OpCounts;
 use polaroct_geom::fastmath::MathMode;
@@ -120,32 +120,19 @@ impl QLeafView {
 
 /// Fig. 2 `APPROX-INTEGRALS` for one whole quadrature leaf against the
 /// atoms tree rooted at `a_node`. Returns op counts (the caller charges
-/// them to its clock / task-cost vector).
+/// them to its clock / task-cost vector). The leaf's SoA image is a
+/// zero-copy slice of the persistent q-point arena — no gather.
 pub fn approx_integrals(
     sys: &GbSystem,
     q_leaf: NodeId,
     eps_born: f64,
     acc: &mut BornAccumulators,
 ) -> OpCounts {
-    let mut scratch = QLeafSoa::default();
-    approx_integrals_scratch(sys, q_leaf, eps_born, acc, &mut scratch)
-}
-
-/// [`approx_integrals`] with a caller-owned SoA scratch buffer, so a sweep
-/// over many leaves (serial driver, or one worker's block in the threaded
-/// driver) reuses the gather allocations.
-pub fn approx_integrals_scratch(
-    sys: &GbSystem,
-    q_leaf: NodeId,
-    eps_born: f64,
-    acc: &mut BornAccumulators,
-    scratch: &mut QLeafSoa,
-) -> OpCounts {
     let view = QLeafView::whole(sys, q_leaf);
-    scratch.gather(sys, view.range.clone());
+    let qv = sys.q_arena.view(view.range.clone());
     let mut ops = OpCounts::default();
     let mac = mac_multiplier(eps_born);
-    recurse(sys, 0, &view, scratch, mac, acc, &mut ops);
+    recurse(sys, 0, &view, qv, mac, acc, &mut ops);
     ops
 }
 
@@ -158,15 +145,15 @@ pub fn approx_integrals_custom_mac(
     acc: &mut BornAccumulators,
 ) -> OpCounts {
     let view = QLeafView::whole(sys, q_leaf);
-    let mut soa = QLeafSoa::default();
-    soa.gather(sys, view.range.clone());
+    let qv = sys.q_arena.view(view.range.clone());
     let mut ops = OpCounts::default();
-    recurse(sys, 0, &view, &soa, mac, acc, &mut ops);
+    recurse(sys, 0, &view, qv, mac, acc, &mut ops);
     ops
 }
 
 /// `APPROX-INTEGRALS` over the intersection of a quadrature leaf with an
-/// index range (q-point-based work division).
+/// index range (q-point-based work division). The clipped range is still
+/// contiguous in Morton order, so it too is a plain arena slice.
 pub fn approx_integrals_clipped(
     sys: &GbSystem,
     q_leaf: NodeId,
@@ -176,10 +163,9 @@ pub fn approx_integrals_clipped(
 ) -> OpCounts {
     let mut ops = OpCounts::default();
     if let Some(view) = QLeafView::clipped(sys, q_leaf, clip) {
-        let mut soa = QLeafSoa::default();
-        soa.gather(sys, view.range.clone());
+        let qv = sys.q_arena.view(view.range.clone());
         let mac = mac_multiplier(eps_born);
-        recurse(sys, 0, &view, &soa, mac, acc, &mut ops);
+        recurse(sys, 0, &view, qv, mac, acc, &mut ops);
     }
     ops
 }
@@ -196,7 +182,7 @@ fn recurse(
     sys: &GbSystem,
     a_id: NodeId,
     q: &QLeafView,
-    q_soa: &QLeafSoa,
+    qv: QView<'_>,
     mac: f64,
     acc: &mut BornAccumulators,
     ops: &mut OpCounts,
@@ -214,15 +200,13 @@ fn recurse(
         return;
     }
     if a.is_leaf() {
-        // Exact leaf-leaf block over the gathered SoA image of `q`.
-        for ai in a.range() {
-            acc.atom[ai] += q_soa.born_term(sys.atoms.points[ai]);
-        }
+        // Exact leaf-leaf block over the flat SoA view of `q`.
+        sys.born_block_terms(qv, a.range(), |ai, t| acc.atom[ai] += t);
         ops.born_near += (a.len() * q.range.len()) as u64;
         return;
     }
     for c in a.children() {
-        recurse(sys, c, q, q_soa, mac, acc, ops);
+        recurse(sys, c, q, qv, mac, acc, ops);
     }
 }
 
@@ -264,8 +248,23 @@ fn push_recurse(
     if node.is_leaf() {
         let lo = node.range().start.max(range.start);
         let hi = node.range().end.min(range.end);
-        for ((o, &a), &r) in out[lo..hi].iter_mut().zip(&acc.atom[lo..hi]).zip(&sys.radius[lo..hi]) {
-            *o = born_radius_from_integral(a + s, r, math);
+        // Stage `per-atom integral + inherited ancestor sum` into chunk
+        // blocks and finalize through the lane-batched invcbrt path —
+        // bit-identical per element to the scalar finalization.
+        let mut ib = [0.0f64; CHUNK];
+        let mut base = lo;
+        while base < hi {
+            let m = CHUNK.min(hi - base);
+            for (k, &a) in acc.atom[base..base + m].iter().enumerate() {
+                ib[k] = a + s;
+            }
+            born_radii_from_integrals(
+                &ib[..m],
+                &sys.radius[base..base + m],
+                math,
+                &mut out[base..base + m],
+            );
+            base += m;
         }
         return;
     }

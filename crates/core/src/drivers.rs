@@ -294,6 +294,11 @@ pub struct RunReport {
     pub ops: OpCounts,
     /// Bytes one process replica holds.
     pub memory_per_process: usize,
+    /// Bytes held by the persistent flat leaf arenas (q-surface + atom
+    /// SoA mirrors in Morton order); a subset of
+    /// [`RunReport::memory_per_process`], surfaced separately so the
+    /// arena cost of the lane-batched kernels is visible in reports.
+    pub memory_arena_bytes: usize,
     /// Cores the configuration uses.
     pub cores: usize,
     /// Measured host wall-clock seconds for the whole run. For the
@@ -354,6 +359,7 @@ pub fn run_naive(
         wait: 0.0,
         ops,
         memory_per_process: sys.memory_bytes(),
+        memory_arena_bytes: sys.arena_bytes(),
         cores: 1,
         wall_seconds: wall.elapsed().as_secs_f64(),
         phases: PhaseTimes {
@@ -438,6 +444,7 @@ pub fn run_serial(
             + bins.memory_bytes()
             + born_lists.memory_bytes()
             + epol_lists.memory_bytes(),
+        memory_arena_bytes: sys.arena_bytes(),
         cores: 1,
         wall_seconds: wall.elapsed().as_secs_f64(),
         phases: PhaseTimes {
@@ -531,6 +538,7 @@ pub fn run_oct_cilk(
             + bins.memory_bytes()
             + born_lists.memory_bytes()
             + epol_lists.memory_bytes(),
+        memory_arena_bytes: sys.arena_bytes(),
         cores: threads,
         wall_seconds: wall.elapsed().as_secs_f64(),
         phases: PhaseTimes {
@@ -781,6 +789,7 @@ pub fn run_oct_threads_ft(
             + bins.memory_bytes()
             + born_lists.memory_bytes()
             + epol_lists.memory_bytes(),
+        memory_arena_bytes: sys.arena_bytes(),
         cores: threads,
         wall_seconds: wall.elapsed().as_secs_f64(),
         phases: PhaseTimes {
@@ -1327,6 +1336,7 @@ fn run_fig4(
         wait,
         ops,
         memory_per_process: sys.memory_bytes(),
+        memory_arena_bytes: sys.arena_bytes(),
         cores: cluster.placement.total_cores(),
         wall_seconds: wall.elapsed().as_secs_f64(),
         // Ranks run sequentially on the host with phases interleaved, so

@@ -12,7 +12,7 @@
 use crate::born::BornAccumulators;
 use crate::epol::ChargeBins;
 use crate::naive::born_radius_from_integral;
-use crate::soa::{AtomSoa, QLeafSoa};
+use crate::soa::StillScratch;
 use crate::system::GbSystem;
 use polaroct_cluster::simtime::OpCounts;
 use polaroct_geom::fastmath::MathMode;
@@ -25,8 +25,7 @@ pub fn born_radii_dual(sys: &GbSystem, eps_born: f64, math: MathMode) -> (Vec<f6
     let mac = (theta + 1.0) / (theta - 1.0);
     let mut acc = BornAccumulators::zeros(sys);
     let mut ops = OpCounts::default();
-    let mut scratch = QLeafSoa::default();
-    born_recurse(sys, 0, 0, mac, &mut acc, &mut scratch, &mut ops);
+    born_recurse(sys, 0, 0, mac, &mut acc, &mut ops);
     // Reuse the single-tree push (it is exact given the accumulators).
     let mut out = vec![0.0; sys.n_atoms()];
     ops.add(&crate::born::push_integrals_to_atoms(
@@ -45,7 +44,6 @@ fn born_recurse(
     q_id: NodeId,
     mac: f64,
     acc: &mut BornAccumulators,
-    scratch: &mut QLeafSoa,
     ops: &mut OpCounts,
 ) {
     let a = sys.atoms.node(a_id);
@@ -63,22 +61,20 @@ fn born_recurse(
     match (a.is_leaf(), q.is_leaf()) {
         (true, true) => {
             // One kernel implementation for every path: the same
-            // SoA-batched leaf kernel the serial, threaded and list
-            // engines use (`QLeafSoa::born_term`).
-            scratch.gather(sys, q.range());
-            for ai in a.range() {
-                acc.atom[ai] += scratch.born_term(sys.atoms.points[ai]);
-            }
+            // lane-batched leaf kernel the serial, threaded and list
+            // engines use, over a zero-copy q-arena slice.
+            let qv = sys.q_arena.view(q.range());
+            sys.born_block_terms(qv, a.range(), |ai, t| acc.atom[ai] += t);
             ops.born_near += (a.len() * q.len()) as u64;
         }
         (true, false) => {
             for qc in q.children() {
-                born_recurse(sys, a_id, qc, mac, acc, scratch, ops);
+                born_recurse(sys, a_id, qc, mac, acc, ops);
             }
         }
         (false, true) => {
             for ac in a.children() {
-                born_recurse(sys, ac, q_id, mac, acc, scratch, ops);
+                born_recurse(sys, ac, q_id, mac, acc, ops);
             }
         }
         (false, false) => {
@@ -86,11 +82,11 @@ fn born_recurse(
             // refinement rule — shrinks the acceptance gap fastest).
             if a.radius >= q.radius {
                 for ac in a.children() {
-                    born_recurse(sys, ac, q_id, mac, acc, scratch, ops);
+                    born_recurse(sys, ac, q_id, mac, acc, ops);
                 }
             } else {
                 for qc in q.children() {
-                    born_recurse(sys, a_id, qc, mac, acc, scratch, ops);
+                    born_recurse(sys, a_id, qc, mac, acc, ops);
                 }
             }
         }
@@ -110,7 +106,7 @@ pub fn epol_dual_raw(
 ) -> (f64, OpCounts) {
     let mac = 1.0 + 2.0 / eps_epol;
     let mut ops = OpCounts::default();
-    let mut scratch = AtomSoa::default();
+    let mut scratch = StillScratch::default();
     let raw = epol_recurse(sys, bins, born, 0, 0, mac, math, &mut scratch, &mut ops);
     (raw, ops)
 }
@@ -124,7 +120,7 @@ fn epol_recurse(
     v_id: NodeId,
     mac: f64,
     math: MathMode,
-    scratch: &mut AtomSoa,
+    scratch: &mut StillScratch,
     ops: &mut OpCounts,
 ) -> f64 {
     let u = sys.atoms.node(u_id);
@@ -163,15 +159,12 @@ fn epol_recurse(
 
     match (u.is_leaf(), v.is_leaf()) {
         (true, true) => {
-            // Shared SoA kernel: `AtomSoa::still_term` is bit-identical
-            // to the scalar `q·inv_f_gb` accumulation it replaces (see
-            // soa.rs's `still_term_bit_identical_to_scalar_kernel`).
-            scratch.gather(sys, born, v.range());
-            let mut raw = 0.0;
-            for ui in u.range() {
-                let term = scratch.still_term(sys.atoms.points[ui], born[ui], math);
-                raw += sys.charge[ui] * term;
-            }
+            // Shared SoA kernel: the block-form lane-batched STILL kernel
+            // is bit-identical to the scalar `q·inv_f_gb` accumulation it
+            // replaces (soa.rs's `still_term_bit_identical_to_scalar_kernel`),
+            // over a zero-copy atom-arena slice.
+            let vv = sys.atom_arena.view(born, v.range());
+            let raw = sys.still_block_raw(born, u.range(), vv, math, scratch);
             ops.epol_near += (u.len() * v.len()) as u64;
             raw
         }

@@ -17,7 +17,7 @@
 //! All functions return the **raw** ordered-pair sum; drivers convert via
 //! [`crate::gb::epol_from_raw_sum`].
 
-use crate::soa::AtomSoa;
+use crate::soa::{AtomView, StillScratch};
 use crate::system::GbSystem;
 use polaroct_cluster::simtime::OpCounts;
 use polaroct_geom::fastmath::MathMode;
@@ -112,14 +112,16 @@ impl ChargeBins {
 
     /// Heap bytes (the binning's memory is O(nodes · M_ε), still
     /// ε-independent in the paper's sense: it does not grow with the
-    /// interaction range).
+    /// interaction range). Capacity-based like the other accountings.
     pub fn memory_bytes(&self) -> usize {
-        self.per_node.len() * 8 + self.rr_table.len() * 8 + self.atom_bin.len() * 2
+        self.per_node.capacity() * 8 + self.rr_table.capacity() * 8 + self.atom_bin.capacity() * 2
     }
 }
 
 /// Raw E_pol contribution of leaf `V` against the whole atoms tree
-/// (Fig. 4 Step 6 assigns each rank a segment of such leaves).
+/// (Fig. 4 Step 6 assigns each rank a segment of such leaves). The leaf's
+/// SoA image is a zero-copy slice of the persistent atom arena — no
+/// gather, no scratch buffer.
 pub fn approx_epol_leaf(
     sys: &GbSystem,
     bins: &ChargeBins,
@@ -128,26 +130,11 @@ pub fn approx_epol_leaf(
     eps_epol: f64,
     math: MathMode,
 ) -> (f64, OpCounts) {
-    let mut scratch = AtomSoa::default();
-    approx_epol_leaf_scratch(sys, bins, born, v_leaf, eps_epol, math, &mut scratch)
-}
-
-/// [`approx_epol_leaf`] with a caller-owned SoA scratch buffer, so a
-/// sweep over many leaves reuses the gather allocations.
-#[allow(clippy::too_many_arguments)]
-pub fn approx_epol_leaf_scratch(
-    sys: &GbSystem,
-    bins: &ChargeBins,
-    born: &[f64],
-    v_leaf: NodeId,
-    eps_epol: f64,
-    math: MathMode,
-    scratch: &mut AtomSoa,
-) -> (f64, OpCounts) {
     let mut ops = OpCounts::default();
     let mac = 1.0 + 2.0 / eps_epol;
-    let v = VLeafView::whole(sys, bins, born, v_leaf, scratch);
-    let raw = epol_recurse(sys, bins, born, 0, &v, mac, math, &mut ops);
+    let v = VLeafView::whole(sys, bins, born, v_leaf);
+    let mut scratch = StillScratch::default();
+    let raw = epol_recurse(sys, bins, born, 0, &v, mac, math, &mut scratch, &mut ops);
     (raw, ops)
 }
 
@@ -165,53 +152,52 @@ pub fn approx_epol_leaf_clipped(
 ) -> (f64, OpCounts) {
     let mut ops = OpCounts::default();
     let mac = 1.0 + 2.0 / eps_epol;
-    let mut scratch = AtomSoa::default();
-    match VLeafView::clipped(sys, bins, born, v_leaf, clip, &mut scratch) {
+    match VLeafView::clipped(sys, bins, born, v_leaf, clip) {
         Some(v) => {
-            let raw = epol_recurse(sys, bins, born, 0, &v, mac, math, &mut ops);
+            let mut scratch = StillScratch::default();
+            let raw = epol_recurse(sys, bins, born, 0, &v, mac, math, &mut scratch, &mut ops);
             (raw, ops)
         }
         None => (0.0, ops),
     }
 }
 
-/// A (possibly clipped) target leaf with its bin sums and the SoA gather
-/// of its atoms (positions, charges, Born radii) for the exact kernel.
+/// A (possibly clipped) target leaf with its bin sums and the flat SoA
+/// view of its atoms (positions, charges, Born radii) for the exact
+/// kernel. Both whole and clipped ranges are contiguous in Morton order,
+/// so the view is always a plain arena slice.
 struct VLeafView<'a> {
     center: polaroct_geom::Vec3,
     radius: f64,
     range: Range<usize>,
     /// `q_V[k]`; borrowed for whole leaves, recomputed for clipped ones.
     bins: Vec<f64>,
-    soa: &'a AtomSoa,
+    view: AtomView<'a>,
 }
 
 impl<'a> VLeafView<'a> {
     fn whole(
-        sys: &GbSystem,
+        sys: &'a GbSystem,
         bins: &ChargeBins,
-        born: &[f64],
+        born: &'a [f64],
         leaf: NodeId,
-        scratch: &'a mut AtomSoa,
     ) -> VLeafView<'a> {
         let n = sys.atoms.node(leaf);
-        scratch.gather(sys, born, n.range());
         VLeafView {
             center: n.center,
             radius: n.radius,
             range: n.range(),
             bins: bins.of(leaf).to_vec(),
-            soa: scratch,
+            view: sys.atom_arena.view(born, n.range()),
         }
     }
 
     fn clipped(
-        sys: &GbSystem,
+        sys: &'a GbSystem,
         bins: &ChargeBins,
-        born: &[f64],
+        born: &'a [f64],
         leaf: NodeId,
         clip: &Range<usize>,
-        scratch: &'a mut AtomSoa,
     ) -> Option<VLeafView<'a>> {
         let n = sys.atoms.node(leaf);
         let lo = n.range().start.max(clip.start);
@@ -220,7 +206,7 @@ impl<'a> VLeafView<'a> {
             return None;
         }
         if lo == n.range().start && hi == n.range().end {
-            return Some(VLeafView::whole(sys, bins, born, leaf, scratch));
+            return Some(VLeafView::whole(sys, bins, born, leaf));
         }
         let mut c = polaroct_geom::Vec3::ZERO;
         for i in lo..hi {
@@ -233,13 +219,12 @@ impl<'a> VLeafView<'a> {
             r2 = r2.max(c.dist2(sys.atoms.points[i]));
             qv[bins.atom_bin[i] as usize] += sys.charge[i];
         }
-        scratch.gather(sys, born, lo..hi);
         Some(VLeafView {
             center: c,
             radius: r2.sqrt(),
             range: lo..hi,
             bins: qv,
-            soa: scratch,
+            view: sys.atom_arena.view(born, lo..hi),
         })
     }
 }
@@ -253,6 +238,7 @@ fn epol_recurse(
     v: &VLeafView,
     mac: f64,
     math: MathMode,
+    scratch: &mut StillScratch,
     ops: &mut OpCounts,
 ) -> f64 {
     let u = sys.atoms.node(u_id);
@@ -261,12 +247,9 @@ fn epol_recurse(
     if u.is_leaf() {
         // Exact leaf-leaf block (includes u == v self terms when the
         // ranges overlap — exactly the ordered-pair semantics of Eq. 2),
-        // via the chunked SoA STILL kernel over `v`'s gathered image.
-        let mut raw = 0.0;
-        for ui in u.range() {
-            let term = v.soa.still_term(sys.atoms.points[ui], born[ui], math);
-            raw += sys.charge[ui] * term;
-        }
+        // via the block-form lane-batched SoA STILL kernel over `v`'s
+        // arena slice.
+        let raw = sys.still_block_raw(born, u.range(), v.view, math, scratch);
         ops.epol_near += (u.len() * v.range.len()) as u64;
         return raw;
     }
@@ -298,7 +281,7 @@ fn epol_recurse(
 
     let mut raw = 0.0;
     for c in u.children() {
-        raw += epol_recurse(sys, bins, born, c, v, mac, math, ops);
+        raw += epol_recurse(sys, bins, born, c, v, mac, math, scratch, ops);
     }
     raw
 }
@@ -314,9 +297,8 @@ pub fn epol_octree_raw(
 ) -> (f64, OpCounts) {
     let mut raw = 0.0;
     let mut ops = OpCounts::default();
-    let mut scratch = AtomSoa::default();
     for &v in &sys.atoms.leaf_ids {
-        let (r, o) = approx_epol_leaf_scratch(sys, bins, born, v, eps_epol, math, &mut scratch);
+        let (r, o) = approx_epol_leaf(sys, bins, born, v, eps_epol, math);
         raw += r;
         ops.add(&o);
     }

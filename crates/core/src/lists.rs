@@ -12,8 +12,10 @@
 //!    flow* — identical branch tests on identical floats, in identical
 //!    order — but emits a flat list of [`ListEntry`] records instead of
 //!    evaluating kernels, and
-//! 2. an **execution pass** that sweeps the list through the existing
-//!    `soa.rs` batched kernels in two phases:
+//! 2. an **execution pass** that sweeps the list through the `soa.rs`
+//!    lane-batched kernels, reading straight from the persistent flat
+//!    leaf arenas in [`GbSystem`] (zero gather traffic — every leaf is a
+//!    slice of the Morton-ordered arenas, DESIGN.md §12), in two phases:
 //!    * **Phase A** (parallelizable): every entry's kernel output is a
 //!      *pure function* of the system — a per-atom vector for Born near
 //!      entries, one scalar otherwise — computed over cost-balanced
@@ -42,7 +44,7 @@ use crate::born::{push_integrals_to_atoms, BornAccumulators};
 use crate::epol::ChargeBins;
 use crate::gb::epol_from_raw_sum;
 use crate::params::ApproxParams;
-use crate::soa::{AtomSoa, QLeafSoa};
+use crate::soa::StillScratch;
 use crate::system::GbSystem;
 use polaroct_cluster::simtime::OpCounts;
 use polaroct_geom::fastmath::MathMode;
@@ -167,21 +169,27 @@ impl BornLists {
         self.entries.is_empty()
     }
 
-    /// Heap bytes held by the list structure.
+    /// Heap bytes held by the list structure (capacity-based — the entry
+    /// vector is grown by pushes, so its reserved tail is resident too).
     pub fn memory_bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<ListEntry>()
-            + self.chunks.len() * std::mem::size_of::<Range<usize>>()
+        self.entries.capacity() * std::mem::size_of::<ListEntry>()
+            + self.chunks.capacity() * std::mem::size_of::<Range<usize>>()
     }
 
     /// Phase A for one chunk: the flat kernel outputs of its entries, in
     /// entry order — `len(a)` values for a near entry (one per atom slot,
     /// in range order), one value for a far entry. Pure: no shared state,
-    /// so any number of chunks may run concurrently.
+    /// so any number of chunks may run concurrently. Near entries slice
+    /// the persistent q-point arena directly (no gather, no per-chunk
+    /// scratch) and read atom positions from the flat atom arena.
     pub fn run_chunk(&self, sys: &GbSystem, c: usize) -> Vec<f64> {
-        let mut out = Vec::new();
-        let mut scratch = QLeafSoa::default();
-        let mut gathered: Option<NodeId> = None;
-        for e in &self.entries[self.chunks[c].clone()] {
+        let entries = &self.entries[self.chunks[c].clone()];
+        let cap: usize = entries
+            .iter()
+            .map(|e| if e.far { 1 } else { sys.atoms.node(e.a).len() })
+            .sum();
+        let mut out = Vec::with_capacity(cap);
+        for e in entries {
             let a = sys.atoms.node(e.a);
             let q = sys.qtree.node(e.b);
             if e.far {
@@ -191,13 +199,8 @@ impl BornLists {
                 let inv2 = 1.0 / r2;
                 out.push(sys.q_node_normal[e.b as usize].dot(d) * inv2 * inv2 * inv2);
             } else {
-                if gathered != Some(e.b) {
-                    scratch.gather(sys, q.range());
-                    gathered = Some(e.b);
-                }
-                for ai in a.range() {
-                    out.push(scratch.born_term(sys.atoms.points[ai]));
-                }
+                let qv = sys.q_arena.view(q.range());
+                sys.born_block_terms(qv, a.range(), |_, t| out.push(t));
             }
         }
         out
@@ -380,14 +383,17 @@ impl EpolLists {
         self.entries.is_empty()
     }
 
+    /// Heap bytes held by the list structure (capacity-based, like
+    /// [`BornLists::memory_bytes`]).
     pub fn memory_bytes(&self) -> usize {
-        self.entries.len() * std::mem::size_of::<ListEntry>()
-            + self.chunks.len() * std::mem::size_of::<Range<usize>>()
+        self.entries.capacity() * std::mem::size_of::<ListEntry>()
+            + self.chunks.capacity() * std::mem::size_of::<Range<usize>>()
     }
 
     /// Phase A for one chunk: one scalar per entry, in entry order. Near
     /// entries evaluate the exact SoA STILL block (the same internal fold
-    /// as the recursion's leaf case); far entries the binned kernel.
+    /// as the recursion's leaf case) over a zero-copy slice of the
+    /// persistent atom arena; far entries the binned kernel.
     pub fn run_chunk(
         &self,
         sys: &GbSystem,
@@ -397,8 +403,7 @@ impl EpolLists {
         c: usize,
     ) -> Vec<f64> {
         let mut out = Vec::with_capacity(self.chunks[c].len());
-        let mut scratch = AtomSoa::default();
-        let mut gathered: Option<NodeId> = None;
+        let mut scratch = StillScratch::default();
         for e in &self.entries[self.chunks[c].clone()] {
             let u = sys.atoms.node(e.a);
             let v = sys.atoms.node(e.b);
@@ -424,16 +429,8 @@ impl EpolLists {
                 }
                 out.push(raw);
             } else {
-                if gathered != Some(e.b) {
-                    scratch.gather(sys, born, v.range());
-                    gathered = Some(e.b);
-                }
-                let mut raw = 0.0;
-                for ui in u.range() {
-                    let term = scratch.still_term(sys.atoms.points[ui], born[ui], math);
-                    raw += sys.charge[ui] * term;
-                }
-                out.push(raw);
+                let vv = sys.atom_arena.view(born, v.range());
+                out.push(sys.still_block_raw(born, u.range(), vv, math, &mut scratch));
             }
         }
         out
@@ -704,6 +701,13 @@ impl ListEngine {
         self.skin
     }
 
+    /// Resident bytes of the engine's persistent state: the prepared
+    /// system (trees + payloads + flat leaf arenas) plus both interaction
+    /// lists.
+    pub fn memory_bytes(&self) -> usize {
+        self.sys.memory_bytes() + self.born_lists.memory_bytes() + self.epol_lists.memory_bytes()
+    }
+
     fn rebuild(&mut self, positions: &[Vec3]) {
         self.work.positions.copy_from_slice(positions);
         self.sys = GbSystem::prepare(&self.work, &self.approx);
@@ -735,12 +739,11 @@ impl ListEngine {
             self.rebuild(positions);
             self.lists_rebuilt += 1;
         } else {
-            // Refresh only the Morton-ordered atom positions; topology,
-            // node centers/aggregates and the surface stay frozen (the
-            // skin-bounded approximation documented on the type).
-            for (i, &o) in self.sys.atoms.point_order.clone().iter().enumerate() {
-                self.sys.atoms.points[i] = positions[o as usize];
-            }
+            // Refresh only the Morton-ordered atom positions (octree
+            // copies + flat atom arena); topology, node centers/aggregates
+            // and the surface stay frozen (the skin-bounded approximation
+            // documented on the type).
+            self.sys.refresh_atom_positions(positions);
             self.lists_reused += 1;
         }
         let math = self.approx.math;

@@ -74,6 +74,10 @@ pub struct MdReport {
     pub lists_rebuilt: u64,
     /// Total kernel ops across all energy evaluations.
     pub ops: OpCounts,
+    /// Bytes held by the list engine at the end of the trajectory
+    /// (prepared system incl. persistent leaf arenas, plus both
+    /// interaction lists).
+    pub memory_bytes: usize,
 }
 
 /// Run `steps` of velocity Verlet on `mol` (masses from the element
@@ -125,6 +129,7 @@ pub fn run_md(mol: &Molecule, approx: &ApproxParams, md: &MdParams, steps: usize
         lists_reused: engine.lists_reused,
         lists_rebuilt: engine.lists_rebuilt,
         ops,
+        memory_bytes: engine.memory_bytes(),
     }
 }
 
@@ -174,6 +179,7 @@ mod tests {
         // Every step either reused or rebuilt, plus the initial build.
         assert_eq!(report.lists_reused + report.lists_rebuilt, 11);
         assert!(report.ops.total() > 0);
+        assert!(report.memory_bytes > 0);
     }
 
     #[test]

@@ -32,6 +32,46 @@ pub fn born_radius_from_integral(s: f64, intrinsic: f64, math: MathMode) -> f64 
     r.clamp(intrinsic, BORN_RADIUS_MAX)
 }
 
+/// Batched [`born_radius_from_integral`] over parallel slices, with the
+/// `invcbrt` routed through [`MathMode::invcbrt_slice`] so the Approx arm
+/// vectorizes (Fig. 2's PUSH step finalization, lane-batched).
+///
+/// Bit-identical per element to the scalar function: the slice op applies
+/// the same `invcbrt` to the same `s/4π`, and the `s ≤ 0` clamp is a
+/// per-element select. Non-positive integrals get a benign placeholder
+/// argument (1.0) so the batched `invcbrt` stays inside its positive
+/// domain; the select then discards that lane's result.
+pub fn born_radii_from_integrals(
+    integrals: &[f64],
+    intrinsic: &[f64],
+    math: MathMode,
+    out: &mut [f64],
+) {
+    use crate::soa::CHUNK;
+    let n = integrals.len();
+    assert!(intrinsic.len() == n && out.len() == n);
+    let four_pi = 4.0 * std::f64::consts::PI;
+    let mut buf = [0.0f64; CHUNK];
+    let mut base = 0;
+    while base < n {
+        let m = CHUNK.min(n - base);
+        for k in 0..m {
+            let s = integrals[base + k];
+            buf[k] = if s <= 0.0 { 1.0 } else { s / four_pi };
+        }
+        math.invcbrt_slice(&mut buf[..m]);
+        for k in 0..m {
+            let s = integrals[base + k];
+            out[base + k] = if s <= 0.0 {
+                BORN_RADIUS_MAX
+            } else {
+                buf[k].clamp(intrinsic[base + k], BORN_RADIUS_MAX)
+            };
+        }
+        base += m;
+    }
+}
+
 /// Exact r⁶ Born radii over the full quadrature set. Returns radii in the
 /// system's Morton atom order plus op counts.
 pub fn born_radii_naive(sys: &GbSystem, math: MathMode) -> (Vec<f64>, OpCounts) {
@@ -267,6 +307,31 @@ mod tests {
         );
         // Huge integral => tiny radius => floored at intrinsic.
         assert_eq!(born_radius_from_integral(1e12, 1.5, MathMode::Exact), 1.5);
+    }
+
+    #[test]
+    fn batched_finalization_matches_scalar_bitwise() {
+        // Sweep lengths across the chunk boundary plus the special lanes:
+        // negative, zero, clamp-to-intrinsic, clamp-to-max.
+        let specials = [-3.0, 0.0, 1e12, 1e-12, 0.7, 12.566, 4.0 * std::f64::consts::PI];
+        for n in [0usize, 1, 5, 63, 64, 65, 200] {
+            let integrals: Vec<f64> =
+                (0..n).map(|i| specials[i % specials.len()] * (1.0 + i as f64 * 0.01)).collect();
+            let intrinsic: Vec<f64> = (0..n).map(|i| 1.0 + 0.01 * i as f64).collect();
+            for math in [MathMode::Exact, MathMode::Approx] {
+                let mut batched = vec![0.0; n];
+                born_radii_from_integrals(&integrals, &intrinsic, math, &mut batched);
+                for i in 0..n {
+                    let scalar = born_radius_from_integral(integrals[i], intrinsic[i], math);
+                    assert_eq!(
+                        batched[i].to_bits(),
+                        scalar.to_bits(),
+                        "i={i} n={n} {math:?}: {} vs {scalar}",
+                        batched[i]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! SoA (structure-of-arrays) leaf kernels.
+//! SoA (structure-of-arrays) leaf kernels, lane-batched, plus the
+//! persistent flat leaf arenas that feed them.
 //!
 //! The octree traversals spend almost all of their near-field time in two
 //! inner loops: the exact leaf–leaf block of `APPROX-INTEGRALS` (r⁶ surface
@@ -7,13 +8,36 @@
 //! auto-vectorization: the lanes are interleaved in memory and the
 //! transcendentals (`exp`, `rsqrt`) are emitted one call at a time.
 //!
-//! This module gathers a leaf's ranges once into flat, reusable scratch
-//! arrays and evaluates the kernels over fixed-width chunks, with the
-//! `exp`/`rsqrt` batched through `MathMode::{exp_slice, rsqrt_slice}` so
-//! LLVM sees straight-line loops over independent lanes. Both the serial
-//! and the threaded drivers route through these kernels, which also makes
-//! their per-leaf partial sums identical by construction (term order is
-//! the gathered index order — see `run_oct_threads`' determinism note).
+//! Two layers fix that (DESIGN.md §12):
+//!
+//! * **Lane-batched kernels** ([`born_term_lanes`], [`still_term_lanes`]):
+//!   every element-wise stage (coordinate diffs, `d²`, reciprocals, dot
+//!   products, the batched `exp`/`rsqrt` slice ops) runs as an independent
+//!   elementwise loop over the lane-covered prefix of a stack chunk buffer
+//!   (`W` lanes per block, scalar remainder), with FMA-shaped `a*b + c`
+//!   expressions. The stages are expressed as plain counted loops over
+//!   full buffers rather than manually unrolled `[f64; W]` blocks on
+//!   purpose: LLVM's loop vectorizer turns the former into packed `pd`
+//!   instructions, while hand-unrolled fixed-width blocks get scalarized
+//!   (measured on the seed host — see `bench/bin/kernel_throughput`).
+//!   Crucially the final accumulator fold stays **scalar and in gathered
+//!   index order** — the per-element terms are staged into a buffer first,
+//!   then summed one at a time. Per element the arithmetic is unchanged
+//!   (same operations, same order), and a sequential in-order sum is the
+//!   same float reduction regardless of how the terms were produced, so
+//!   both kernels are bit-identical to the pre-lane scalar loops at every
+//!   `W` (the width only moves the lane/tail boundary).
+//!
+//! * **Persistent arenas** ([`QArena`], [`AtomArena`]): because the linear
+//!   octree stores points in Morton order and every leaf owns a contiguous
+//!   `range()`, one full-length flat SoA array per field serves *all*
+//!   leaves — a leaf view is plain slicing, no gather. `GbSystem` builds
+//!   both arenas once at `prepare` time; `ListEngine`'s positions-only
+//!   refresh rewrites the atom-arena coordinates in place on skin reuse.
+//!
+//! The gathered scratch types ([`QLeafSoa`], [`AtomSoa`]) remain as the
+//! copy-in path for callers without an arena (and as an independent
+//! reference in tests/benches); they delegate to the same lane kernels.
 
 use crate::system::GbSystem;
 use polaroct_geom::fastmath::MathMode;
@@ -24,9 +48,515 @@ use std::ops::Range;
 /// vector units several times over, small enough to live on the stack.
 pub const CHUNK: usize = 64;
 
-/// Gathered image of one quadrature-leaf range: positions plus
+/// Default lane width for the batched kernels: 8 × f64 = one 512-bit
+/// vector register (two 256-bit ops on AVX2). Bit-identity holds at every
+/// width, so this is purely a throughput knob.
+pub const LANES: usize = 8;
+
+/// Borrowed flat view of a quadrature-point range: positions plus
 /// weight-premultiplied normals (`w_q · n_q`), so the r⁶ integrand needs
 /// one dot product and no extra scale per pair.
+#[derive(Clone, Copy, Debug)]
+pub struct QView<'a> {
+    pub x: &'a [f64],
+    pub y: &'a [f64],
+    pub z: &'a [f64],
+    pub wnx: &'a [f64],
+    pub wny: &'a [f64],
+    pub wnz: &'a [f64],
+}
+
+impl QView<'_> {
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Exact r⁶ surface term of this range at one atom position:
+    /// `Σ_q (w_q n_q)·(p_q − p_a) / |p_q − p_a|⁶`, in index order.
+    #[inline]
+    pub fn born_term(&self, xa: Vec3) -> f64 {
+        born_term_lanes::<LANES>(*self, xa)
+    }
+
+    /// Block form at the default width: `out[k]` gets [`QView::born_term`]
+    /// of this range at atom `k` of the position block. See
+    /// [`born_block_lanes`].
+    #[inline]
+    pub fn born_block(&self, ax: &[f64], ay: &[f64], az: &[f64], out: &mut [f64]) {
+        born_block_lanes::<LANES>(*self, ax, ay, az, out)
+    }
+}
+
+/// Borrowed flat view of an atoms range: positions, charges and Born
+/// radii — the operands of the STILL pair kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct AtomView<'a> {
+    pub x: &'a [f64],
+    pub y: &'a [f64],
+    pub z: &'a [f64],
+    pub q: &'a [f64],
+    pub r: &'a [f64],
+}
+
+impl AtomView<'_> {
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Exact STILL sum of one source atom `(x_u, R_u)` against this range:
+    /// `Σ_v q_v / f_GB(r_uv², R_u, R_v)`, accumulated in index order.
+    #[inline]
+    pub fn still_term(&self, xu: Vec3, ru: f64, math: MathMode) -> f64 {
+        still_term_lanes::<LANES>(*self, xu, ru, math, CHUNK)
+    }
+
+    /// Block form at the default width, with `self` as the *source* block
+    /// (`self.r` holds the sources' Born radii): `out[k]` gets
+    /// [`AtomView::still_term`] of source atom `k` against `v`. See
+    /// [`still_block_lanes`].
+    #[inline]
+    pub fn still_block(
+        &self,
+        v: AtomView<'_>,
+        math: MathMode,
+        scratch: &mut StillScratch,
+        out: &mut [f64],
+    ) {
+        still_block_lanes::<LANES>(*self, v, math, CHUNK, scratch, out)
+    }
+}
+
+/// Lane-batched r⁶ surface kernel over an explicit width `W`.
+///
+/// Stages diffs, `1/d²` and the weighted dot product through chunk-sized
+/// stack buffers as independent elementwise loops over the lane-covered
+/// prefix (`m - m % W`; the remainder uses the identical expressions in
+/// scalar form), then folds the term buffer with a scalar in-order sum.
+/// Per element this is exactly the historical scalar loop
+/// (`d² = dx²+dy²+dz²`, `inv2 = 1/d²`, `term = (w·d)·inv2³`), and the
+/// fold adds the same terms in the same order — so the result is
+/// bit-identical to the scalar kernel for every `W ≥ 1`.
+#[inline]
+pub fn born_term_lanes<const W: usize>(q: QView<'_>, xa: Vec3) -> f64 {
+    let mut out = [0.0f64];
+    born_block_lanes::<W>(q, &[xa.x], &[xa.y], &[xa.z], &mut out);
+    out[0]
+}
+
+/// Block form of the r⁶ surface kernel: the term of the whole q-range at
+/// *each* atom of a position block, `out[k]` for atom `k`.
+///
+/// Per atom this executes exactly the [`born_term_lanes`] sequence (same
+/// expressions, same chunking, same scalar in-order fold), so the block
+/// form is bit-identical to calling the per-atom kernel in a loop. What
+/// it changes is overhead: the chunk staging buffer, the bounds checks
+/// and the call prologue are paid once per leaf×leaf block instead of
+/// once per atom — which dominates at the 8–32-element leaves the octree
+/// produces (measured ~1.6× on the STILL sweep at 200 atoms).
+pub fn born_block_lanes<const W: usize>(
+    q: QView<'_>,
+    ax: &[f64],
+    ay: &[f64],
+    az: &[f64],
+    out: &mut [f64],
+) {
+    let na = out.len();
+    let n = q.len();
+    debug_assert!(W >= 1);
+    debug_assert!(ax.len() == na && ay.len() == na && az.len() == na);
+    debug_assert!(q.y.len() == n && q.z.len() == n);
+    debug_assert!(q.wnx.len() == n && q.wny.len() == n && q.wnz.len() == n);
+    let mut tb = [0.0f64; CHUNK];
+    for k in 0..na {
+        let (pax, pay, paz) = (ax[k], ay[k], az[k]);
+        let mut s = 0.0;
+        let mut base = 0;
+        while base < n {
+            let m = CHUNK.min(n - base);
+            let mb = m - m % W;
+            let xs = &q.x[base..base + m];
+            let ys = &q.y[base..base + m];
+            let zs = &q.z[base..base + m];
+            let wx = &q.wnx[base..base + m];
+            let wy = &q.wny[base..base + m];
+            let wz = &q.wnz[base..base + m];
+            // One elementwise loop over the lane-covered prefix: the body
+            // has no cross-iteration dependency, so the loop vectorizer
+            // packs the whole thing (subs, the d² FMA chain, the divide,
+            // the weighted dot) W/vector-width lanes at a time.
+            for j in 0..mb {
+                let dx = xs[j] - pax;
+                let dy = ys[j] - pay;
+                let dz = zs[j] - paz;
+                let inv2 = 1.0 / (dx * dx + dy * dy + dz * dz);
+                tb[j] = (wx[j] * dx + wy[j] * dy + wz[j] * dz) * (inv2 * inv2 * inv2);
+            }
+            for j in mb..m {
+                let dx = xs[j] - pax;
+                let dy = ys[j] - pay;
+                let dz = zs[j] - paz;
+                let inv2 = 1.0 / (dx * dx + dy * dy + dz * dz);
+                tb[j] = (wx[j] * dx + wy[j] * dy + wz[j] * dz) * (inv2 * inv2 * inv2);
+            }
+            // Scalar in-order fold: this is the only stage whose shape
+            // affects the reduction, and it is byte-for-byte the
+            // historical `s += term`.
+            for &t in &tb[..m] {
+                s += t;
+            }
+            base += m;
+        }
+        out[k] = s;
+    }
+}
+
+/// Lane-batched STILL kernel over an explicit width `W` and a runtime
+/// chunk size (`1..=CHUNK`; the default path uses `CHUNK`).
+///
+/// Distances and exponent arguments are staged into chunk-sized stack
+/// buffers as independent elementwise loops over the lane-covered prefix
+/// (`m - m % W`, scalar remainder), then `exp` and `rsqrt` run over the
+/// whole chunk via the batched [`MathMode`] slice ops. Per element the
+/// arithmetic is exactly `crate::gb::inv_f_gb` (same operations, same
+/// order) and the `acc += q·term` fold is scalar in index order, so the
+/// result is bit-identical to the scalar loop for every `W` and chunk
+/// size — the slice ops themselves are element-wise.
+#[inline]
+pub fn still_term_lanes<const W: usize>(
+    a: AtomView<'_>,
+    xu: Vec3,
+    ru: f64,
+    math: MathMode,
+    chunk: usize,
+) -> f64 {
+    let u = AtomView {
+        x: &[xu.x],
+        y: &[xu.y],
+        z: &[xu.z],
+        q: &[0.0],
+        r: &[ru],
+    };
+    let mut out = [0.0f64];
+    let mut scratch = StillScratch::default();
+    still_block_lanes::<W>(u, a, math, chunk, &mut scratch, &mut out);
+    out[0]
+}
+
+/// Reusable heap staging for the tiled STILL kernel: grown once to the
+/// sweep's largest u×v tile and then reused across every leaf×leaf
+/// block, so the hot path pays no per-block allocation or zeroing.
+/// Contents are scratch only — every staged element is written before it
+/// is read, so a reused (stale) instance gives the same bits as a fresh
+/// one.
+#[derive(Default, Clone, Debug)]
+pub struct StillScratch {
+    d2: Vec<f64>,
+    rr: Vec<f64>,
+    e: Vec<f64>,
+}
+
+impl StillScratch {
+    /// Grow (never shrink) each staging lane to at least `n` elements.
+    fn ensure(&mut self, n: usize) {
+        if self.e.len() < n {
+            self.d2.resize(n, 0.0);
+            self.rr.resize(n, 0.0);
+            self.e.resize(n, 0.0);
+        }
+    }
+}
+
+/// Block form of the STILL kernel: `out[k]` gets the full sum of source
+/// atom `k` of block `u` (position from `u.x/y/z`, Born radius from
+/// `u.r`; `u.q` is the caller's to fold) against the target range `v`.
+///
+/// Per source atom this executes exactly the [`still_term_lanes`]
+/// sequence — same staging expressions, same chunk walk, same fold order
+/// (`out[k]` accumulates chunk after chunk, elements in index order) —
+/// so the block form is bit-identical to calling the per-atom kernel in
+/// a loop over `u`. What changes is batching: each v-chunk is staged for
+/// *all* `u` rows into one flat `nu × m` tile, and the batched
+/// [`MathMode`] slice ops run once over the whole tile instead of once
+/// per source atom. The slice ops are element-wise, so tile-batching
+/// them cannot move a bit — but it feeds `exp`/`rsqrt` vectors of
+/// `nu·m` elements instead of the 8–32 a single octree leaf offers,
+/// which is where small-leaf throughput was going to waste.
+pub fn still_block_lanes<const W: usize>(
+    u: AtomView<'_>,
+    v: AtomView<'_>,
+    math: MathMode,
+    chunk: usize,
+    scratch: &mut StillScratch,
+    out: &mut [f64],
+) {
+    let nu = out.len();
+    let n = v.len();
+    debug_assert!(W >= 1);
+    debug_assert!(u.len() == nu && u.y.len() == nu && u.z.len() == nu && u.r.len() == nu);
+    debug_assert!(v.y.len() == n && v.z.len() == n && v.q.len() == n && v.r.len() == n);
+    let chunk = chunk.clamp(1, CHUNK);
+    scratch.ensure(nu * chunk);
+    for o in out.iter_mut() {
+        *o = 0.0;
+    }
+    let mut base = 0;
+    while base < n {
+        let m = chunk.min(n - base);
+        let mb = m - m % W;
+        let xs = &v.x[base..base + m];
+        let ys = &v.y[base..base + m];
+        let zs = &v.z[base..base + m];
+        let rs = &v.r[base..base + m];
+        let qs = &v.q[base..base + m];
+        let d2b = &mut scratch.d2[..nu * m];
+        let rrb = &mut scratch.rr[..nu * m];
+        let eb = &mut scratch.e[..nu * m];
+        // Stage row `k` (source atom k × this v-chunk) at tile offset
+        // `k·m`. One elementwise loop per row over the lane-covered
+        // prefix (no cross-iteration dependency → fully vectorized:
+        // diffs, the d² FMA chain, the scaled divide for the exponent
+        // argument).
+        for k in 0..nu {
+            let (pux, puy, puz) = (u.x[k], u.y[k], u.z[k]);
+            let ru = u.r[k];
+            let d2r = &mut d2b[k * m..k * m + m];
+            let rrr = &mut rrb[k * m..k * m + m];
+            let er = &mut eb[k * m..k * m + m];
+            for j in 0..mb {
+                let dx = xs[j] - pux;
+                let dy = ys[j] - puy;
+                let dz = zs[j] - puz;
+                let d2 = dx * dx + dy * dy + dz * dz;
+                let rr = ru * rs[j];
+                d2r[j] = d2;
+                rrr[j] = rr;
+                er[j] = -d2 / (4.0 * rr);
+            }
+            for j in mb..m {
+                let dx = xs[j] - pux;
+                let dy = ys[j] - puy;
+                let dz = zs[j] - puz;
+                let d2 = dx * dx + dy * dy + dz * dz;
+                let rr = ru * rs[j];
+                d2r[j] = d2;
+                rrr[j] = rr;
+                er[j] = -d2 / (4.0 * rr);
+            }
+        }
+        // Whole-tile batched transcendentals + f_GB recombination.
+        math.exp_slice(eb);
+        for i in 0..nu * m {
+            eb[i] = d2b[i] + rrb[i] * eb[i];
+        }
+        math.rsqrt_slice(eb);
+        // Per-row scalar fold in index order, carried across chunks via
+        // `out[k]` — byte-for-byte the historical `acc += q·term` walk.
+        for (k, o) in out.iter_mut().enumerate() {
+            let er = &eb[k * m..k * m + m];
+            let mut acc = *o;
+            for j in 0..m {
+                acc += qs[j] * er[j];
+            }
+            *o = acc;
+        }
+        base += m;
+    }
+}
+
+/// Persistent flat arena over *all* quadrature points in Morton order:
+/// positions plus weight-premultiplied normals. Built once per `prepare`;
+/// any leaf (or clipped sub-range — both are contiguous) is a zero-copy
+/// slice via [`QArena::view`]. The q surface never moves between rebuilds,
+/// so this arena is immutable for the lifetime of the octree snapshot.
+#[derive(Default, Clone, Debug)]
+pub struct QArena {
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+    pub z: Vec<f64>,
+    pub wnx: Vec<f64>,
+    pub wny: Vec<f64>,
+    pub wnz: Vec<f64>,
+}
+
+impl QArena {
+    /// Build from Morton-ordered points, normals and weights. The stored
+    /// product `w_q · n_q` uses the same expression as the historical
+    /// gather path, so arena and gather views are bit-interchangeable.
+    pub fn build(points: &[Vec3], normals: &[Vec3], weights: &[f64]) -> QArena {
+        let n = points.len();
+        assert!(normals.len() == n && weights.len() == n);
+        let mut a = QArena {
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            z: Vec::with_capacity(n),
+            wnx: Vec::with_capacity(n),
+            wny: Vec::with_capacity(n),
+            wnz: Vec::with_capacity(n),
+        };
+        for ((p, nrm), &w) in points.iter().zip(normals).zip(weights) {
+            let wn = *nrm * w;
+            a.x.push(p.x);
+            a.y.push(p.y);
+            a.z.push(p.z);
+            a.wnx.push(wn.x);
+            a.wny.push(wn.y);
+            a.wnz.push(wn.z);
+        }
+        a
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Zero-copy view of a contiguous Morton range (leaf or clipped leaf).
+    pub fn view(&self, range: Range<usize>) -> QView<'_> {
+        QView {
+            x: &self.x[range.clone()],
+            y: &self.y[range.clone()],
+            z: &self.z[range.clone()],
+            wnx: &self.wnx[range.clone()],
+            wny: &self.wny[range.clone()],
+            wnz: &self.wnz[range],
+        }
+    }
+
+    /// r⁶ surface term of a range at one atom position (see
+    /// [`QView::born_term`]).
+    #[inline]
+    pub fn born_term(&self, range: Range<usize>, xa: Vec3) -> f64 {
+        self.view(range).born_term(xa)
+    }
+
+    /// Resident bytes (capacity-based, so reserved-but-unused space is
+    /// counted too).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<f64>()
+            * (self.x.capacity()
+                + self.y.capacity()
+                + self.z.capacity()
+                + self.wnx.capacity()
+                + self.wny.capacity()
+                + self.wnz.capacity())
+    }
+}
+
+/// Persistent flat arena over *all* atoms in Morton order: positions and
+/// charges. Born radii live outside (they change per evaluation), so a
+/// view borrows them alongside. Positions are rewritten in place by
+/// [`AtomArena::refresh_positions`] on every skin-reuse step.
+#[derive(Default, Clone, Debug)]
+pub struct AtomArena {
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+    pub z: Vec<f64>,
+    pub q: Vec<f64>,
+}
+
+impl AtomArena {
+    /// Build from Morton-ordered points and charges.
+    pub fn build(points: &[Vec3], charges: &[f64]) -> AtomArena {
+        let n = points.len();
+        assert!(charges.len() == n);
+        let mut a = AtomArena {
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            z: Vec::with_capacity(n),
+            q: Vec::with_capacity(n),
+        };
+        for (p, &c) in points.iter().zip(charges) {
+            a.x.push(p.x);
+            a.y.push(p.y);
+            a.z.push(p.z);
+            a.q.push(c);
+        }
+        a
+    }
+
+    /// Overwrite the coordinate lanes from Morton-ordered points (the
+    /// positions-only refresh path; charges are conformation-independent).
+    pub fn refresh_positions(&mut self, points: &[Vec3]) {
+        assert!(points.len() == self.x.len());
+        for (i, p) in points.iter().enumerate() {
+            self.x[i] = p.x;
+            self.y[i] = p.y;
+            self.z[i] = p.z;
+        }
+    }
+
+    /// Position of Morton-ordered atom `i`, reassembled from the flat lanes.
+    #[inline]
+    pub fn position(&self, i: usize) -> Vec3 {
+        Vec3::new(self.x[i], self.y[i], self.z[i])
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Coordinate lanes of a contiguous Morton range, for the position
+    /// block of [`born_block_lanes`].
+    #[inline]
+    pub fn pos_slices(&self, range: Range<usize>) -> (&[f64], &[f64], &[f64]) {
+        (
+            &self.x[range.clone()],
+            &self.y[range.clone()],
+            &self.z[range],
+        )
+    }
+
+    /// Zero-copy view of a contiguous Morton range, with Born radii
+    /// borrowed from `born` over the same range.
+    pub fn view<'a>(&'a self, born: &'a [f64], range: Range<usize>) -> AtomView<'a> {
+        AtomView {
+            x: &self.x[range.clone()],
+            y: &self.y[range.clone()],
+            z: &self.z[range.clone()],
+            q: &self.q[range.clone()],
+            r: &born[range],
+        }
+    }
+
+    /// STILL sum of one source atom against a range (see
+    /// [`AtomView::still_term`]).
+    #[inline]
+    pub fn still_term(
+        &self,
+        born: &[f64],
+        range: Range<usize>,
+        xu: Vec3,
+        ru: f64,
+        math: MathMode,
+    ) -> f64 {
+        self.view(born, range).still_term(xu, ru, math)
+    }
+
+    /// Resident bytes (capacity-based).
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<f64>()
+            * (self.x.capacity() + self.y.capacity() + self.z.capacity() + self.q.capacity())
+    }
+}
+
+/// Gathered image of one quadrature-leaf range — the copy-in counterpart
+/// of a [`QArena`] view, kept for arena-less callers and as an independent
+/// reference path in tests/benches.
 #[derive(Default, Clone, Debug)]
 pub struct QLeafSoa {
     pub x: Vec<f64>,
@@ -67,31 +597,28 @@ impl QLeafSoa {
         self.x.is_empty()
     }
 
-    /// Exact r⁶ surface term of this leaf at one atom position:
-    /// `Σ_q (w_q n_q)·(p_q − p_a) / |p_q − p_a|⁶`, in gathered order.
-    ///
-    /// Pure mul/add/div — no transcendentals — so a single flat loop
-    /// auto-vectorizes as-is.
+    /// Flat view of the gathered data.
+    pub fn view(&self) -> QView<'_> {
+        QView {
+            x: &self.x,
+            y: &self.y,
+            z: &self.z,
+            wnx: &self.wnx,
+            wny: &self.wny,
+            wnz: &self.wnz,
+        }
+    }
+
+    /// Exact r⁶ surface term of this leaf at one atom position (see
+    /// [`QView::born_term`]).
     #[inline]
     pub fn born_term(&self, xa: Vec3) -> f64 {
-        let n = self.len();
-        let (xs, ys, zs) = (&self.x[..n], &self.y[..n], &self.z[..n]);
-        let (wx, wy, wz) = (&self.wnx[..n], &self.wny[..n], &self.wnz[..n]);
-        let mut s = 0.0;
-        for i in 0..n {
-            let dx = xs[i] - xa.x;
-            let dy = ys[i] - xa.y;
-            let dz = zs[i] - xa.z;
-            let d2 = dx * dx + dy * dy + dz * dz;
-            let inv2 = 1.0 / d2;
-            s += (wx[i] * dx + wy[i] * dy + wz[i] * dz) * (inv2 * inv2 * inv2);
-        }
-        s
+        self.view().born_term(xa)
     }
 }
 
-/// Gathered image of one atoms range: positions, charges and Born radii —
-/// the operands of the STILL pair kernel.
+/// Gathered image of one atoms range — the copy-in counterpart of an
+/// [`AtomArena`] view (Born radii are copied in rather than borrowed).
 #[derive(Default, Clone, Debug)]
 pub struct AtomSoa {
     pub x: Vec<f64>,
@@ -127,50 +654,22 @@ impl AtomSoa {
         self.x.is_empty()
     }
 
-    /// Exact STILL sum of one source atom `(x_u, R_u)` against this range:
-    /// `Σ_v q_v / f_GB(r_uv², R_u, R_v)`, accumulated in gathered order.
-    ///
-    /// Works chunk-by-chunk: distances and exponent arguments are staged
-    /// into stack buffers, then `exp` and `rsqrt` run over the whole chunk
-    /// via the batched [`MathMode`] slice ops. Per element the arithmetic
-    /// is exactly `crate::gb::inv_f_gb` (same operations, same order), so
-    /// the result is bit-identical to the scalar loop.
+    /// Flat view of the gathered data.
+    pub fn view(&self) -> AtomView<'_> {
+        AtomView {
+            x: &self.x,
+            y: &self.y,
+            z: &self.z,
+            q: &self.q,
+            r: &self.r,
+        }
+    }
+
+    /// Exact STILL sum of one source atom against this range (see
+    /// [`AtomView::still_term`]).
     #[inline]
     pub fn still_term(&self, xu: Vec3, ru: f64, math: MathMode) -> f64 {
-        let n = self.len();
-        let mut acc = 0.0;
-        let mut d2b = [0.0f64; CHUNK];
-        let mut rrb = [0.0f64; CHUNK];
-        let mut eb = [0.0f64; CHUNK];
-        let mut base = 0;
-        while base < n {
-            let m = CHUNK.min(n - base);
-            let xs = &self.x[base..base + m];
-            let ys = &self.y[base..base + m];
-            let zs = &self.z[base..base + m];
-            let rs = &self.r[base..base + m];
-            let qs = &self.q[base..base + m];
-            for i in 0..m {
-                let dx = xs[i] - xu.x;
-                let dy = ys[i] - xu.y;
-                let dz = zs[i] - xu.z;
-                let d2 = dx * dx + dy * dy + dz * dz;
-                let rr = ru * rs[i];
-                d2b[i] = d2;
-                rrb[i] = rr;
-                eb[i] = -d2 / (4.0 * rr);
-            }
-            math.exp_slice(&mut eb[..m]);
-            for i in 0..m {
-                eb[i] = d2b[i] + rrb[i] * eb[i];
-            }
-            math.rsqrt_slice(&mut eb[..m]);
-            for i in 0..m {
-                acc += qs[i] * eb[i];
-            }
-            base += m;
-        }
-        acc
+        self.view().still_term(xu, ru, math)
     }
 }
 
@@ -209,6 +708,104 @@ mod tests {
                     "u={ui} {math:?}: {scalar} vs {batched}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn lane_widths_are_bit_identical() {
+        // The W=1 instantiation *is* the historical scalar loop; every
+        // other width must reproduce it bit-for-bit at awkward lengths
+        // (remainders of every size around the lane and chunk boundaries).
+        let sys = system(150, 41);
+        let (born, _) = born_radii_naive(&sys, MathMode::Exact);
+        let mut qsoa = QLeafSoa::default();
+        let mut asoa = AtomSoa::default();
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 63, 64, 65, 130] {
+            qsoa.gather(&sys, 0..len.min(sys.n_qpoints()));
+            asoa.gather(&sys, &born, 0..len.min(sys.n_atoms()));
+            let xa = sys.atoms.points[10];
+            let b1 = born_term_lanes::<1>(qsoa.view(), xa);
+            for math in [MathMode::Exact, MathMode::Approx] {
+                let s1 = still_term_lanes::<1>(asoa.view(), xa, born[10], math, CHUNK);
+                macro_rules! check_w {
+                    ($w:literal) => {
+                        assert_eq!(
+                            born_term_lanes::<$w>(qsoa.view(), xa).to_bits(),
+                            b1.to_bits(),
+                            "born W={} len={len}",
+                            $w
+                        );
+                        assert_eq!(
+                            still_term_lanes::<$w>(asoa.view(), xa, born[10], math, CHUNK)
+                                .to_bits(),
+                            s1.to_bits(),
+                            "still W={} len={len} {math:?}",
+                            $w
+                        );
+                    };
+                }
+                check_w!(2);
+                check_w!(4);
+                check_w!(5);
+                check_w!(8);
+                check_w!(16);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_views_match_gather_bitwise() {
+        let sys = system(180, 29);
+        let (born, _) = born_radii_naive(&sys, MathMode::Exact);
+        // Arenas as `prepare` builds them.
+        let qa = QArena::build(&sys.qtree.points, &sys.q_normal, &sys.q_weight);
+        let aa = AtomArena::build(&sys.atoms.points, &sys.charge);
+        assert_eq!(qa.len(), sys.n_qpoints());
+        assert_eq!(aa.len(), sys.n_atoms());
+        let mut qsoa = QLeafSoa::default();
+        let mut asoa = AtomSoa::default();
+        for range in [0..sys.n_qpoints(), 5..97, 11..11] {
+            qsoa.gather(&sys, range.clone());
+            let xa = sys.atoms.points[3];
+            assert_eq!(
+                qa.born_term(range.clone(), xa).to_bits(),
+                qsoa.born_term(xa).to_bits(),
+                "q range {range:?}"
+            );
+        }
+        for range in [0..sys.n_atoms(), 7..133, 20..20] {
+            asoa.gather(&sys, &born, range.clone());
+            let xu = sys.atoms.points[42];
+            for math in [MathMode::Exact, MathMode::Approx] {
+                assert_eq!(
+                    aa.still_term(&born, range.clone(), xu, born[42], math)
+                        .to_bits(),
+                    asoa.still_term(xu, born[42], math).to_bits(),
+                    "atom range {range:?} {math:?}"
+                );
+            }
+        }
+        for i in [0usize, 17, 179] {
+            assert_eq!(aa.position(i), sys.atoms.points[i]);
+        }
+        assert!(qa.memory_bytes() >= 6 * 8 * qa.len());
+        assert!(aa.memory_bytes() >= 4 * 8 * aa.len());
+    }
+
+    #[test]
+    fn arena_refresh_overwrites_positions_only() {
+        let sys = system(60, 7);
+        let mut aa = AtomArena::build(&sys.atoms.points, &sys.charge);
+        let shifted: Vec<Vec3> = sys
+            .atoms
+            .points
+            .iter()
+            .map(|p| *p + Vec3::new(0.25, -0.5, 1.0))
+            .collect();
+        aa.refresh_positions(&shifted);
+        for (i, s) in shifted.iter().enumerate() {
+            assert_eq!(aa.position(i), *s);
+            assert_eq!(aa.q[i], sys.charge[i]);
         }
     }
 

@@ -122,6 +122,7 @@ pub fn run_oct_mpi_steal(
         wait: 0.0,
         ops: total_ops,
         memory_per_process: sys.memory_bytes(),
+        memory_arena_bytes: sys.arena_bytes(),
         cores: p,
         wall_seconds: wall.elapsed().as_secs_f64(),
         phases: crate::drivers::PhaseTimes::default(),

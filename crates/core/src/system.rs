@@ -1,11 +1,14 @@
 //! Prepared GB system: surface + both octrees + Morton-ordered payloads.
 
 use crate::params::ApproxParams;
+use crate::soa::{AtomArena, AtomView, QArena, QView, StillScratch, CHUNK};
+use polaroct_geom::fastmath::MathMode;
 use polaroct_geom::Vec3;
 use polaroct_molecule::Molecule;
 use polaroct_octree::{build, BuildParams, Octree};
 use polaroct_sched::WorkStealingPool;
 use polaroct_surface::{surface_quadrature, QuadratureSet};
+use std::ops::Range;
 
 /// Everything the kernels need, laid out for traversal:
 ///
@@ -28,6 +31,14 @@ pub struct GbSystem {
     pub q_weight: Vec<f64>,
     /// Per-qtree-node `Σ w_q n_q` (indexed by node id).
     pub q_node_normal: Vec<Vec3>,
+    /// Persistent flat SoA arena over all q-points in Morton order
+    /// (positions + weight-premultiplied normals). Immutable between
+    /// rebuilds; any leaf or clipped leaf is a zero-copy slice.
+    pub q_arena: QArena,
+    /// Persistent flat SoA arena over all atoms in Morton order
+    /// (positions + charges). Coordinates are rewritten in place by
+    /// [`GbSystem::refresh_atom_positions`] on skin-reuse steps.
+    pub atom_arena: AtomArena,
     /// Name carried over from the molecule.
     pub name: String,
 }
@@ -105,6 +116,12 @@ impl GbSystem {
             q_node_normal.push(s);
         }
 
+        // Flat leaf arenas (DESIGN.md §12): built once per prepare from
+        // the already-permuted payloads, so list execution slices them
+        // directly instead of re-gathering per chunk.
+        let q_arena = QArena::build(&qtree.points, &q_normal, &q_weight);
+        let atom_arena = AtomArena::build(&atoms.points, &charge);
+
         GbSystem {
             atoms,
             charge,
@@ -113,8 +130,78 @@ impl GbSystem {
             q_normal,
             q_weight,
             q_node_normal,
+            q_arena,
+            atom_arena,
             name: mol.name.clone(),
         }
+    }
+
+    /// Positions-only refresh for Verlet-skin reuse: rewrite the atom
+    /// octree's Morton-ordered point copies *and* the flat atom arena
+    /// from original-order positions. Topology, node bounds, `point_order`
+    /// and every q-surface payload stay frozen — exactly the state a
+    /// within-skin step is allowed to reuse (DESIGN.md §11).
+    pub fn refresh_atom_positions(&mut self, positions: &[Vec3]) {
+        self.atoms.refresh_positions(positions);
+        self.atom_arena.refresh_positions(&self.atoms.points);
+    }
+
+    /// Leaf×leaf near-field Born terms, block-kernel form: the term of
+    /// `qv` at every atom of the Morton range `ar`, delivered to
+    /// `sink(atom_index, term)` in index order. Each term is bit-identical
+    /// to `qv.born_term(position(ai))` — the CHUNK-sized blocking below
+    /// only amortizes per-call overhead across the leaf — so every caller
+    /// (recursions, list engine, benches) shares one kernel and one
+    /// float-order story.
+    #[inline]
+    pub fn born_block_terms(
+        &self,
+        qv: QView<'_>,
+        ar: Range<usize>,
+        mut sink: impl FnMut(usize, f64),
+    ) {
+        let mut buf = [0.0f64; CHUNK];
+        let mut base = ar.start;
+        while base < ar.end {
+            let m = CHUNK.min(ar.end - base);
+            let (ax, ay, az) = self.atom_arena.pos_slices(base..base + m);
+            qv.born_block(ax, ay, az, &mut buf[..m]);
+            for (k, &t) in buf[..m].iter().enumerate() {
+                sink(base + k, t);
+            }
+            base += m;
+        }
+    }
+
+    /// Leaf×leaf near-field STILL contribution, block-kernel form:
+    /// `Σ_{u∈ur} q_u · still_term(u → vv)` with the fold in Morton index
+    /// order — exactly the historical per-atom loop (Eq. 2's ordered-pair
+    /// leaf block), with per-call overhead amortized across the leaf and
+    /// the transcendentals batched over whole u×v tiles. `scratch` is the
+    /// tile staging, owned by the caller so one instance serves a whole
+    /// sweep of leaf pairs.
+    #[inline]
+    pub fn still_block_raw(
+        &self,
+        born: &[f64],
+        ur: Range<usize>,
+        vv: AtomView<'_>,
+        math: MathMode,
+        scratch: &mut StillScratch,
+    ) -> f64 {
+        let mut raw = 0.0;
+        let mut buf = [0.0f64; CHUNK];
+        let mut base = ur.start;
+        while base < ur.end {
+            let m = CHUNK.min(ur.end - base);
+            let uv = self.atom_arena.view(born, base..base + m);
+            uv.still_block(vv, math, scratch, &mut buf[..m]);
+            for (k, &t) in buf[..m].iter().enumerate() {
+                raw += uv.q[k] * t;
+            }
+            base += m;
+        }
+        raw
     }
 
     /// Number of atoms `M`.
@@ -130,16 +217,24 @@ impl GbSystem {
     }
 
     /// Bytes one replica of this system occupies (molecule payloads +
-    /// both trees + surface payloads) — the per-process figure for the
-    /// §V.B replication accounting.
+    /// both trees + surface payloads + flat leaf arenas) — the
+    /// per-process figure for the §V.B replication accounting.
+    /// Capacity-based, like [`Octree::memory_bytes`].
     pub fn memory_bytes(&self) -> usize {
         self.atoms.memory_bytes()
-            + self.charge.len() * 8
-            + self.radius.len() * 8
+            + self.charge.capacity() * 8
+            + self.radius.capacity() * 8
             + self.qtree.memory_bytes()
-            + self.q_normal.len() * std::mem::size_of::<Vec3>()
-            + self.q_weight.len() * 8
-            + self.q_node_normal.len() * std::mem::size_of::<Vec3>()
+            + self.q_normal.capacity() * std::mem::size_of::<Vec3>()
+            + self.q_weight.capacity() * 8
+            + self.q_node_normal.capacity() * std::mem::size_of::<Vec3>()
+            + self.arena_bytes()
+    }
+
+    /// Bytes held by the two persistent flat leaf arenas alone (broken
+    /// out of [`GbSystem::memory_bytes`] for `RunReport`'s accounting).
+    pub fn arena_bytes(&self) -> usize {
+        self.q_arena.memory_bytes() + self.atom_arena.memory_bytes()
     }
 
     /// Map Morton-ordered per-atom values back to the molecule's original
@@ -242,6 +337,53 @@ mod tests {
         for (a, b) in restored.iter().zip(&mol.charges) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn arenas_mirror_morton_payloads() {
+        let s = system(250);
+        assert_eq!(s.q_arena.len(), s.n_qpoints());
+        assert_eq!(s.atom_arena.len(), s.n_atoms());
+        for i in 0..s.n_atoms() {
+            assert_eq!(s.atom_arena.position(i), s.atoms.points[i]);
+            assert_eq!(s.atom_arena.q[i], s.charge[i]);
+        }
+        for i in 0..s.n_qpoints() {
+            let p = s.qtree.points[i];
+            let wn = s.q_normal[i] * s.q_weight[i];
+            assert_eq!(s.q_arena.x[i], p.x);
+            assert_eq!(s.q_arena.y[i], p.y);
+            assert_eq!(s.q_arena.z[i], p.z);
+            assert_eq!(s.q_arena.wnx[i], wn.x);
+            assert_eq!(s.q_arena.wny[i], wn.y);
+            assert_eq!(s.q_arena.wnz[i], wn.z);
+        }
+        assert!(s.arena_bytes() > 0);
+        assert!(s.memory_bytes() > s.arena_bytes());
+    }
+
+    #[test]
+    fn refresh_atom_positions_tracks_tree_and_arena() {
+        let mol = synth::protein("p", 90, 13);
+        let mut s = GbSystem::prepare(&mol, &ApproxParams::default());
+        let moved: Vec<Vec3> = mol
+            .positions
+            .iter()
+            .map(|p| *p + Vec3::new(0.2, 0.1, -0.3))
+            .collect();
+        s.refresh_atom_positions(&moved);
+        for i in 0..s.n_atoms() {
+            let orig = s.atoms.point_order[i] as usize;
+            assert_eq!(s.atoms.points[i], moved[orig]);
+            assert_eq!(s.atom_arena.position(i), moved[orig]);
+        }
+        // Round-trip back to the build geometry is bit-exact.
+        s.refresh_atom_positions(&mol.positions);
+        let fresh = GbSystem::prepare(&mol, &ApproxParams::default());
+        assert_eq!(s.atoms.content_digest(), fresh.atoms.content_digest());
+        assert_eq!(s.atom_arena.x, fresh.atom_arena.x);
+        assert_eq!(s.atom_arena.y, fresh.atom_arena.y);
+        assert_eq!(s.atom_arena.z, fresh.atom_arena.z);
     }
 
     #[test]

@@ -56,6 +56,28 @@ impl MathMode {
         }
     }
 
+    /// In-place `x[i] ← x[i]^(-1/3)` over a slice.
+    ///
+    /// Identical per element to [`MathMode::invcbrt`]; same dispatch shape
+    /// as [`MathMode::exp_slice`] / [`MathMode::rsqrt_slice`] — the mode
+    /// branch is hoisted so each arm is a straight loop (the approximate
+    /// arm is pure integer/float arithmetic and vectorizes).
+    #[inline]
+    pub fn invcbrt_slice(self, xs: &mut [f64]) {
+        match self {
+            MathMode::Exact => {
+                for x in xs.iter_mut() {
+                    *x = x.powf(-1.0 / 3.0);
+                }
+            }
+            MathMode::Approx => {
+                for x in xs.iter_mut() {
+                    *x = invcbrt_fast(*x);
+                }
+            }
+        }
+    }
+
     /// In-place `x[i] ← 1/sqrt(x[i])` over a slice.
     ///
     /// Identical per element to [`MathMode::rsqrt`]; the mode dispatch is
@@ -134,15 +156,10 @@ pub fn sqrt_fast(x: f64) -> f64 {
 /// Splits `x = k ln2 + r` with `|r| <= ln2/2`, builds `2^k` through the
 /// exponent field and evaluates a degree-5 Taylor polynomial for `e^r`.
 /// Relative error < 2e-9 for `x` in [-700, 700]; underflows to 0 and
-/// overflows to `f64::INFINITY` like `exp`.
+/// overflows to `f64::INFINITY` like `exp`. Entirely branch-free (the
+/// range clamps are selects), so [`MathMode::exp_slice`] auto-vectorizes.
 #[inline]
 pub fn exp_fast(x: f64) -> f64 {
-    if x < -708.0 {
-        return 0.0;
-    }
-    if x > 709.0 {
-        return f64::INFINITY;
-    }
     const LOG2E: f64 = std::f64::consts::LOG2_E;
     const LN2_HI: f64 = 6.931_471_803_691_238e-1;
     const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
@@ -156,14 +173,29 @@ pub fn exp_fast(x: f64) -> f64 {
                     + r * (1.0 / 24.0
                         + r * (1.0 / 120.0
                             + r * (1.0 / 720.0 + r * (1.0 / 5040.0 + r / 40320.0)))))));
-    // Scale by 2^k through the exponent bits.
-    let ki = k as i64;
-    if ki <= -1023 {
-        // Subnormal range: fall back to ldexp-style scaling in two steps.
-        return p * f64::from_bits(((ki + 2046 + 1023) as u64) << 52) * f64::from_bits(1u64 << 1);
+    // Scale by 2^k through the exponent bits. For any x ≥ -708 (the only
+    // inputs that reach this product unclamped), k ≥ round(-708·log₂e) =
+    // -1021 > -1023, so `p · 2^k` is normal and the exponent-field
+    // construction is exact — no subnormal fallback is ever reachable.
+    // The integer k is extracted with the shifter-constant trick instead
+    // of a float→int cast: adding 1.5·2⁵² places k in the low mantissa
+    // bits exactly (for |k| ≤ 2⁵¹ — every in-range x), and the 2⁵¹ offset
+    // plus the shifter's exponent field both vanish under `<< 52`. A
+    // `k as i64` cast here is saturating and compiles to a *scalar*
+    // conversion per lane, which blocks vectorization of the slice path;
+    // the shifter form is plain float-add + integer add/shift in every
+    // lane. Out-of-range x leaves garbage in the low bits, but the
+    // selects below discard the product for exactly those inputs, and
+    // NaN propagates through `p` and both selects unchanged.
+    const SHIFTER: f64 = 6_755_399_441_055_744.0; // 1.5 * 2^52
+    let two_k = f64::from_bits((k + SHIFTER).to_bits().wrapping_add(1023) << 52);
+    let v = p * two_k;
+    let v = if x < -708.0 { 0.0 } else { v };
+    if x > 709.0 {
+        f64::INFINITY
+    } else {
+        v
     }
-    let two_k = f64::from_bits(((ki + 1023) as u64) << 52);
-    p * two_k
 }
 
 /// Fast `x^(-1/3)` for positive `x`.
@@ -290,6 +322,8 @@ mod tests {
             mode.rsqrt_slice(&mut rs);
             let mut es: Vec<f64> = inputs.iter().map(|x| -x).collect();
             mode.exp_slice(&mut es);
+            let mut cs = inputs.clone();
+            mode.invcbrt_slice(&mut cs);
             for (i, &x) in inputs.iter().enumerate() {
                 assert_eq!(
                     rs[i].to_bits(),
@@ -301,13 +335,60 @@ mod tests {
                     mode.exp(-x).to_bits(),
                     "exp {mode:?} x={x}"
                 );
+                assert_eq!(
+                    cs[i].to_bits(),
+                    mode.invcbrt(x).to_bits(),
+                    "invcbrt {mode:?} x={x}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn exp_slice_matches_scalar_at_extremes() {
+        // The branch-free select path must agree with the scalar function
+        // bit-for-bit across the underflow/overflow clamps, both domain
+        // boundaries, infinities and NaN.
+        let inputs = [
+            -1.0e9,
+            -1000.0,
+            -708.5,
+            -708.0 - 1e-12,
+            -708.0,
+            -707.999,
+            -30.0,
+            0.0,
+            30.0,
+            708.999,
+            709.0,
+            709.0 + 1e-12,
+            710.0,
+            1.0e9,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NAN,
+        ];
+        for mode in [MathMode::Exact, MathMode::Approx] {
+            let mut xs = inputs.to_vec();
+            mode.exp_slice(&mut xs);
+            for (i, &x) in inputs.iter().enumerate() {
+                assert_eq!(
+                    xs[i].to_bits(),
+                    mode.exp(x).to_bits(),
+                    "exp {mode:?} x={x}"
+                );
+            }
+        }
+        // And the clamp values themselves stay what the GB kernels rely on.
+        assert_eq!(exp_fast(-1000.0), 0.0);
+        assert_eq!(exp_fast(1000.0), f64::INFINITY);
+        assert!(exp_fast(f64::NAN).is_nan());
     }
 
     #[test]
     fn slice_variants_empty_ok() {
         MathMode::Exact.rsqrt_slice(&mut []);
         MathMode::Approx.exp_slice(&mut []);
+        MathMode::Approx.invcbrt_slice(&mut []);
     }
 }
