@@ -39,8 +39,9 @@
 //! coordinator is not survivable without an external respawn layer.
 
 use crate::costmodel::CommCostModel;
-use crate::fault::{FaultKind, FaultPlan, FtPolicy, FtReport, RecoverMode};
+use crate::fault::{die_sigkill, FaultKind, FaultPlan, FtPolicy, FtReport, KillMode, RecoverMode};
 use crate::simtime::SimClock;
+use crate::transport::{DownMsg, Transport, TransportError, UpMsg};
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::cell::Cell;
 use std::fmt;
@@ -60,27 +61,6 @@ pub fn checksum(payload: &[f64]) -> u64 {
     h
 }
 
-/// Member-to-root wire messages.
-enum Up {
-    /// A collective contribution: sender's clock, checksum, payload.
-    Data { t: f64, crc: u64, payload: Vec<f64> },
-    /// Reply to a `Down::Recover`: regenerated contributions, keyed by
-    /// the lost rank they stand in for.
-    Recovered { parts: Vec<(usize, Vec<f64>)> },
-}
-
-/// Root-to-member wire messages.
-enum Down {
-    /// Recovery round: regenerate these lost ranks' contributions (may be
-    /// empty — still reply, it keeps the round structure in lock-step).
-    Recover { assignments: Vec<(usize, RecoverMode)> },
-    /// Collective completed: synchronized exit time, this rank's reply,
-    /// and what fault handling was needed.
-    Final { max_entry: f64, reply: Vec<f64>, report: FtReport },
-    /// Collective cannot complete; return an error instead of hanging.
-    Abort { cause: String },
-}
-
 /// Typed failure of a fault-tolerant collective.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CommError {
@@ -93,6 +73,11 @@ pub enum CommError {
     RecoveryExhausted { collective: &'static str, unrecovered: Vec<usize>, retries: u32 },
     /// The root aborted the collective.
     Aborted { collective: &'static str, cause: String },
+    /// A peer process vanished: its connection dropped (socket EOF /
+    /// reset, child exited) rather than merely timing out. `status`
+    /// carries the OS exit status or signal when the supervisor captured
+    /// one, else the transport's detail string.
+    Lost { collective: &'static str, rank: usize, status: String },
     /// Wire-protocol violation (should not happen).
     Protocol { collective: &'static str, rank: usize, message: String },
 }
@@ -112,6 +97,9 @@ impl fmt::Display for CommError {
             ),
             CommError::Aborted { collective, cause } => {
                 write!(f, "{collective}: aborted by root: {cause}")
+            }
+            CommError::Lost { collective, rank, status } => {
+                write!(f, "{collective}: rank {rank} lost ({status})")
             }
             CommError::Protocol { collective, rank, message } => {
                 write!(f, "{collective}: protocol error at rank {rank}: {message}")
@@ -144,12 +132,14 @@ pub enum Recovery<'a> {
     },
 }
 
-/// Channel fabric shared by all ranks of one SPMD run.
+/// In-process channel fabric shared by all ranks of one SPMD run — the
+/// original [`Transport`] implementation (ranks are threads; messages
+/// move over bounded crossbeam channels in a star through rank 0).
 pub struct CommFabric {
     /// `up[r]` — rank r's channel into the root.
-    up: Vec<(Sender<Up>, Receiver<Up>)>,
+    up: Vec<(Sender<UpMsg>, Receiver<UpMsg>)>,
     /// `down[r]` — the root's channel to rank r.
-    down: Vec<(Sender<Down>, Receiver<Down>)>,
+    down: Vec<(Sender<DownMsg>, Receiver<DownMsg>)>,
     /// Ranks known dead (shared so every collective skips them instantly
     /// instead of re-paying the detection timeout).
     dead: Vec<AtomicBool>,
@@ -169,18 +159,56 @@ impl CommFabric {
             policy,
         })
     }
+}
 
-    fn is_dead(&self, r: usize) -> bool {
-        self.dead[r].load(Ordering::Acquire)
+fn recv_channel<T>(rx: &Receiver<T>, timeout: Duration) -> Result<T, TransportError> {
+    rx.recv_timeout(timeout).map_err(|e| match e {
+        RecvTimeoutError::Timeout => TransportError::Timeout { waited: timeout },
+        RecvTimeoutError::Disconnected => {
+            TransportError::Closed { detail: "fabric disconnected".into() }
+        }
+    })
+}
+
+impl Transport for CommFabric {
+    fn size(&self) -> usize {
+        self.up.len()
     }
 
-    fn mark_dead(&self, r: usize) {
-        self.dead[r].store(true, Ordering::Release);
+    fn policy(&self) -> FtPolicy {
+        self.policy
     }
 
-    /// Ranks currently known dead.
-    pub fn dead_ranks(&self) -> Vec<usize> {
-        (0..self.dead.len()).filter(|&r| self.is_dead(r)).collect()
+    fn label(&self) -> &'static str {
+        "channel"
+    }
+
+    fn is_dead(&self, rank: usize) -> bool {
+        self.dead[rank].load(Ordering::Acquire)
+    }
+
+    fn mark_dead(&self, rank: usize) {
+        self.dead[rank].store(true, Ordering::Release);
+    }
+
+    fn root_recv(&self, from: usize, timeout: Duration) -> Result<UpMsg, TransportError> {
+        recv_channel(&self.up[from].1, timeout)
+    }
+
+    fn root_send(&self, to: usize, msg: DownMsg) -> Result<(), TransportError> {
+        self.down[to].0.try_send(msg).map_err(|_| TransportError::Closed {
+            detail: "down channel full or disconnected".into(),
+        })
+    }
+
+    fn member_send(&self, rank: usize, msg: UpMsg) -> Result<(), TransportError> {
+        self.up[rank].0.try_send(msg).map_err(|_| TransportError::Closed {
+            detail: "up channel full or disconnected".into(),
+        })
+    }
+
+    fn member_recv(&self, rank: usize, timeout: Duration) -> Result<DownMsg, TransportError> {
+        recv_channel(&self.down[rank].1, timeout)
     }
 }
 
@@ -206,27 +234,58 @@ fn push_dead(report: &mut FtReport, r: usize) {
     }
 }
 
-/// One rank's endpoint (clone the fabric Arc, one communicator per rank).
+/// One rank's endpoint (share the transport Arc, one communicator per
+/// rank). The collective protocol lives here; the bytes move through
+/// whatever [`Transport`] the communicator was built over.
 pub struct Communicator {
     rank: usize,
     size: usize,
     cost: CommCostModel,
-    fabric: Arc<CommFabric>,
+    transport: Arc<dyn Transport>,
     faults: Option<Arc<FaultPlan>>,
+    /// How a kill-class fault is realized on this rank (a real `SIGKILL`
+    /// only makes sense when the rank is its own OS process).
+    kill: KillMode,
     /// Current Fig. 4 phase, set by the driver at phase boundaries; used
     /// to match payload faults to the collective they target.
     phase: Cell<u32>,
 }
 
 impl Communicator {
+    /// In-process constructor (kept for the channel fabric's callers; the
+    /// fabric Arc coerces into the transport object).
     pub fn new(rank: usize, size: usize, cost: CommCostModel, fabric: Arc<CommFabric>) -> Self {
         assert!(rank < size);
-        Communicator { rank, size, cost, fabric, faults: None, phase: Cell::new(0) }
+        assert_eq!(size, fabric.size());
+        Self::over(rank, cost, fabric)
+    }
+
+    /// Build a communicator over any transport; size comes from the
+    /// transport itself.
+    pub fn over(rank: usize, cost: CommCostModel, transport: Arc<dyn Transport>) -> Self {
+        let size = transport.size();
+        assert!(rank < size);
+        Communicator {
+            rank,
+            size,
+            cost,
+            transport,
+            faults: None,
+            kill: KillMode::Simulated,
+            phase: Cell::new(0),
+        }
     }
 
     /// Attach a fault plan (payload faults fire on `_ft` collectives).
     pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Choose how kill-class faults are realized (default:
+    /// [`KillMode::Simulated`]).
+    pub fn with_kill_mode(mut self, kill: KillMode) -> Self {
+        self.kill = kill;
         self
     }
 
@@ -249,14 +308,19 @@ impl Communicator {
         self.rank == 0
     }
 
-    /// The fabric's fault-tolerance policy.
+    /// The transport's fault-tolerance policy.
     pub fn policy(&self) -> FtPolicy {
-        self.fabric.policy
+        self.transport.policy()
     }
 
-    /// Ranks this fabric currently knows to be dead.
+    /// Short label of the transport carrying this communicator's frames.
+    pub fn transport_label(&self) -> &'static str {
+        self.transport.label()
+    }
+
+    /// Ranks this transport currently knows to be dead.
     pub fn dead_ranks(&self) -> Vec<usize> {
-        self.fabric.dead_ranks()
+        self.transport.dead_ranks()
     }
 
     /// Root-mediated exchange underlying every collective: each rank ships
@@ -287,24 +351,24 @@ impl Communicator {
             })?;
             return Ok((own, FtReport::default()));
         }
-        let policy = self.fabric.policy;
+        let policy = self.transport.policy();
         if self.rank == 0 {
             let mut report = FtReport::default();
             let mut entries: Vec<Option<Vec<f64>>> = (0..self.size).map(|_| None).collect();
             let mut max_entry = clock.total();
             entries[0] = Some(data);
             let mut missing: Vec<usize> = Vec::new();
-            // `r` indexes three parallel structures (`up`, the dead
-            // flags, `entries`), so a range loop is the honest shape.
+            // `r` indexes parallel structures (the dead flags and
+            // `entries`), so a range loop is the honest shape.
             #[allow(clippy::needless_range_loop)]
             for r in 1..self.size {
-                if self.fabric.is_dead(r) {
+                if self.transport.is_dead(r) {
                     push_dead(&mut report, r);
                     missing.push(r);
                     continue;
                 }
-                match self.fabric.up[r].1.recv_timeout(policy.timeout) {
-                    Ok(Up::Data { t, crc, payload }) => {
+                match self.transport.root_recv(r, policy.timeout) {
+                    Ok(UpMsg::Data { t, crc, payload }) => {
                         if checksum(&payload) == crc {
                             max_entry = max_entry.max(t);
                             entries[r] = Some(payload);
@@ -314,13 +378,19 @@ impl Communicator {
                             missing.push(r);
                         }
                     }
-                    Ok(Up::Recovered { .. }) => {
+                    Ok(UpMsg::Recovered { .. }) => {
                         // Stale protocol message; treat contribution lost.
                         missing.push(r);
                     }
-                    Err(_) => {
-                        self.fabric.mark_dead(r);
+                    Err(e) => {
+                        // Timeout, closed connection, or an undecodable
+                        // frame — in every case the stream can no longer
+                        // be trusted, so the rank is dead to us.
+                        self.transport.mark_dead(r);
                         push_dead(&mut report, r);
+                        if let TransportError::Closed { detail } = e {
+                            report.record_exit(r, detail);
+                        }
                         missing.push(r);
                     }
                 }
@@ -355,7 +425,7 @@ impl Communicator {
                 report.retries = attempt;
 
                 let alive: Vec<usize> =
-                    (0..self.size).filter(|&r| !self.fabric.is_dead(r)).collect();
+                    (0..self.size).filter(|&r| !self.transport.is_dead(r)).collect();
                 // Deterministic round-robin assignment, rotated per round
                 // so a failing assignee doesn't get the same work twice.
                 let mut assign: Vec<Vec<(usize, RecoverMode)>> =
@@ -370,9 +440,9 @@ impl Communicator {
                     if r == 0 {
                         continue;
                     }
-                    let msg = Down::Recover { assignments: assign[r].clone() };
-                    if self.fabric.down[r].0.try_send(msg).is_err() {
-                        self.fabric.mark_dead(r);
+                    let msg = DownMsg::Recover { assignments: assign[r].clone() };
+                    if self.transport.root_send(r, msg).is_err() {
+                        self.transport.mark_dead(r);
                         push_dead(&mut report, r);
                     }
                 }
@@ -383,19 +453,22 @@ impl Communicator {
                 }
                 // Collect assignees' replies.
                 for &r in &alive {
-                    if r == 0 || self.fabric.is_dead(r) {
+                    if r == 0 || self.transport.is_dead(r) {
                         continue;
                     }
-                    match self.fabric.up[r].1.recv_timeout(policy.timeout) {
-                        Ok(Up::Recovered { parts }) => {
+                    match self.transport.root_recv(r, policy.timeout) {
+                        Ok(UpMsg::Recovered { parts }) => {
                             for (lost, payload) in parts {
                                 install(&mut entries, &mut report, lost, mode, payload);
                             }
                         }
-                        Ok(Up::Data { .. }) => { /* stale; drop */ }
-                        Err(_) => {
-                            self.fabric.mark_dead(r);
+                        Ok(UpMsg::Data { .. }) => { /* stale; drop */ }
+                        Err(e) => {
+                            self.transport.mark_dead(r);
                             push_dead(&mut report, r);
+                            if let TransportError::Closed { detail } = e {
+                                report.record_exit(r, detail);
+                            }
                         }
                     }
                 }
@@ -422,15 +495,16 @@ impl Communicator {
                     rank: r,
                     message: "combine produced too few replies".into(),
                 })?;
-                if self.fabric.is_dead(r) {
-                    let _ = self.fabric.down[r].0.try_send(Down::Abort {
-                        cause: format!("rank {r} marked dead during {name}"),
-                    });
+                if self.transport.is_dead(r) {
+                    let _ = self.transport.root_send(
+                        r,
+                        DownMsg::Abort { cause: format!("rank {r} marked dead during {name}") },
+                    );
                     continue;
                 }
-                let msg = Down::Final { max_entry, reply, report: report.clone() };
-                if self.fabric.down[r].0.try_send(msg).is_err() {
-                    self.fabric.mark_dead(r);
+                let msg = DownMsg::Final { max_entry, reply, report: report.clone() };
+                if self.transport.root_send(r, msg).is_err() {
+                    self.transport.mark_dead(r);
                 }
             }
             let own = replies.pop().ok_or_else(|| CommError::Protocol {
@@ -445,6 +519,7 @@ impl Communicator {
             let mut crc = checksum(&data);
             let mut payload = data;
             let mut dropped = false;
+            let mut kill_after_send = false;
             if let Some(plan) = &self.faults {
                 match plan.fire_payload(self.rank, self.phase.get()) {
                     Some(FaultKind::DropPayload) => dropped = true,
@@ -455,24 +530,43 @@ impl Communicator {
                             crc ^= 0xBAD;
                         }
                     }
+                    Some(FaultKind::KillMidSend) => kill_after_send = true,
                     _ => {}
                 }
             }
             if !dropped {
-                let msg = Up::Data { t: clock.total(), crc, payload };
-                let _ = self.fabric.up[self.rank].0.try_send(msg);
+                let msg = UpMsg::Data { t: clock.total(), crc, payload };
+                let _ = self.transport.member_send(self.rank, msg);
+            }
+            if kill_after_send {
+                // The orphaned-frame fault: the contribution above is
+                // already committed to the fabric (in a channel slot or
+                // the socket's kernel buffer) when this rank dies. The
+                // root must still be able to use it; survivors must see
+                // this rank dead at the *next* collective, not a
+                // poisoned stream here.
+                match self.kill {
+                    KillMode::Process => die_sigkill(),
+                    KillMode::Simulated => {
+                        return Err(CommError::Lost {
+                            collective: name,
+                            rank: self.rank,
+                            status: "killed mid-send (simulated)".into(),
+                        });
+                    }
+                }
             }
             // The root may serially wait `timeout` on each of the other
             // ranks before talking to us, so our window must cover the
             // whole collection pass.
             let window = policy.timeout * (self.size as u32 + 1);
             loop {
-                match self.fabric.down[self.rank].1.recv_timeout(window) {
-                    Ok(Down::Final { max_entry, reply, report }) => {
+                match self.transport.member_recv(self.rank, window) {
+                    Ok(DownMsg::Final { max_entry, reply, report }) => {
                         clock.synchronize(max_entry, cost * (1.0 + report.retries as f64));
                         return Ok((reply, report));
                     }
-                    Ok(Down::Recover { assignments }) => {
+                    Ok(DownMsg::Recover { assignments }) => {
                         let parts: Vec<(usize, Vec<f64>)> = match &mut recovery {
                             Recovery::Enabled { regenerate, .. } => assignments
                                 .into_iter()
@@ -483,23 +577,35 @@ impl Communicator {
                                 .collect(),
                             Recovery::Disabled => Vec::new(),
                         };
-                        let _ = self.fabric.up[self.rank].0.try_send(Up::Recovered { parts });
+                        let _ = self
+                            .transport
+                            .member_send(self.rank, UpMsg::Recovered { parts });
                     }
-                    Ok(Down::Abort { cause }) => {
+                    Ok(DownMsg::Abort { cause }) => {
                         return Err(CommError::Aborted { collective: name, cause });
                     }
-                    Err(RecvTimeoutError::Timeout) => {
+                    Err(TransportError::Timeout { waited }) => {
                         return Err(CommError::Timeout {
                             collective: name,
                             rank: self.rank,
-                            waited: window,
+                            waited,
                         });
                     }
-                    Err(RecvTimeoutError::Disconnected) => {
+                    Err(TransportError::Closed { detail }) => {
+                        // The root's end is gone (in-process: fabric
+                        // dropped; process: the supervisor died or closed
+                        // our socket).
+                        return Err(CommError::Lost {
+                            collective: name,
+                            rank: 0,
+                            status: detail,
+                        });
+                    }
+                    Err(TransportError::Frame { detail }) => {
                         return Err(CommError::Protocol {
                             collective: name,
                             rank: self.rank,
-                            message: "fabric disconnected".into(),
+                            message: detail,
                         });
                     }
                 }
@@ -509,12 +615,12 @@ impl Communicator {
 
     fn abort_alive(&self, name: &'static str, cause: &str) {
         for r in 1..self.size {
-            if self.fabric.is_dead(r) {
+            if self.transport.is_dead(r) {
                 continue;
             }
-            let _ = self.fabric.down[r].0.try_send(Down::Abort {
-                cause: format!("{name}: {cause}"),
-            });
+            let _ = self
+                .transport
+                .root_send(r, DownMsg::Abort { cause: format!("{name}: {cause}") });
         }
     }
 

@@ -63,13 +63,57 @@ pub enum FaultKind {
     /// One worker task of the rank's intra-node thread pool panics,
     /// exercising the containment in `polaroct-sched`'s pool.
     PanicWorker,
+    /// The rank dies immediately *after* handing its collective payload
+    /// to the fabric — the orphaned-frame scenario: the root receives a
+    /// perfectly valid contribution from a rank that no longer exists.
+    /// On the process transport the death is a literal `SIGKILL`; on the
+    /// in-process transport the rank returns [`crate::runner::RankError`]
+    /// and participates in nothing further. Either way the already-sent
+    /// frame must stay usable by the root and must not poison the
+    /// channel for survivors.
+    KillMidSend,
 }
 
 impl FaultKind {
     /// Does this fault fire at a compute fault point (vs. on a payload)?
     fn is_exec(self) -> bool {
-        !matches!(self, FaultKind::DropPayload | FaultKind::CorruptPayload)
+        !matches!(
+            self,
+            FaultKind::DropPayload | FaultKind::CorruptPayload | FaultKind::KillMidSend
+        )
     }
+}
+
+/// How a "this rank dies" fault is realized.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KillMode {
+    /// The rank's thread stops participating (returns an error); the
+    /// process lives on. The only option for the in-process transport.
+    #[default]
+    Simulated,
+    /// The rank's OS process is killed with a real, kernel-delivered
+    /// `SIGKILL` — no destructors, no flushing, the socket just drops.
+    /// Only meaningful inside a worker process of the process transport.
+    Process,
+}
+
+/// Kill the current process with a real `SIGKILL` (no unwinding, no
+/// cleanup — the kernel reaps us mid-instruction, which is the point).
+/// Falls back to `abort` if the signal somehow fails to arrive, so this
+/// never returns either way.
+pub fn die_sigkill() -> ! {
+    #[cfg(unix)]
+    {
+        let pid = std::process::id();
+        let _ = std::process::Command::new("/bin/sh")
+            .arg("-c")
+            .arg(format!("kill -KILL {pid}"))
+            .status();
+        // The signal is asynchronous; give the kernel a moment before the
+        // abort fallback.
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    std::process::abort();
 }
 
 #[derive(Debug)]
@@ -132,41 +176,56 @@ impl FaultPlan {
         self.entries.len()
     }
 
-    fn with(mut self, rank: usize, phase: u32, kind: FaultKind) -> Self {
+    /// Append an explicit `(rank, phase, kind)` entry. Public so
+    /// transports can reconstruct a plan shipped across a process
+    /// boundary; the named builders below read better in tests.
+    pub fn with_entry(mut self, rank: usize, phase: u32, kind: FaultKind) -> Self {
         self.entries.push(FaultEntry { rank, phase, kind, fired: AtomicBool::new(false) });
         self
     }
 
+    /// Iterate `(rank, phase, kind)` of every entry (for serialization).
+    pub fn entries(&self) -> impl Iterator<Item = (usize, u32, FaultKind)> + '_ {
+        self.entries.iter().map(|e| (e.rank, e.phase, e.kind))
+    }
+
     /// Kill `rank` when it reaches `phase`.
     pub fn kill(self, rank: usize, phase: u32) -> Self {
-        self.with(rank, phase, FaultKind::Kill)
+        self.with_entry(rank, phase, FaultKind::Kill)
     }
 
     /// Delay `rank` at `phase` by `virtual_s` simulated seconds (plus a
     /// bounded real sleep so the recv timeout tolerance is exercised).
     pub fn delay(self, rank: usize, phase: u32, virtual_s: f64) -> Self {
         let real_ms = ((virtual_s * 1e3) as u64).min(25);
-        self.with(rank, phase, FaultKind::Delay { virtual_s, real_ms })
+        self.with_entry(rank, phase, FaultKind::Delay { virtual_s, real_ms })
     }
 
     /// Drop `rank`'s payload at collective `phase`.
     pub fn drop_payload(self, rank: usize, phase: u32) -> Self {
-        self.with(rank, phase, FaultKind::DropPayload)
+        self.with_entry(rank, phase, FaultKind::DropPayload)
     }
 
     /// Corrupt `rank`'s payload at collective `phase`.
     pub fn corrupt_payload(self, rank: usize, phase: u32) -> Self {
-        self.with(rank, phase, FaultKind::CorruptPayload)
+        self.with_entry(rank, phase, FaultKind::CorruptPayload)
     }
 
     /// Panic `rank`'s body at `phase`.
     pub fn panic_rank(self, rank: usize, phase: u32) -> Self {
-        self.with(rank, phase, FaultKind::PanicRank)
+        self.with_entry(rank, phase, FaultKind::PanicRank)
     }
 
     /// Panic one pool worker task of `rank` at `phase`.
     pub fn panic_worker(self, rank: usize, phase: u32) -> Self {
-        self.with(rank, phase, FaultKind::PanicWorker)
+        self.with_entry(rank, phase, FaultKind::PanicWorker)
+    }
+
+    /// Kill `rank` right after it ships its payload at collective
+    /// `phase` (the orphaned-frame scenario; see
+    /// [`FaultKind::KillMidSend`]).
+    pub fn kill_mid_send(self, rank: usize, phase: u32) -> Self {
+        self.with_entry(rank, phase, FaultKind::KillMidSend)
     }
 
     /// A deterministic random plan: every non-root rank rolls once per
@@ -249,7 +308,7 @@ pub enum RecoverMode {
 }
 
 /// Fault-tolerance knobs shared by all ranks of a run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FtPolicy {
     /// How long the root waits on one rank's collective payload before
     /// declaring it dead (and how long members wait per protocol step,
@@ -288,6 +347,12 @@ pub struct FtReport {
     pub degraded: Vec<usize>,
     /// Recovery rounds the collective needed (0 = fault-free).
     pub retries: u32,
+    /// OS exit statuses of dead worker processes, as captured by the
+    /// process-transport supervisor ("killed by signal 9 (SIGKILL)",
+    /// "exited with code 3", ...). Always empty on the in-process
+    /// transport — the cross-transport bit-identity contract covers
+    /// energies and outcome classification, not this diagnostic field.
+    pub exits: Vec<(usize, String)>,
 }
 
 impl FtReport {
@@ -310,6 +375,19 @@ impl FtReport {
             }
         }
         self.retries += other.retries;
+        for (r, status) in &other.exits {
+            if !self.exits.iter().any(|(er, _)| er == r) {
+                self.exits.push((*r, status.clone()));
+            }
+        }
+    }
+
+    /// Record a dead worker's OS exit status (process transport only);
+    /// first status per rank wins.
+    pub fn record_exit(&mut self, rank: usize, status: String) {
+        if !self.exits.iter().any(|(r, _)| *r == rank) {
+            self.exits.push((rank, status));
+        }
     }
 }
 
@@ -365,14 +443,46 @@ mod tests {
 
     #[test]
     fn report_merge_dedups_ranks_and_sums_retries() {
-        let mut a = FtReport { dead: vec![1], recovered: vec![1], degraded: vec![], retries: 1 };
-        let b = FtReport { dead: vec![1, 2], recovered: vec![1], degraded: vec![2], retries: 2 };
+        let mut a = FtReport {
+            dead: vec![1],
+            recovered: vec![1],
+            retries: 1,
+            ..Default::default()
+        };
+        let b = FtReport {
+            dead: vec![1, 2],
+            recovered: vec![1],
+            degraded: vec![2],
+            retries: 2,
+            exits: vec![(1, "killed by signal 9 (SIGKILL)".into())],
+        };
         a.merge(&b);
         assert_eq!(a.dead, vec![1, 2]);
         assert_eq!(a.recovered, vec![1, 1], "recovery count keeps multiplicity");
         assert_eq!(a.degraded, vec![2]);
         assert_eq!(a.retries, 3);
+        assert_eq!(a.exits, vec![(1, "killed by signal 9 (SIGKILL)".to_string())]);
         assert!(!a.clean());
         assert!(FtReport::default().clean());
+    }
+
+    #[test]
+    fn kill_mid_send_is_a_payload_fault() {
+        let plan = FaultPlan::new(0).kill_mid_send(1, phase::REDUCE_INTEGRALS);
+        assert_eq!(plan.fire_exec(1, phase::REDUCE_INTEGRALS), None);
+        assert_eq!(
+            plan.fire_payload(1, phase::REDUCE_INTEGRALS),
+            Some(FaultKind::KillMidSend)
+        );
+        assert_eq!(plan.fire_payload(1, phase::REDUCE_INTEGRALS), None, "one-shot");
+    }
+
+    #[test]
+    fn record_exit_keeps_first_status_per_rank() {
+        let mut r = FtReport::default();
+        r.record_exit(2, "killed by signal 9 (SIGKILL)".into());
+        r.record_exit(2, "exited with code 0".into());
+        assert_eq!(r.exits.len(), 1);
+        assert_eq!(r.exits[0].1, "killed by signal 9 (SIGKILL)");
     }
 }

@@ -42,6 +42,17 @@
 //! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) and
 //!   the fault-tolerance policy/report types backing the `_ft`
 //!   collectives and [`runner::run_spmd_ft`].
+//! * [`transport`] — the [`transport::Transport`] trait the FT
+//!   collectives run over: the in-process channel fabric and the
+//!   multi-process socket fabric are interchangeable behind it.
+//! * [`wire`] — length-prefixed, FNV-1a-checksummed frame format and
+//!   hardened encoders/decoders for the socket fabric (versioned
+//!   `HELLO`/`WELCOME` handshake; truncation/corruption → typed
+//!   [`wire::WireError`], never a panic).
+//! * [`proc`] (unix) — real OS worker processes over Unix domain
+//!   sockets: [`proc::Supervisor`] (spawn/handshake/reap, exit-status
+//!   capture — a `Kill` fault is a literal SIGKILL), [`proc::ProcFabric`]
+//!   (root side) and [`proc::WorkerEndpoint`] (member side).
 
 #![forbid(unsafe_code)]
 
@@ -52,16 +63,24 @@ pub mod fault;
 pub mod machine;
 pub mod memory;
 pub mod noise;
+#[cfg(unix)]
+pub mod proc;
 pub mod runner;
 pub mod simtime;
 pub mod trace;
+pub mod transport;
+pub mod wire;
 
 pub use calib::KernelCosts;
-pub use comm::{CommError, Communicator, Recovery};
+pub use comm::{CommError, CommFabric, Communicator, Recovery};
 pub use costmodel::CommCostModel;
-pub use fault::{FaultKind, FaultPlan, FtPolicy, FtReport, RecoverMode};
+pub use fault::{die_sigkill, FaultKind, FaultPlan, FtPolicy, FtReport, KillMode, RecoverMode};
 pub use machine::{ClusterSpec, MachineSpec, Placement};
 pub use memory::MemoryModel;
 pub use noise::NoiseModel;
+#[cfg(unix)]
+pub use proc::{ProcError, ProcFabric, Supervisor, WorkerEndpoint};
 pub use runner::{run_spmd, run_spmd_ft, FtSpmdResult, RankContext, RankError, SpmdResult};
 pub use simtime::SimClock;
+pub use transport::{DownMsg, Transport, TransportError, UpMsg};
+pub use wire::WireError;

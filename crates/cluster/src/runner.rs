@@ -9,7 +9,7 @@
 use crate::calib::KernelCosts;
 use crate::comm::{CommError, CommFabric, Communicator};
 use crate::costmodel::CommCostModel;
-use crate::fault::{FaultKind, FaultPlan, FtPolicy};
+use crate::fault::{die_sigkill, FaultKind, FaultPlan, FtPolicy, KillMode};
 use crate::machine::ClusterSpec;
 use crate::simtime::{OpCounts, SimClock};
 use polaroct_sched::pool::WorkStealingPool;
@@ -59,6 +59,10 @@ pub struct RankContext {
     pub threads: usize,
     /// The run's fault plan (empty when launched via [`run_spmd`]).
     pub faults: Arc<FaultPlan>,
+    /// How kill-class faults are realized: simulated (thread stops
+    /// participating) for in-process ranks, a real `SIGKILL` when this
+    /// rank is its own worker process.
+    pub kill: KillMode,
 }
 
 impl RankContext {
@@ -87,8 +91,17 @@ impl RankContext {
     pub fn fault_point(&mut self, phase: u32) -> Result<(), RankError> {
         self.comm.set_phase(phase);
         match self.faults.fire_exec(self.rank, phase) {
-            None | Some(FaultKind::DropPayload) | Some(FaultKind::CorruptPayload) => Ok(()),
-            Some(FaultKind::Kill) => Err(RankError::Killed { phase }),
+            None
+            | Some(FaultKind::DropPayload)
+            | Some(FaultKind::CorruptPayload)
+            | Some(FaultKind::KillMidSend) => Ok(()),
+            Some(FaultKind::Kill) => match self.kill {
+                KillMode::Simulated => Err(RankError::Killed { phase }),
+                // A worker process dies for real: the kernel delivers
+                // SIGKILL, the socket drops, and the root learns of the
+                // death from the transport, not from a return value.
+                KillMode::Process => die_sigkill(),
+            },
             Some(FaultKind::Delay { virtual_s, real_ms }) => {
                 self.clock.add_compute(virtual_s);
                 std::thread::sleep(std::time::Duration::from_millis(real_ms));
@@ -222,6 +235,7 @@ where
                     costs,
                     threads,
                     faults: plan,
+                    kill: KillMode::Simulated,
                 };
                 let out =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));

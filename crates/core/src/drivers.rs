@@ -29,7 +29,7 @@ use polaroct_cluster::{
     fault::{phase, FaultKind, FaultPlan, FtPolicy, FtReport, RecoverMode},
     machine::ClusterSpec,
     memory::MemoryModel,
-    runner::{run_spmd_ft, RankError},
+    runner::{run_spmd_ft, RankContext, RankError},
     simtime::{OpCounts, SimClock},
 };
 use polaroct_geom::fastmath::MathMode;
@@ -98,7 +98,7 @@ pub enum RecoveryMode {
 }
 
 impl RecoveryMode {
-    fn prefer(self) -> Option<RecoverMode> {
+    pub(crate) fn prefer(self) -> Option<RecoverMode> {
         match self {
             RecoveryMode::Disabled => None,
             RecoveryMode::Reexecute => Some(RecoverMode::Exact),
@@ -313,6 +313,10 @@ pub struct RunReport {
     /// Fault-tolerance outcome ([`RunOutcome::Completed`] when no fault
     /// plan was active).
     pub outcome: RunOutcome,
+    /// Raw fault-tolerance ledger behind [`RunReport::outcome`]: dead /
+    /// recovered / degraded ranks, retry count, and — process transport
+    /// only — captured worker OS exit statuses.
+    pub ft: FtReport,
     /// Evaluations served by previously built interaction lists (always
     /// zero for the one-shot drivers; populated by MD via
     /// [`crate::lists::ListEngine`]).
@@ -368,6 +372,7 @@ pub fn run_naive(
             ..Default::default()
         },
         outcome: RunOutcome::Completed,
+        ft: FtReport::default(),
         lists_reused: 0,
         lists_rebuilt: 0,
     })
@@ -456,6 +461,7 @@ pub fn run_serial(
             lists: lists_t,
         },
         outcome: RunOutcome::Completed,
+        ft: FtReport::default(),
         lists_reused: 0,
         lists_rebuilt: 1,
     })
@@ -549,6 +555,7 @@ pub fn run_oct_cilk(
             ..Default::default()
         },
         outcome: RunOutcome::Completed,
+        ft: FtReport::default(),
         lists_reused: 0,
         lists_rebuilt: 1,
     })
@@ -612,7 +619,12 @@ fn fire_threads_fault(
     delay_s: &mut f64,
 ) -> Result<Option<usize>, DriverError> {
     match plan.fire_exec(0, ph) {
-        None | Some(FaultKind::DropPayload) | Some(FaultKind::CorruptPayload) => Ok(None),
+        // KillMidSend is a wire-layer fault: there is no send in the
+        // single-process driver, so it is a no-op here.
+        None
+        | Some(FaultKind::DropPayload)
+        | Some(FaultKind::CorruptPayload)
+        | Some(FaultKind::KillMidSend) => Ok(None),
         Some(FaultKind::Delay { virtual_s, real_ms }) => {
             *delay_s += virtual_s;
             std::thread::sleep(Duration::from_millis(real_ms));
@@ -807,6 +819,7 @@ pub fn run_oct_threads_ft(
         } else {
             RunOutcome::Completed
         },
+        ft: FtReport::default(),
         lists_reused: 0,
         lists_rebuilt: 1,
     })
@@ -1024,32 +1037,26 @@ fn estimate_degraded_error(sys: &GbSystem, degraded: &[usize], size: usize) -> f
             .sum::<f64>()
 }
 
-/// The Fig. 4 algorithm, shared by `OCT_MPI` (p = 1) and `OCT_MPI+CILK`
-/// (p > 1). Steps map one-to-one onto the paper's listing.
-///
-/// **Fault tolerance.** Each Fig. 4 step is a declared
-/// [`polaroct_cluster::runner::RankContext::fault_point`], and every
-/// collective runs its `_ft` variant with a regeneration closure that
-/// re-executes a lost rank's static segment through the *same* step
-/// helper the main path uses — so a recovered run's energy is
-/// bit-identical to the fault-free one. Rank 0 (the star's root) is the
-/// single point of failure by construction; its death fails the run.
-#[allow(clippy::too_many_arguments)]
-fn run_fig4(
+/// One rank's pass through Fig. 4 Steps 2–7 — the body shared by **both
+/// transports**: [`run_fig4`] calls it from each rank thread over the
+/// in-process channel fabric, and a worker *process* calls it directly
+/// over its socket endpoint (`crate::procexec`). Everything it consumes
+/// beyond the [`RankContext`] is recomputed deterministically from the
+/// inputs (the memory-model slowdown included), so the same system +
+/// cluster + fault plan yields bit-identical energies no matter which
+/// transport carries the collectives.
+pub(crate) fn fig4_rank_body(
     sys: &GbSystem,
     params: &ApproxParams,
     cfg: &DriverConfig,
     cluster: &ClusterSpec,
     workdiv: WorkDivision,
-    name: &str,
-    ftc: &FtConfig,
-) -> Result<RunReport, DriverError> {
-    validate_system(sys)?;
-    let wall = Instant::now();
+    prefer: Option<RecoverMode>,
+    ctx: &mut RankContext,
+) -> Result<(f64, Vec<f64>, OpCounts, FtReport), RankError> {
     let p_threads = cluster.placement.threads_per_process;
     let hybrid = p_threads > 1;
-    let mem = MemoryModel::new(sys.memory_bytes());
-    let slowdown = mem.slowdown(cluster);
+    let slowdown = MemoryModel::new(sys.memory_bytes()).slowdown(cluster);
     let math = params.math;
 
     // Charge a rank's phase: serial ranks convert op totals directly;
@@ -1076,207 +1083,241 @@ fn run_fig4(
         }
     };
 
-    let prefer = ftc.recovery.prefer();
     // Recovery work is re-executed serially by the assignee while its
     // peers wait on the collective; charge it at the serial rate.
     let charge_recovery = |clock: &mut SimClock, ops: &OpCounts| {
         clock.add_compute(seconds(cfg, ops, math) * slowdown);
     };
 
-    type RankOut = (f64, Vec<f64>, OpCounts, FtReport);
-    let res = run_spmd_ft(
-        cluster,
-        cfg.costs,
-        &ftc.plan,
-        ftc.policy,
-        |ctx| -> Result<RankOut, RankError> {
-            let size = ctx.size;
-            let rank = ctx.rank;
-            let mut clock = ctx.clock;
-            let mut rank_ops = OpCounts::default();
-            let mut summary = FtReport::default();
+    let size = ctx.size;
+    let rank = ctx.rank;
+    let mut clock = ctx.clock;
+    let mut rank_ops = OpCounts::default();
+    let mut summary = FtReport::default();
 
-            // ---- Step 1: every rank "builds" both octrees (pre-processing,
-            // excluded from timing per §IV.C Step 1). We share the replica.
+    // ---- Step 1: every rank "builds" both octrees (pre-processing,
+    // excluded from timing per §IV.C Step 1). We share the replica.
 
-            // ---- Step 2: approximated integrals for this rank's share of
-            // quadrature leaves / q-points.
-            ctx.fault_point(phase::INTEGRALS)?;
-            let (mut acc, task_ops) = step2_partial(sys, workdiv, size, rank, params.eps_born);
-            for o in &task_ops {
-                rank_ops.add(o);
-            }
-            charge_phase(&mut clock, &task_ops, rank as u64);
+    // ---- Step 2: approximated integrals for this rank's share of
+    // quadrature leaves / q-points.
+    ctx.fault_point(phase::INTEGRALS)?;
+    let (mut acc, task_ops) = step2_partial(sys, workdiv, size, rank, params.eps_born);
+    for o in &task_ops {
+        rank_ops.add(o);
+    }
+    charge_phase(&mut clock, &task_ops, rank as u64);
 
-            // ---- Step 3: gather partial integrals (MPI_Allreduce). A lost
-            // rank's partial accumulator is regenerated by re-running its
-            // Step 2 share.
-            ctx.fault_point(phase::REDUCE_INTEGRALS)?;
-            {
-                let mut rec_ops = OpCounts::default();
-                let mut regenerate = |lost: usize, mode: RecoverMode| {
-                    let eps = match mode {
-                        RecoverMode::Exact => params.eps_born,
-                        RecoverMode::Degraded => EPS_DEGRADED,
-                    };
-                    let (lost_acc, ops) = step2_partial(sys, workdiv, size, lost, eps);
-                    for o in &ops {
-                        rec_ops.add(o);
-                    }
-                    lost_acc.to_flat()
-                };
-                let recovery = match prefer {
-                    None => Recovery::Disabled,
-                    Some(p) => Recovery::Enabled {
-                        regenerate: &mut regenerate,
-                        prefer: p,
-                    },
-                };
-                let mut flat = acc.to_flat();
-                let report = ctx.comm.allreduce_sum_ft(&mut flat, &mut clock, recovery)?;
-                acc.from_flat(&flat);
-                summary.merge(&report);
-                rank_ops.add(&rec_ops);
-                charge_recovery(&mut clock, &rec_ops);
-            }
-
-            // ---- Step 4: push integrals; rank i finalizes the i-th atom
-            // segment.
-            ctx.fault_point(phase::PUSH)?;
-            let atom_ranges = sys.atoms.partition_points(size);
-            let my_atoms = atom_ranges[rank].clone();
-            let mut born = vec![0.0; sys.n_atoms()];
-            let mut push_tasks: Vec<OpCounts> = Vec::new();
-            if hybrid {
-                // Split the segment into p*4 chunks for the intra-node pool.
-                let chunks = (p_threads * 4).max(1);
-                let len = my_atoms.len();
-                for c in 0..chunks {
-                    let lo = my_atoms.start + c * len / chunks;
-                    let hi = my_atoms.start + (c + 1) * len / chunks;
-                    if lo < hi {
-                        push_tasks.push(push_integrals_to_atoms(
-                            sys, &acc, lo..hi, math, &mut born,
-                        ));
-                    }
-                }
-            } else {
-                push_tasks.push(push_integrals_to_atoms(
-                    sys,
-                    &acc,
-                    my_atoms.clone(),
-                    math,
-                    &mut born,
-                ));
-            }
-            for o in &push_tasks {
-                rank_ops.add(o);
-            }
-            charge_phase(&mut clock, &push_tasks, rank as u64 ^ 0x4444);
-
-            // ---- Step 5: gather Born radii (MPI_Allgatherv). The push is
-            // deterministic and mode-independent, so even a degraded-mode
-            // recovery round regenerates the exact segment — radii never
-            // carry widened error bars.
-            ctx.fault_point(phase::GATHER_RADII)?;
-            let born = {
-                let mut rec_ops = OpCounts::default();
-                let mut regenerate = |lost: usize, _mode: RecoverMode| {
-                    let (seg, ops) = step4_segment(sys, &acc, atom_ranges[lost].clone(), math);
-                    rec_ops.add(&ops);
-                    seg
-                };
-                let recovery = match prefer {
-                    None => Recovery::Disabled,
-                    Some(p) => Recovery::Enabled {
-                        regenerate: &mut regenerate,
-                        prefer: p,
-                    },
-                };
-                let (full, report) =
-                    ctx.comm
-                        .allgatherv_ft(&born[my_atoms.clone()], &mut clock, recovery)?;
-                summary.merge(&report);
-                rank_ops.add(&rec_ops);
-                charge_recovery(&mut clock, &rec_ops);
-                full
+    // ---- Step 3: gather partial integrals (MPI_Allreduce). A lost
+    // rank's partial accumulator is regenerated by re-running its
+    // Step 2 share.
+    ctx.fault_point(phase::REDUCE_INTEGRALS)?;
+    {
+        let mut rec_ops = OpCounts::default();
+        let mut regenerate = |lost: usize, mode: RecoverMode| {
+            let eps = match mode {
+                RecoverMode::Exact => params.eps_born,
+                RecoverMode::Degraded => EPS_DEGRADED,
             };
-            assert_eq!(born.len(), sys.n_atoms());
+            let (lost_acc, ops) = step2_partial(sys, workdiv, size, lost, eps);
+            for o in &ops {
+                rec_ops.add(o);
+            }
+            lost_acc.to_flat()
+        };
+        let recovery = match prefer {
+            None => Recovery::Disabled,
+            Some(p) => Recovery::Enabled {
+                regenerate: &mut regenerate,
+                prefer: p,
+            },
+        };
+        let mut flat = acc.to_flat();
+        let report = ctx.comm.allreduce_sum_ft(&mut flat, &mut clock, recovery)?;
+        acc.from_flat(&flat);
+        summary.merge(&report);
+        rank_ops.add(&rec_ops);
+        charge_recovery(&mut clock, &rec_ops);
+    }
 
-            // Charge binning: O(M·M_ε) on every rank, tiny next to the
-            // kernels, charged as node visits.
-            let bins = ChargeBins::build(sys, &born, params.eps_epol);
-            let bin_ops = OpCounts {
-                nodes_visited: sys.n_atoms() as u64,
-                ..Default::default()
+    // ---- Step 4: push integrals; rank i finalizes the i-th atom
+    // segment.
+    ctx.fault_point(phase::PUSH)?;
+    let atom_ranges = sys.atoms.partition_points(size);
+    let my_atoms = atom_ranges[rank].clone();
+    let mut born = vec![0.0; sys.n_atoms()];
+    let mut push_tasks: Vec<OpCounts> = Vec::new();
+    if hybrid {
+        // Split the segment into p*4 chunks for the intra-node pool.
+        let chunks = (p_threads * 4).max(1);
+        let len = my_atoms.len();
+        for c in 0..chunks {
+            let lo = my_atoms.start + c * len / chunks;
+            let hi = my_atoms.start + (c + 1) * len / chunks;
+            if lo < hi {
+                push_tasks.push(push_integrals_to_atoms(sys, &acc, lo..hi, math, &mut born));
+            }
+        }
+    } else {
+        push_tasks.push(push_integrals_to_atoms(
+            sys,
+            &acc,
+            my_atoms.clone(),
+            math,
+            &mut born,
+        ));
+    }
+    for o in &push_tasks {
+        rank_ops.add(o);
+    }
+    charge_phase(&mut clock, &push_tasks, rank as u64 ^ 0x4444);
+
+    // ---- Step 5: gather Born radii (MPI_Allgatherv). The push is
+    // deterministic and mode-independent, so even a degraded-mode
+    // recovery round regenerates the exact segment — radii never
+    // carry widened error bars.
+    ctx.fault_point(phase::GATHER_RADII)?;
+    let born = {
+        let mut rec_ops = OpCounts::default();
+        let mut regenerate = |lost: usize, _mode: RecoverMode| {
+            let (seg, ops) = step4_segment(sys, &acc, atom_ranges[lost].clone(), math);
+            rec_ops.add(&ops);
+            seg
+        };
+        let recovery = match prefer {
+            None => Recovery::Disabled,
+            Some(p) => Recovery::Enabled {
+                regenerate: &mut regenerate,
+                prefer: p,
+            },
+        };
+        let (full, report) = ctx
+            .comm
+            .allgatherv_ft(&born[my_atoms.clone()], &mut clock, recovery)?;
+        summary.merge(&report);
+        rank_ops.add(&rec_ops);
+        charge_recovery(&mut clock, &rec_ops);
+        full
+    };
+    assert_eq!(born.len(), sys.n_atoms());
+
+    // Charge binning: O(M·M_ε) on every rank, tiny next to the
+    // kernels, charged as node visits.
+    let bins = ChargeBins::build(sys, &born, params.eps_epol);
+    let bin_ops = OpCounts {
+        nodes_visited: sys.n_atoms() as u64,
+        ..Default::default()
+    };
+    rank_ops.add(&bin_ops);
+    charge_phase(&mut clock, &[bin_ops], rank as u64 ^ 0x5555);
+
+    // ---- Step 6: partial energies for this rank's share of atom
+    // leaves / atoms.
+    ctx.fault_point(phase::EPOL)?;
+    let (raw, epol_tasks) = step6_partial(
+        sys,
+        &bins,
+        &born,
+        workdiv,
+        &atom_ranges,
+        size,
+        rank,
+        params.eps_epol,
+        math,
+    );
+    for o in &epol_tasks {
+        rank_ops.add(o);
+    }
+    charge_phase(&mut clock, &epol_tasks, rank as u64 ^ 0x6666);
+
+    // ---- Step 7: master accumulates partial energies (MPI_Reduce).
+    // A lost rank's scalar is regenerated by re-running its Step 6
+    // share; the root folds all P entries in rank order either way.
+    ctx.fault_point(phase::REDUCE_EPOL)?;
+    let total_raw = {
+        let mut rec_ops = OpCounts::default();
+        let mut regenerate = |lost: usize, mode: RecoverMode| {
+            let eps = match mode {
+                RecoverMode::Exact => params.eps_epol,
+                RecoverMode::Degraded => EPS_DEGRADED,
             };
-            rank_ops.add(&bin_ops);
-            charge_phase(&mut clock, &[bin_ops], rank as u64 ^ 0x5555);
-
-            // ---- Step 6: partial energies for this rank's share of atom
-            // leaves / atoms.
-            ctx.fault_point(phase::EPOL)?;
-            let (raw, epol_tasks) = step6_partial(
+            let (r, ops) = step6_partial(
                 sys,
                 &bins,
                 &born,
                 workdiv,
                 &atom_ranges,
                 size,
-                rank,
-                params.eps_epol,
+                lost,
+                eps,
                 math,
             );
-            for o in &epol_tasks {
-                rank_ops.add(o);
+            for o in &ops {
+                rec_ops.add(o);
             }
-            charge_phase(&mut clock, &epol_tasks, rank as u64 ^ 0x6666);
+            vec![r]
+        };
+        let recovery = match prefer {
+            None => Recovery::Disabled,
+            Some(p) => Recovery::Enabled {
+                regenerate: &mut regenerate,
+                prefer: p,
+            },
+        };
+        let (v, report) = ctx.comm.reduce_sum_scalar_ft(raw, &mut clock, recovery)?;
+        summary.merge(&report);
+        rank_ops.add(&rec_ops);
+        charge_recovery(&mut clock, &rec_ops);
+        v
+    };
 
-            // ---- Step 7: master accumulates partial energies (MPI_Reduce).
-            // A lost rank's scalar is regenerated by re-running its Step 6
-            // share; the root folds all P entries in rank order either way.
-            ctx.fault_point(phase::REDUCE_EPOL)?;
-            let total_raw = {
-                let mut rec_ops = OpCounts::default();
-                let mut regenerate = |lost: usize, mode: RecoverMode| {
-                    let eps = match mode {
-                        RecoverMode::Exact => params.eps_epol,
-                        RecoverMode::Degraded => EPS_DEGRADED,
-                    };
-                    let (r, ops) = step6_partial(
-                        sys,
-                        &bins,
-                        &born,
-                        workdiv,
-                        &atom_ranges,
-                        size,
-                        lost,
-                        eps,
-                        math,
-                    );
-                    for o in &ops {
-                        rec_ops.add(o);
-                    }
-                    vec![r]
-                };
-                let recovery = match prefer {
-                    None => Recovery::Disabled,
-                    Some(p) => Recovery::Enabled {
-                        regenerate: &mut regenerate,
-                        prefer: p,
-                    },
-                };
-                let (v, report) = ctx.comm.reduce_sum_scalar_ft(raw, &mut clock, recovery)?;
-                summary.merge(&report);
-                rank_ops.add(&rec_ops);
-                charge_recovery(&mut clock, &rec_ops);
-                v
-            };
+    ctx.clock = clock;
+    Ok((total_raw.unwrap_or(0.0), born, rank_ops, summary))
+}
 
-            ctx.clock = clock;
-            Ok((total_raw.unwrap_or(0.0), born, rank_ops, summary))
-        },
-    );
+/// Fold a run's merged [`FtReport`] into its [`RunOutcome`] — shared by
+/// the in-process and process-transport drivers so both label identical
+/// fault histories identically (one leg of the cross-transport
+/// bit-identity contract).
+pub(crate) fn classify_outcome(sys: &GbSystem, summary: &FtReport, processes: usize) -> RunOutcome {
+    if summary.clean() {
+        RunOutcome::Completed
+    } else if summary.degraded.is_empty() {
+        RunOutcome::Recovered {
+            n_retries: summary.retries,
+        }
+    } else {
+        RunOutcome::Degraded {
+            est_error_pct: estimate_degraded_error(sys, &summary.degraded, processes),
+        }
+    }
+}
+
+/// The Fig. 4 algorithm, shared by `OCT_MPI` (p = 1) and `OCT_MPI+CILK`
+/// (p > 1). Steps map one-to-one onto the paper's listing.
+///
+/// **Fault tolerance.** Each Fig. 4 step is a declared
+/// [`polaroct_cluster::runner::RankContext::fault_point`], and every
+/// collective runs its `_ft` variant with a regeneration closure that
+/// re-executes a lost rank's static segment through the *same* step
+/// helper the main path uses — so a recovered run's energy is
+/// bit-identical to the fault-free one. Rank 0 (the star's root) is the
+/// single point of failure by construction; its death fails the run.
+#[allow(clippy::too_many_arguments)]
+fn run_fig4(
+    sys: &GbSystem,
+    params: &ApproxParams,
+    cfg: &DriverConfig,
+    cluster: &ClusterSpec,
+    workdiv: WorkDivision,
+    name: &str,
+    ftc: &FtConfig,
+) -> Result<RunReport, DriverError> {
+    validate_system(sys)?;
+    let wall = Instant::now();
+    let prefer = ftc.recovery.prefer();
+    let res = run_spmd_ft(cluster, cfg.costs, &ftc.plan, ftc.policy, |ctx| {
+        fig4_rank_body(sys, params, cfg, cluster, workdiv, prefer, ctx)
+    });
 
     // Root rank (0) holds the final energy and the authoritative
     // fault-tolerance summary; if the root itself failed, the run failed.
@@ -1310,21 +1351,7 @@ fn run_fig4(
     let comm = survivors.iter().map(|c| c.comm).fold(0.0, f64::max);
     let wait = survivors.iter().map(|c| c.wait).fold(0.0, f64::max);
 
-    let outcome = if summary.clean() {
-        RunOutcome::Completed
-    } else if summary.degraded.is_empty() {
-        RunOutcome::Recovered {
-            n_retries: summary.retries,
-        }
-    } else {
-        RunOutcome::Degraded {
-            est_error_pct: estimate_degraded_error(
-                sys,
-                &summary.degraded,
-                cluster.placement.processes,
-            ),
-        }
-    };
+    let outcome = classify_outcome(sys, &summary, cluster.placement.processes);
 
     Ok(RunReport {
         name: name.into(),
@@ -1343,6 +1370,7 @@ fn run_fig4(
         // a per-phase host clock would be meaningless here.
         phases: PhaseTimes::default(),
         outcome,
+        ft: summary,
         lists_reused: 0,
         lists_rebuilt: 0,
     })

@@ -50,6 +50,7 @@ pub mod lists;
 pub mod md;
 pub mod naive;
 pub mod params;
+pub mod procexec;
 pub mod soa;
 pub mod steal;
 pub mod system;
@@ -65,5 +66,8 @@ pub use error::{energy_error_pct, ErrorStats};
 pub use gb::{f_gb, COULOMB_KCAL};
 pub use lists::{BornLists, EngineEval, EpolLists, ListEngine, ListEntry, LIST_CHUNKS};
 pub use params::ApproxParams;
+#[cfg(unix)]
+pub use procexec::run_oct_mpi_proc_ft;
+pub use procexec::maybe_worker;
 pub use system::GbSystem;
 pub use workdiv::WorkDivision;

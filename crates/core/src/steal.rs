@@ -127,6 +127,7 @@ pub fn run_oct_mpi_steal(
         wall_seconds: wall.elapsed().as_secs_f64(),
         phases: crate::drivers::PhaseTimes::default(),
         outcome: RunOutcome::Completed,
+        ft: polaroct_cluster::FtReport::default(),
         lists_reused: 0,
         lists_rebuilt: 0,
     })

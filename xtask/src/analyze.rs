@@ -12,7 +12,9 @@
 //!   `#![forbid(unsafe_code)]` (the allowlisted crate may use `deny`
 //!   with per-site `allow`).
 //! * **no-panic-paths** — the fault-tolerance-critical modules
-//!   (`cluster::comm`, `cluster::runner`, `core::drivers`) must not
+//!   (`cluster::comm`, `cluster::runner`, `cluster::transport`,
+//!   `cluster::wire`, `cluster::proc`, `core::drivers`,
+//!   `core::procexec`) must not
 //!   `unwrap`/`expect`/`panic!`: a worker that panics where the design
 //!   says "return a typed error" silently converts a recoverable fault
 //!   into a rank loss. Documented exceptions are waived with
@@ -79,9 +81,13 @@ const NO_PANIC_FILES: &[&str] = &[
     "crates/bench/src/bin/kernel_throughput.rs",
     "crates/bench/src/bin/list_reuse.rs",
     "crates/cluster/src/comm.rs",
+    "crates/cluster/src/proc.rs",
     "crates/cluster/src/runner.rs",
+    "crates/cluster/src/transport.rs",
+    "crates/cluster/src/wire.rs",
     "crates/core/src/drivers.rs",
     "crates/core/src/lists.rs",
+    "crates/core/src/procexec.rs",
     "crates/core/src/soa.rs",
     "crates/core/src/system.rs",
     "crates/octree/src/build.rs",

@@ -113,6 +113,10 @@ fn crate_roots_must_carry_the_unsafe_attr() {
 #[test]
 fn classify_knows_the_project_layout() {
     assert!(classify("crates/cluster/src/comm.rs").no_panic);
+    assert!(classify("crates/cluster/src/wire.rs").no_panic);
+    assert!(classify("crates/cluster/src/proc.rs").no_panic);
+    assert!(classify("crates/cluster/src/transport.rs").no_panic);
+    assert!(classify("crates/core/src/procexec.rs").no_panic);
     assert!(classify("crates/core/src/drivers.rs").no_panic);
     assert!(classify("crates/octree/src/build.rs").no_panic);
     assert!(classify("crates/octree/src/parallel.rs").no_panic);
