@@ -127,6 +127,7 @@ fn main() {
     let mut baseline_raw: Vec<f64> = Vec::with_capacity(replay_steps);
     let t = Instant::now();
     for frame in &traj {
+        // PANIC-OK: every synthesized trajectory frame has exactly positions.len() entries.
         work.positions.copy_from_slice(frame);
         let sys = GbSystem::prepare(&work, &approx);
         let (born, _) = born_radii_octree(&sys, approx.eps_born, approx.math);

@@ -110,6 +110,7 @@ impl Table {
 
     /// Append a row (stringified cells).
     pub fn row(&mut self, cells: &[String]) {
+        // PANIC-OK: precondition assert — a mis-sized row is a harness bug, fail fast.
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
         self.rows.push(cells.to_vec());
     }

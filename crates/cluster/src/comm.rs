@@ -650,6 +650,7 @@ impl Communicator {
             },
             recovery,
         )?;
+        // PANIC-OK: the reduce closure returns one entry per input element, so out.len() == buf.len().
         buf.copy_from_slice(&out);
         Ok(report)
     }

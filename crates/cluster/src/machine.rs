@@ -73,6 +73,7 @@ pub struct Placement {
 
 impl Placement {
     pub fn new(processes: usize, threads_per_process: usize) -> Self {
+        // PANIC-OK: precondition assert — an empty placement is a caller bug.
         assert!(processes >= 1 && threads_per_process >= 1);
         Placement { processes, threads_per_process }
     }

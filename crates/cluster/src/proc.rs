@@ -187,6 +187,7 @@ pub fn read_frame(stream: &UnixStream, timeout: Duration) -> Result<(u8, Vec<u8>
     })?;
     let crc_bytes = rest.split_off(len);
     let mut crc = [0u8; 8];
+    // PANIC-OK: read_exact_deadline filled exactly len + 8 bytes, so the CRC tail is 8 bytes.
     crc.copy_from_slice(&crc_bytes);
     wire::check_frame(frame_kind, &rest, u64::from_le_bytes(crc)).map_err(frame_err)?;
     Ok((frame_kind, rest))
@@ -679,6 +680,7 @@ impl Drop for Supervisor {
             // Never leave orphan workers behind.
             for child in self.children.iter_mut().flatten() {
                 let _ = child.kill();
+                // DEADLINE-OK: the child was just SIGKILLed; wait() only reaps the zombie and returns promptly.
                 let _ = child.wait();
             }
         }

@@ -56,9 +56,12 @@ impl BornAccumulators {
 
     /// Inverse of [`Self::to_flat`].
     pub fn from_flat(&mut self, flat: &[f64]) {
+        // PANIC-OK: precondition assert — a mis-sized snapshot is a caller bug, not a runtime fault.
         assert_eq!(flat.len(), self.node.len() + self.atom.len());
         let n = self.node.len();
+        // PANIC-OK: lengths match by the assert above.
         self.node.copy_from_slice(&flat[..n]);
+        // PANIC-OK: atom.len() == flat.len() - n by the assert above.
         self.atom.copy_from_slice(&flat[n..]);
     }
 }
@@ -221,6 +224,7 @@ pub fn push_integrals_to_atoms(
     math: MathMode,
     out: &mut [f64],
 ) -> OpCounts {
+    // PANIC-OK: precondition assert — a mis-sized output buffer is a caller bug, not a runtime fault.
     assert_eq!(out.len(), sys.n_atoms());
     let mut ops = OpCounts::default();
     push_recurse(sys, 0, 0.0, acc, &atom_range, math, out, &mut ops);

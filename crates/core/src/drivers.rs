@@ -736,6 +736,7 @@ pub fn run_oct_threads_ft(
                 push_block(c)
             }
         };
+        // PANIC-OK: each block segment is rebuilt at exactly range.len() elements before install.
         born[range].copy_from_slice(&seg);
         ops.add(&po);
     }

@@ -44,10 +44,13 @@ pub struct ChargeBins {
 impl ChargeBins {
     /// Bin the atoms' charges by Born radius and roll up per node.
     pub fn build(sys: &GbSystem, born: &[f64], eps_epol: f64) -> ChargeBins {
+        // PANIC-OK: precondition assert — born must be per-atom; a mismatch is a caller bug.
         assert_eq!(born.len(), sys.n_atoms());
+        // PANIC-OK: precondition assert — non-finite Born radii mean the upstream solve already failed.
         assert!(eps_epol > 0.0);
         let r_min = born.iter().cloned().fold(f64::INFINITY, f64::min);
         let r_max = born.iter().cloned().fold(0.0f64, f64::max);
+        // PANIC-OK: precondition assert — non-physical dielectric is a configuration bug.
         assert!(r_min > 0.0, "non-positive Born radius");
         let log1e = (1.0 + eps_epol).ln();
         let inv_log1e = 1.0 / log1e;

@@ -83,6 +83,7 @@ pub fn forces_cutoff(
 ) -> (Vec<Vec3>, OpCounts) {
     use polaroct_surface::CellList;
     let m = sys.n_atoms();
+    // PANIC-OK: precondition assert — born must be per-atom; a mismatch is a caller bug.
     assert_eq!(born.len(), m);
     let pref = tau(eps_solvent) * COULOMB_KCAL;
     let cells = CellList::new(&sys.atoms.points, cutoff);
@@ -124,6 +125,7 @@ pub fn forces_cutoff(
 
 /// Map Morton-ordered forces back to the molecule's original atom order.
 pub fn forces_original_order(sys: &GbSystem, sorted: &[Vec3]) -> Vec<Vec3> {
+    // PANIC-OK: precondition assert — sorted must be per-atom; a mismatch is a caller bug.
     assert_eq!(sorted.len(), sys.n_atoms());
     let mut out = vec![Vec3::ZERO; sorted.len()];
     for (i, &orig) in sys.atoms.point_order.iter().enumerate() {

@@ -13,6 +13,7 @@ pub const EPS_WATER: f64 = 80.0;
 /// `τ = 1 − 1/ε_solv`, the dielectric prefactor of Eq. 2.
 #[inline]
 pub fn tau(eps_solvent: f64) -> f64 {
+    // PANIC-OK: precondition assert — a vacuum-or-below dielectric is a configuration bug.
     assert!(eps_solvent > 1.0, "solvent dielectric must exceed vacuum");
     1.0 - 1.0 / eps_solvent
 }

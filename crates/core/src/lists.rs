@@ -709,6 +709,7 @@ impl ListEngine {
     }
 
     fn rebuild(&mut self, positions: &[Vec3]) {
+        // PANIC-OK: rebuild always receives positions for the same molecule (same atom count).
         self.work.positions.copy_from_slice(positions);
         self.sys = GbSystem::prepare(&self.work, &self.approx);
         if self.skin > 0.0 {

@@ -49,6 +49,7 @@ pub fn born_radii_from_integrals(
 ) {
     use crate::soa::CHUNK;
     let n = integrals.len();
+    // PANIC-OK: precondition assert — integral/intrinsic/out lengths must agree per atom.
     assert!(intrinsic.len() == n && out.len() == n);
     let four_pi = 4.0 * std::f64::consts::PI;
     let mut buf = [0.0f64; CHUNK];
@@ -133,6 +134,7 @@ pub fn born_radii_naive_r4(sys: &GbSystem, _math: MathMode) -> (Vec<f64>, OpCoun
 /// [`crate::gb::epol_from_raw_sum`]) and op counts.
 pub fn epol_naive_raw(sys: &GbSystem, born: &[f64], math: MathMode) -> (f64, OpCounts) {
     let m = sys.n_atoms();
+    // PANIC-OK: precondition assert — born must be per-atom; a mismatch is a caller bug.
     assert_eq!(born.len(), m);
     let mut raw = 0.0;
     for i in 0..m {

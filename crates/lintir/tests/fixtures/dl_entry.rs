@@ -1,0 +1,27 @@
+//! DL fixture: deadline-boundedness entry zone.
+
+pub fn pump(rx: &Receiver) {
+    rx.recv(); // FLAG DL001 line 4 — blind recv
+}
+
+pub fn pump_bounded(rx: &Receiver, timeout: Duration) {
+    rx.recv(); // bounded: the caller supplied a timeout
+}
+
+pub fn disabler(s: &TcpStream) {
+    s.set_read_timeout(None); // FLAG DL002 line 12
+}
+
+pub fn pump_waived(rx: &Receiver) {
+    // DEADLINE-OK: fixture waiver — tests assert this is honored.
+    rx.recv();
+}
+
+pub fn outer() {
+    blind_read();
+}
+
+pub fn setter_first(s: &TcpStream) {
+    s.set_read_timeout(Some(d));
+    s.read(); // bounded: timeout set earlier in the same fn
+}

@@ -1,0 +1,10 @@
+//! DL fixture: helper reached from the entry zone.
+
+pub fn blind_read(stream: &mut TcpStream) {
+    let mut buf = [0u8; 4];
+    stream.read_exact(&mut buf); // FLAG DL001 line 5 — via outer()
+}
+
+pub fn bounded_read(stream: &mut TcpStream, deadline: Instant) {
+    stream.read_exact(&mut buf2);
+}

@@ -1,0 +1,12 @@
+//! PA fixture: the no-panic entry zone (clean in itself).
+
+pub fn driver() {
+    helper_unwrap();
+    helper_macro_waived();
+    helper_macro();
+    deep_entry();
+}
+
+fn deep_entry() {
+    helper_chain();
+}

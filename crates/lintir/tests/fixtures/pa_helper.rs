@@ -1,0 +1,33 @@
+//! PA fixture: helpers reached (or not) from the no-panic zone.
+
+pub fn helper_unwrap() {
+    maybe().unwrap(); // FLAG PA002 line 4
+}
+
+pub fn helper_macro_waived() {
+    // PANIC-OK: fixture waiver — tests assert this is honored.
+    panic!("waived");
+}
+
+pub fn helper_chain() {
+    inner(&mut [0u8; 2], &[1u8, 2]);
+}
+
+fn inner(buf: &mut [u8], src: &[u8]) {
+    buf.copy_from_slice(src); // FLAG PA005 line 17
+    let n = src.len();
+    let _ = buf.len() % n; // FLAG PA004 line 19
+    let _ = src[0]; // FLAG PA003 line 20
+}
+
+fn maybe() -> Option<u8> {
+    None
+}
+
+pub fn unreached() {
+    maybe().unwrap(); // precision: not reachable from the zone, no finding
+}
+
+fn helper_macro() {
+    unreachable!(); // FLAG PA001 line 32
+}

@@ -1,0 +1,35 @@
+//! WP fixture: wire-protocol totality.
+
+pub mod kind {
+    pub const BOTH: u8 = 1;
+    pub const ENC_ONLY: u8 = 2; // FLAG WP001 line 5
+    pub const DEC_ONLY: u8 = 3; // FLAG WP002 line 6
+    // WIRE-OK: fixture waiver — tests assert this is honored.
+    pub const WAIVED: u8 = 4;
+}
+
+pub fn send(e: &mut Enc) {
+    frame(kind::BOTH);
+    frame(kind::ENC_ONLY);
+}
+
+pub fn recv_frame(k: u8) {
+    match k {
+        kind::BOTH => {}
+        kind::DEC_ONLY => {}
+        _ => {}
+    }
+}
+
+pub fn put_mode(e: &mut Enc, m: Mode) {
+    e.put_u8(match m { Mode::A => 0, Mode::B => 1, Mode::C => 2 }); // FLAG WP003 tag 2
+}
+
+pub fn get_mode(d: &mut Dec) -> u8 {
+    match d.get_u8() {
+        0 => 0,
+        1 => 1,
+        9 => 9, // FLAG WP004 tag 9
+        _ => 0,
+    }
+}

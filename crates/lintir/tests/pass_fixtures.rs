@@ -1,0 +1,197 @@
+//! Fixture suite for the four interprocedural passes.
+//!
+//! The fixtures live under `tests/fixtures/` (a directory both the
+//! legacy linter and [`Workspace::load`] skip, so the intentionally
+//! broken code never trips the real gates). Every expected finding is
+//! asserted with its exact code, file, and line; every deliberate
+//! negative (waiver, precision case) is asserted absent.
+
+use lintir::graph::Workspace;
+use lintir::passes::{analyze, Config};
+use lintir::Diagnostic;
+
+const PA_ENTRY: &str = include_str!("fixtures/pa_entry.rs");
+const PA_HELPER: &str = include_str!("fixtures/pa_helper.rs");
+const DL_ENTRY: &str = include_str!("fixtures/dl_entry.rs");
+const DL_HELPER: &str = include_str!("fixtures/dl_helper.rs");
+const WIRE_FX: &str = include_str!("fixtures/wire_fx.rs");
+const DT_FX: &str = include_str!("fixtures/dt_fx.rs");
+
+fn fixture_diags() -> Vec<Diagnostic> {
+    let sources: Vec<(String, String)> = [
+        ("pa_entry.rs", PA_ENTRY),
+        ("pa_helper.rs", PA_HELPER),
+        ("dl_entry.rs", DL_ENTRY),
+        ("dl_helper.rs", DL_HELPER),
+        ("wire_fx.rs", WIRE_FX),
+        ("dt_fx.rs", DT_FX),
+    ]
+    .iter()
+    .map(|(a, b)| (a.to_string(), b.to_string()))
+    .collect();
+    let ws = Workspace::from_sources(&sources);
+    let cfg = Config {
+        no_panic_files: vec!["pa_entry.rs".into()],
+        entry_files: vec!["dl_entry.rs".into()],
+        wire_files: vec!["wire_fx.rs".into()],
+        blessed_float_files: Vec::new(),
+        debug_arith: false,
+    };
+    analyze(&ws, &cfg)
+}
+
+fn by_code<'a>(diags: &'a [Diagnostic], prefix: &str) -> Vec<&'a Diagnostic> {
+    diags.iter().filter(|d| d.code.starts_with(prefix)).collect()
+}
+
+fn keys(diags: &[&Diagnostic]) -> Vec<(String, String, usize)> {
+    diags
+        .iter()
+        .map(|d| (d.code.to_string(), d.file.clone(), d.line))
+        .collect()
+}
+
+#[test]
+fn panic_reachability_exact_findings() {
+    let diags = fixture_diags();
+    let pa = by_code(&diags, "PA");
+    assert_eq!(
+        keys(&pa),
+        vec![
+            ("PA002".into(), "pa_helper.rs".into(), 4),
+            ("PA005".into(), "pa_helper.rs".into(), 17),
+            ("PA004".into(), "pa_helper.rs".into(), 19),
+            ("PA003".into(), "pa_helper.rs".into(), 20),
+            ("PA001".into(), "pa_helper.rs".into(), 32),
+        ],
+        "PA findings: {pa:#?}"
+    );
+    // The transitive unwrap carries the full call path from the root.
+    let unwrap = pa.iter().find(|d| d.code == "PA002").unwrap();
+    assert_eq!(unwrap.func, "helper_unwrap");
+    assert!(!unwrap.path.is_empty());
+    assert!(unwrap.path[0].contains("driver"), "path: {:?}", unwrap.path);
+    assert!(unwrap.path.last().unwrap().contains("helper_unwrap"));
+    // Two-call-deep helper chain: deep_entry -> helper_chain -> inner.
+    let slice = pa.iter().find(|d| d.code == "PA003").unwrap();
+    assert_eq!(slice.func, "inner");
+    assert_eq!(slice.anchor, "src[…]");
+    assert_eq!(slice.path.len(), 3, "path: {:?}", slice.path);
+    assert!(slice.path[0].contains("deep_entry"));
+    assert!(slice.path[1].contains("helper_chain"));
+}
+
+#[test]
+fn panic_waiver_and_unreachable_precision() {
+    let diags = fixture_diags();
+    // `helper_macro_waived` has a `// PANIC-OK:` above its panic!.
+    assert!(
+        !diags.iter().any(|d| d.file == "pa_helper.rs" && d.line == 9),
+        "waived panic! must not be reported"
+    );
+    // `unreached` unwraps but is not reachable from the no-panic zone.
+    assert!(
+        !diags.iter().any(|d| d.file == "pa_helper.rs" && d.line == 28),
+        "unreachable fn must not be reported"
+    );
+}
+
+#[test]
+fn deadline_exact_findings() {
+    let diags = fixture_diags();
+    let dl = by_code(&diags, "DL");
+    assert_eq!(
+        keys(&dl),
+        vec![
+            ("DL001".into(), "dl_entry.rs".into(), 4),
+            ("DL002".into(), "dl_entry.rs".into(), 12),
+            ("DL001".into(), "dl_helper.rs".into(), 5),
+        ],
+        "DL findings: {dl:#?}"
+    );
+    let blind = dl.iter().find(|d| d.file == "dl_entry.rs" && d.code == "DL001").unwrap();
+    assert_eq!(blind.func, "pump");
+    assert_eq!(blind.anchor, "recv");
+    assert!(blind.path.is_empty(), "root-level finding needs no path");
+    // The helper is one call away; the path names the entry point.
+    let reached = dl.iter().find(|d| d.file == "dl_helper.rs").unwrap();
+    assert_eq!(reached.func, "blind_read");
+    assert_eq!(reached.anchor, "read_exact");
+    assert!(reached.path[0].contains("outer"), "path: {:?}", reached.path);
+}
+
+#[test]
+fn deadline_negatives() {
+    let diags = fixture_diags();
+    // timeout param bounds pump_bounded (line 8); waiver covers line 17;
+    // setter_first sets a timeout before reading (line 26).
+    for line in [8, 17, 26] {
+        assert!(
+            !diags.iter().any(|d| d.file == "dl_entry.rs" && d.line == line),
+            "dl_entry.rs:{line} must be clean"
+        );
+    }
+}
+
+#[test]
+fn wire_totality_exact_findings() {
+    let diags = fixture_diags();
+    let wp = by_code(&diags, "WP");
+    assert_eq!(
+        keys(&wp),
+        vec![
+            ("WP001".into(), "wire_fx.rs".into(), 5),
+            ("WP002".into(), "wire_fx.rs".into(), 6),
+            ("WP003".into(), "wire_fx.rs".into(), 24),
+            ("WP004".into(), "wire_fx.rs".into(), 28),
+        ],
+        "WP findings: {wp:#?}"
+    );
+    assert_eq!(wp[0].anchor, "ENC_ONLY");
+    assert_eq!(wp[1].anchor, "DEC_ONLY");
+    assert_eq!(wp[2].anchor, "tag 2");
+    assert_eq!(wp[2].func, "put_mode");
+    assert_eq!(wp[3].anchor, "tag 9");
+    assert_eq!(wp[3].func, "get_mode");
+    // BOTH (line 4) is total; WAIVED (line 8) carries a WIRE-OK.
+    assert!(!diags.iter().any(|d| d.file == "wire_fx.rs" && (d.line == 4 || d.line == 8)));
+}
+
+#[test]
+fn determinism_exact_findings() {
+    let diags = fixture_diags();
+    let dt = by_code(&diags, "DT");
+    assert_eq!(
+        keys(&dt),
+        vec![
+            ("DT001".into(), "dt_fx.rs".into(), 6),
+            ("DT001".into(), "dt_fx.rs".into(), 12),
+            ("DT002".into(), "dt_fx.rs".into(), 18),
+            ("DT002".into(), "dt_fx.rs".into(), 29),
+        ],
+        "DT findings: {dt:#?}"
+    );
+    assert_eq!(dt[0].func, "hash_loop");
+    assert!(dt[1].anchor.contains("sum"), "anchor: {}", dt[1].anchor);
+    assert_eq!(dt[2].func, "pool_float");
+    // Indirect accumulation through `add_into(&mut e, …)`.
+    assert!(dt[3].anchor.contains("add_into"), "anchor: {}", dt[3].anchor);
+}
+
+#[test]
+fn determinism_negatives() {
+    let diags = fixture_diags();
+    // pool_local_ok: closure-local integer bookkeeping (lines 33-38);
+    // hash_waived: DETERMINISM-OK above the loop (lines 40-47).
+    assert!(
+        !diags.iter().any(|d| d.file == "dt_fx.rs" && d.line >= 33),
+        "precision/waiver cases must be clean: {:#?}",
+        by_code(&diags, "DT")
+    );
+}
+
+#[test]
+fn fixture_total_is_pinned() {
+    // Guards against silent new findings creeping into the fixtures.
+    assert_eq!(fixture_diags().len(), 16);
+}

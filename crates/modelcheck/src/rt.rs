@@ -294,6 +294,7 @@ pub(crate) fn schedule(mk: impl FnOnce() -> Op) -> Option<Grant> {
                 // grant time.
                 return g;
             }
+            // DEADLINE-OK: model-checker scheduler condvar; every blocked thread is granted or aborted within the exploration budget.
             st = rt.cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     })

@@ -400,6 +400,7 @@ pub mod channel {
             match point(self.inner.id, |obj| Op::ChanRecv { obj, timeout: Some(ms) }) {
                 Some(Grant::Deliver) => Ok(lock_clean(&self.inner.q)
                     .pop_front()
+                    // PANIC-OK: the model granted Deliver only with a non-empty queue; an empty pop is a checker bug.
                     .expect("model granted Deliver on an empty queue")),
                 Some(Grant::Timeout) => Err(RecvTimeoutError::Timeout),
                 Some(_) => Err(RecvTimeoutError::Disconnected),

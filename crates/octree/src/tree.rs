@@ -109,12 +109,14 @@ impl Octree {
     /// input) into this tree's Morton order, so `payload[i]` lines up with
     /// `self.points[i]`.
     pub fn permute<T: Copy>(&self, original: &[T]) -> Vec<T> {
+        // PANIC-OK: precondition assert — payload must be per-point; a mismatch is a caller bug.
         assert_eq!(original.len(), self.len());
         self.point_order.iter().map(|&o| original[o as usize]).collect()
     }
 
     /// Scatter a Morton-ordered per-point array back to original order.
     pub fn unpermute<T: Copy + Default>(&self, sorted: &[T]) -> Vec<T> {
+        // PANIC-OK: precondition assert — payload must be per-point; a mismatch is a caller bug.
         assert_eq!(sorted.len(), self.len());
         let mut out = vec![T::default(); sorted.len()];
         for (i, &o) in self.point_order.iter().enumerate() {
@@ -173,6 +175,7 @@ impl Octree {
     /// Balancing by points rather than leaf count keeps per-rank work even
     /// when leaf occupancy varies.
     pub fn partition_leaves(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        // PANIC-OK: precondition assert — zero partitions is a caller bug.
         assert!(parts >= 1);
         let total: usize = self.leaf_ids.iter().map(|&l| self.nodes[l as usize].len()).sum();
         let mut ranges = Vec::with_capacity(parts);
@@ -204,6 +207,7 @@ impl Octree {
     /// Split the *points* (atoms) into `parts` near-equal contiguous index
     /// segments — the ATOM-BASED work division of §IV.A.
     pub fn partition_points(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        // PANIC-OK: precondition assert — zero partitions is a caller bug.
         assert!(parts >= 1);
         let n = self.len();
         (0..parts)

@@ -40,6 +40,7 @@ pub struct WorkStealingPool {
 
 impl WorkStealingPool {
     pub fn new(width: usize) -> Self {
+        // PANIC-OK: precondition assert — a zero-width pool is a caller bug.
         assert!(width >= 1);
         WorkStealingPool { width, grain: 1 }
     }
@@ -228,7 +229,9 @@ impl WorkStealingPool {
         F: Fn(usize) -> T + Sync,
     {
         let (slots, metrics) = self.try_map(n, f);
+        // PANIC-OK: map's documented contract is all-or-nothing; try_map is the non-panicking path.
         assert_eq!(metrics.panics, 0, "{} pool task(s) panicked", metrics.panics);
+        // PANIC-OK: same contract — try_map fills every slot exactly once when nothing panicked.
         slots.into_iter().map(|s| s.expect("every task runs exactly once")).collect()
     }
 }

@@ -81,6 +81,7 @@ pub struct StealSimulator {
 
 impl StealSimulator {
     pub fn new(params: StealSimParams) -> Self {
+        // PANIC-OK: precondition assert — a zero-worker simulation is a caller bug.
         assert!(params.workers >= 1);
         StealSimulator { params }
     }
@@ -104,6 +105,7 @@ impl StealSimulator {
         let mut prefix = Vec::with_capacity(n + 1);
         prefix.push(0.0);
         for &c in costs {
+            // PANIC-OK: prefix starts with one element pushed above; last() is always Some.
             prefix.push(prefix.last().unwrap() + c);
         }
         let range_cost = |lo: usize, hi: usize| prefix[hi] - prefix[lo];
@@ -136,6 +138,7 @@ impl StealSimulator {
             // either own work or can steal (someone has work).
             let w = (0..p)
                 .min_by(|&a, &b| clocks[a].total_cmp(&clocks[b]))
+                // PANIC-OK: p >= 1 (asserted in new), so the minimum over 0..p exists.
                 .unwrap();
 
             // Acquire work: own deque first, otherwise steal the top of a

@@ -22,7 +22,9 @@ impl CellList {
     /// radius you intend to use with [`CellList::for_neighbors`] for the
     /// 27-cell stencil to be sufficient... see `for_neighbors`).
     pub fn new(points: &[Vec3], cell_size: f64) -> Self {
+        // PANIC-OK: precondition assert — an empty point set has no cells to bin.
         assert!(!points.is_empty());
+        // PANIC-OK: precondition assert — a non-positive cell edge is a caller bug.
         assert!(cell_size > 0.0);
         let bbox = Aabb::from_points(points.iter().copied());
         let origin = bbox.min - Vec3::splat(cell_size * 0.5);

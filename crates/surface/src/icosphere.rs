@@ -19,6 +19,7 @@ impl Icosphere {
     /// Build an icosphere at subdivision `level` (0 = plain icosahedron,
     /// 20 faces; each level quadruples the face count).
     pub fn new(level: u32) -> Self {
+        // PANIC-OK: precondition assert — the level cap is documented in the message.
         assert!(level <= 7, "icosphere level {level} would be enormous");
         let mut sphere = Self::icosahedron();
         for _ in 0..level {

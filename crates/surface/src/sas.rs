@@ -124,6 +124,7 @@ fn sphere_template(level: u32, degree: u32) -> SphereTemplate {
 /// Runs in `O(M · points_per_atom · neighbors)` using a cell list for the
 /// burial tests. Deterministic (no randomness).
 pub fn surface_quadrature(mol: &Molecule, params: SurfaceParams) -> QuadratureSet {
+    // PANIC-OK: precondition assert — an empty molecule has no surface to sample.
     assert!(!mol.is_empty(), "cannot sample the surface of an empty molecule");
     let template = sphere_template(params.icosphere_level, params.quadrature_degree);
 

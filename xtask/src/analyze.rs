@@ -30,9 +30,19 @@
 //!   paths (`sched::reduce`, `core::soa`). Waive with
 //!   `// DETERMINISM-OK: <reason>`.
 //!
-//! The scanner strips comments and string literals before matching, and
-//! skips `#[cfg(test)]` regions for the panic-path rule, so the rules
-//! fire on code, not prose. Exit status is non-zero iff findings exist.
+//! The scanner strips comments and string literals before matching
+//! (via the `lintir` lexer), and skips `#[cfg(test)]` regions for the
+//! panic-path rule, so the rules fire on code, not prose.
+//!
+//! On top of the per-line rules, the workspace run executes the four
+//! **interprocedural passes** from `crates/lintir` (`PA` panic
+//! reachability, `DL` deadline boundedness, `WP` wire-protocol
+//! totality, `DT` determinism dataflow) and compares their diagnostics
+//! against the checked-in ratchet baseline (`xtask/analyze.baseline`):
+//! new findings — or stale pins — fail the run. `--format json` emits
+//! the full machine-readable report; `--bless-baseline` regenerates
+//! the pin set. Exit status is non-zero iff legacy findings or ratchet
+//! drift exist.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -123,137 +133,13 @@ pub fn classify(rel: &str) -> FileClass {
 
 /// `src` with comments and string/char literals blanked out (line
 /// structure preserved), so token matching sees only code.
+///
+/// Delegates to the real lexer in [`lintir::lex`]: unlike the old
+/// hand-rolled state machine this handles raw strings with hashes,
+/// `'a` lifetime ticks vs char literals (including `b'x'` and `'\''`),
+/// nested `/* /* */ */` block comments, and strings spanning lines.
 pub fn strip_source(src: &str) -> Vec<String> {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Block(usize),   // nesting depth of /* */
-        Str,            // "..."
-        RawStr(usize),  // r##"..."## with N hashes
-    }
-    let mut state = St::Code;
-    let mut out = Vec::new();
-    for line in src.lines() {
-        let chars: Vec<char> = line.chars().collect();
-        let mut stripped = String::with_capacity(chars.len());
-        let mut i = 0;
-        while i < chars.len() {
-            match state {
-                St::Code => {
-                    let c = chars[i];
-                    let next = chars.get(i + 1).copied();
-                    if c == '/' && next == Some('/') {
-                        break; // line comment: drop the rest
-                    } else if c == '/' && next == Some('*') {
-                        state = St::Block(1);
-                        stripped.push(' ');
-                        i += 2;
-                    } else if c == 'r'
-                        && (next == Some('"') || next == Some('#'))
-                        && !stripped
-                            .chars()
-                            .last()
-                            .map(|p| p.is_alphanumeric() || p == '_')
-                            .unwrap_or(false)
-                    {
-                        // raw string r"..." / r#"..."#
-                        let mut hashes = 0;
-                        let mut j = i + 1;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') {
-                            state = St::RawStr(hashes);
-                            stripped.push(' ');
-                            i = j + 1;
-                        } else {
-                            stripped.push(c);
-                            i += 1;
-                        }
-                    } else if c == '"' {
-                        state = St::Str;
-                        stripped.push(' ');
-                        i += 1;
-                    } else if c == '\'' {
-                        // char literal vs lifetime
-                        if next == Some('\\') {
-                            // escaped char literal: skip to closing quote
-                            let mut j = i + 2;
-                            while j < chars.len() && chars[j] != '\'' {
-                                j += 1;
-                            }
-                            stripped.push(' ');
-                            i = j + 1;
-                        } else if chars.get(i + 2) == Some(&'\'') {
-                            stripped.push(' ');
-                            i += 3;
-                        } else {
-                            stripped.push(c); // lifetime
-                            i += 1;
-                        }
-                    } else {
-                        stripped.push(c);
-                        i += 1;
-                    }
-                }
-                St::Block(depth) => {
-                    let c = chars[i];
-                    let next = chars.get(i + 1).copied();
-                    if c == '*' && next == Some('/') {
-                        state = if depth == 1 {
-                            St::Code
-                        } else {
-                            St::Block(depth - 1)
-                        };
-                        i += 2;
-                    } else if c == '/' && next == Some('*') {
-                        state = St::Block(depth + 1);
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                St::Str => {
-                    let c = chars[i];
-                    if c == '\\' {
-                        i += 2;
-                    } else if c == '"' {
-                        state = St::Code;
-                        i += 1;
-                    } else {
-                        i += 1;
-                    }
-                }
-                St::RawStr(hashes) => {
-                    if chars[i] == '"' {
-                        let mut ok = true;
-                        for k in 0..hashes {
-                            if chars.get(i + 1 + k) != Some(&'#') {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
-                            state = St::Code;
-                            i += 1 + hashes;
-                            continue;
-                        }
-                    }
-                    i += 1;
-                }
-            }
-        }
-        // Strings may span lines; a line ending inside one contributes
-        // its stripped prefix only.
-        if state == St::Str {
-            // Non-raw strings continue only with a trailing backslash;
-            // treat an unterminated one as ending at the line break.
-            state = St::Code;
-        }
-        out.push(stripped);
-    }
-    out
+    lintir::strip_source(src)
 }
 
 fn is_word_boundary(c: Option<char>) -> bool {
@@ -707,17 +593,111 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
     findings
 }
 
+/// Workspace-relative location of the interprocedural ratchet baseline.
+pub const BASELINE_REL: &str = "xtask/analyze.baseline";
+
+/// Run the interprocedural passes on the workspace and compare against
+/// the checked-in ratchet baseline. Returns `(diagnostics, drifts)`.
+pub fn interprocedural(root: &Path) -> std::io::Result<(Vec<lintir::Diagnostic>, Vec<lintir::Drift>)> {
+    let ws = lintir::Workspace::load(root)?;
+    let diags = lintir::analyze(&ws, &lintir::Config::default());
+    let baseline_text =
+        std::fs::read_to_string(root.join(BASELINE_REL)).unwrap_or_default();
+    let baseline = lintir::parse_baseline(&baseline_text);
+    let drifts = lintir::ratchet(&diags, &baseline);
+    Ok((diags, drifts))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Full-report JSON: legacy per-line findings, interprocedural pass
+/// diagnostics, and ratchet drift (CI uploads this as an artifact).
+pub fn report_json(
+    legacy: &[Finding],
+    diags: &[lintir::Diagnostic],
+    drifts: &[lintir::Drift],
+) -> String {
+    let mut out = String::from("{\n  \"legacy\": [\n");
+    for (i, f) in legacy.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}{}\n",
+            f.rule,
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message),
+            if i + 1 < legacy.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"passes\": ");
+    // lintir renders its own array; indent it two spaces for cosmetics.
+    let passes = lintir::to_json(diags);
+    out.push_str(passes.trim_end());
+    out.push_str(",\n  \"drift\": [\n");
+    for (i, d) in drifts.iter().enumerate() {
+        let (kind, key, have, pinned) = match d {
+            lintir::Drift::New { key, have, pinned } => ("new", key, have, pinned),
+            lintir::Drift::Stale { key, have, pinned } => ("stale", key, have, pinned),
+        };
+        out.push_str(&format!(
+            "    {{\"kind\":\"{}\",\"key\":\"{}\",\"have\":{},\"pinned\":{}}}{}\n",
+            kind,
+            json_escape(key),
+            have,
+            pinned,
+            if i + 1 < drifts.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// CLI entry: lint the workspace root (or explicit paths) and print
-/// findings; non-zero exit iff any.
+/// findings; non-zero exit iff blocking findings or ratchet drift.
+///
+/// Flags: `--format json` emits the machine-readable report on stdout;
+/// `--bless-baseline` rewrites `xtask/analyze.baseline` from the
+/// current diagnostics (use only to shrink the pin set or after
+/// review — CI treats any drift, new *or* stale, as a failure).
 pub fn run(args: &[String]) -> ExitCode {
-    let root = std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| PathBuf::from(d).parent().map(|p| p.to_path_buf()).unwrap_or_default())
-        .unwrap_or_else(|_| PathBuf::from("."));
-    let mut findings = Vec::new();
-    if args.is_empty() {
-        findings = lint_workspace(&root);
-    } else {
-        for a in args {
+    let mut format_json = false;
+    let mut bless_baseline = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(|s| s.as_str()) {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                other => {
+                    eprintln!("--format expects `json` or `text`, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--format=json" => format_json = true,
+            "--format=text" => format_json = false,
+            "--bless-baseline" => bless_baseline = true,
+            _ => paths.push(a.clone()),
+        }
+    }
+
+    // Explicit-path mode: legacy per-file linting only (used for quick
+    // one-file checks; the interprocedural passes need the workspace).
+    if !paths.is_empty() {
+        let mut findings = Vec::new();
+        for a in &paths {
             let path = PathBuf::from(a);
             let Ok(src) = std::fs::read_to_string(&path) else {
                 eprintln!("cannot read {a}");
@@ -726,16 +706,101 @@ pub fn run(args: &[String]) -> ExitCode {
             let class = classify(a);
             findings.extend(lint_source(a, &src, &class));
         }
+        findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        for f in &findings {
+            println!("{f}");
+        }
+        return if findings.is_empty() {
+            println!("xtask analyze: clean");
+            ExitCode::SUCCESS
+        } else {
+            println!("xtask analyze: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        };
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    for f in &findings {
-        println!("{f}");
+
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).parent().map(|p| p.to_path_buf()).unwrap_or_default())
+        .unwrap_or_else(|_| PathBuf::from("."));
+
+    let mut legacy = lint_workspace(&root);
+    legacy.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let (diags, drifts) = match interprocedural(&root) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("xtask analyze: failed to load workspace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if bless_baseline {
+        let text = lintir::to_baseline(&diags);
+        if let Err(e) = std::fs::write(root.join(BASELINE_REL), &text) {
+            eprintln!("cannot write {BASELINE_REL}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "xtask analyze: blessed {} finding(s) into {BASELINE_REL}",
+            diags.len()
+        );
     }
-    if findings.is_empty() {
-        println!("xtask analyze: clean");
+    let drifts = if bless_baseline { Vec::new() } else { drifts };
+
+    if format_json {
+        print!("{}", report_json(&legacy, &diags, &drifts));
+    } else {
+        for f in &legacy {
+            println!("{f}");
+        }
+        for d in &drifts {
+            match d {
+                lintir::Drift::New { key, have, pinned } => println!(
+                    "ratchet: NEW finding `{key}` ({have} now vs {pinned} pinned) — fix it \
+                     or waive at the site"
+                ),
+                lintir::Drift::Stale { key, have, pinned } => println!(
+                    "ratchet: STALE pin `{key}` ({have} now vs {pinned} pinned) — rerun \
+                     `cargo xtask analyze --bless-baseline` to shrink the baseline"
+                ),
+            }
+        }
+        if !drifts.is_empty() {
+            // Show full context for drifted keys (call paths included).
+            let drift_keys: Vec<&str> = drifts
+                .iter()
+                .map(|d| match d {
+                    lintir::Drift::New { key, .. } | lintir::Drift::Stale { key, .. } => {
+                        key.as_str()
+                    }
+                })
+                .collect();
+            let detailed: Vec<lintir::Diagnostic> = diags
+                .iter()
+                .filter(|d| drift_keys.contains(&d.key().as_str()))
+                .cloned()
+                .collect();
+            print!("{}", lintir::to_text(&detailed));
+        }
+    }
+
+    let blocking = legacy.len() + drifts.len();
+    if blocking == 0 {
+        if !format_json {
+            println!(
+                "xtask analyze: clean ({} interprocedural finding(s) pinned in baseline)",
+                diags.len()
+            );
+        }
         ExitCode::SUCCESS
     } else {
-        println!("xtask analyze: {} finding(s)", findings.len());
+        if !format_json {
+            println!(
+                "xtask analyze: {} legacy finding(s), {} ratchet drift(s)",
+                legacy.len(),
+                drifts.len()
+            );
+        }
         ExitCode::FAILURE
     }
 }

@@ -12,11 +12,15 @@ fn main() -> ExitCode {
         Some("bless") => bless(),
         Some(other) => {
             eprintln!("unknown xtask command: {other}");
-            eprintln!("usage: cargo xtask <analyze [paths...] | bless>");
+            eprintln!(
+                "usage: cargo xtask <analyze [--format json|text] [--bless-baseline] [paths...] | bless>"
+            );
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <analyze [paths...] | bless>");
+            eprintln!(
+                "usage: cargo xtask <analyze [--format json|text] [--bless-baseline] [paths...] | bless>"
+            );
             ExitCode::FAILURE
         }
     }

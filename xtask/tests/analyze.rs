@@ -148,3 +148,22 @@ fn the_workspace_is_clean() {
             .join("\n")
     );
 }
+
+/// Same teeth for the interprocedural passes: the workspace analysis
+/// must match the checked-in ratchet baseline exactly — no new
+/// findings (fix or waive at the site), no stale pins (re-bless with
+/// `cargo xtask analyze --bless-baseline` after review).
+#[test]
+fn the_workspace_passes_are_ratcheted_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level under the workspace root")
+        .to_path_buf();
+    let (_diags, drifts) =
+        xtask::analyze::interprocedural(&root).expect("workspace sources load");
+    assert!(
+        drifts.is_empty(),
+        "ratchet drift against xtask/analyze.baseline:\n{}",
+        drifts.iter().map(|d| format!("  {d:?}")).collect::<Vec<_>>().join("\n")
+    );
+}
