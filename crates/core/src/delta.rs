@@ -1,0 +1,977 @@
+//! Incremental ΔE_pol perturbation engine: recompute only what changed.
+//!
+//! PR 5's [`ListEngine`] already separates traversal from execution and
+//! reuses lists while nothing moved past the Verlet skin — but every
+//! `evaluate` still re-runs *all* Phase-A chunks. For mutation /
+//! perturbation scans (ROADMAP item 3) that is the wrong cost model:
+//! moving k atoms should cost O(k · affected-lists), not a full
+//! re-execution.
+//!
+//! [`DeltaEngine`] upgrades a [`ListEngine`] with per-chunk output
+//! caches for both lists and a chunk-dirtiness protocol (DESIGN.md §15):
+//!
+//! * **Inverted indexes** ([`polaroct_sched::CoverageIndex`], built once
+//!   per scaffold): Morton atom → Born chunks whose near entries read
+//!   that atom's position; Morton atom → E_pol chunks whose near entries
+//!   read it; atoms-tree node → E_pol chunks holding a far entry on that
+//!   node.
+//! * A [`Perturbation`] query writes the moved positions / mutated
+//!   charges through the O(k) subset-refresh paths
+//!   ([`GbSystem::refresh_atom_subset`] / [`GbSystem::set_atom_charge`]),
+//!   marks dirty chunks from the indexes, and re-executes **only those
+//!   chunks** through the same pure Phase-A kernels
+//!   ([`crate::lists::BornLists::run_chunk`] /
+//!   [`crate::lists::EpolLists::run_chunk`]).
+//! * Phase B then replays the serial fold over **all** chunks in
+//!   emission order, splicing fresh outputs for dirty chunks and cached
+//!   outputs for clean ones. A clean chunk's cached output is bitwise
+//!   equal to what a fresh execution would produce (its entries read
+//!   only unchanged inputs — that is what "clean" means), so the fold
+//!   consumes identical floats in identical order and the perturbed
+//!   energy is **bit-identical to a fresh full run by construction**.
+//!
+//! Two global couplings need care (both are diffed, not assumed):
+//!
+//! * Born radii: recomputed for every atom each query (the serial
+//!   apply + push pass is O(M·depth), far below kernel cost). Changed
+//!   radii are detected *bitwise* against the previous vector and feed
+//!   the E_pol near-entry dirtiness set — no reliance on the "only
+//!   moved atoms change" theorem, though it holds for this kernel.
+//! * [`ChargeBins`]: the bin layout derives from the *global* Born-radius
+//!   extremes, so one changed radius can relabel every node's bins.
+//!   The engine rebuilds bins every query (O(M·M_ε), serial) and diffs
+//!   the per-node bin vectors and the `rr_table` bitwise against the
+//!   cached generation; far entries are dirty exactly where their
+//!   endpoints' bins (or the shared table) changed.
+//!
+//! Queries whose cumulative displacement exceeds `skin/2` fall back to a
+//! full rebuild at the perturbed geometry — the same boundary, and the
+//! same resulting state, as [`ListEngine::evaluate`].
+//!
+//! [`DeltaEngine::revert`] pops the last perturbation: an incremental
+//! query is undone by restoring the saved positions/charges, chunk
+//! outputs, Born vector, bins and totals directly (bit-exact, no
+//! recomputation); a rebuilt query is undone by deterministically
+//! rebuilding the previous scaffold and re-executing (prepare is a pure
+//! function, so the restored state is bit-identical too).
+//!
+//! The FT story carries over from PR 5 unchanged: dirty chunks fan out
+//! over [`WorkStealingPool::try_map`], a poisoned chunk's panic is
+//! contained, and the lost slot is re-executed serially by the same pure
+//! kernel before the apply pass ([`DeltaEngine::apply_perturbation_ft`]).
+
+use crate::born::{push_integrals_to_atoms, BornAccumulators};
+use crate::epol::ChargeBins;
+use crate::gb::epol_from_raw_sum;
+use crate::lists::ListEngine;
+use crate::params::ApproxParams;
+use crate::system::GbSystem;
+use polaroct_cluster::comm::checksum;
+use polaroct_cluster::fault::{phase, FaultKind, FaultPlan};
+use polaroct_geom::Vec3;
+use polaroct_molecule::Molecule;
+use polaroct_sched::{CoverageIndex, WorkStealingPool};
+
+/// One perturbation query: absolute new positions for k moved atoms and
+/// absolute new charges for mutated atoms, both in the molecule's
+/// **original** atom order (the engine translates to Morton internally).
+#[derive(Clone, Debug, Default)]
+pub struct Perturbation {
+    /// `(atom, new_position)` — original-order index, absolute target.
+    pub moves: Vec<(usize, Vec3)>,
+    /// `(atom, new_charge)` — original-order index, absolute value.
+    pub charges: Vec<(usize, f64)>,
+}
+
+impl Perturbation {
+    /// Builder: move one atom to an absolute position.
+    pub fn move_atom(mut self, atom: usize, to: Vec3) -> Self {
+        self.moves.push((atom, to));
+        self
+    }
+
+    /// Builder: set one atom's charge.
+    pub fn set_charge(mut self, atom: usize, q: f64) -> Self {
+        self.charges.push((atom, q));
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty() && self.charges.is_empty()
+    }
+}
+
+/// Result of one [`DeltaEngine::apply_perturbation`] query.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaEval {
+    /// Polarization energy (kcal/mol) at the perturbed geometry/charges.
+    pub energy_kcal: f64,
+    /// Raw ordered-pair E_pol sum.
+    pub raw: f64,
+    /// Whether this query crossed the skin boundary and fully rebuilt.
+    pub rebuilt: bool,
+    /// Max cumulative displacement from the scaffold geometry (Å).
+    pub max_disp: f64,
+    /// Born chunks re-executed by this query.
+    pub born_chunks_redone: usize,
+    /// E_pol chunks re-executed by this query.
+    pub epol_chunks_redone: usize,
+    /// Total chunks re-executed (`born + epol`; equals `total_chunks`
+    /// on a rebuild).
+    pub chunks_redone: usize,
+    /// Chunks served from the cache.
+    pub chunks_cached: usize,
+    /// Total chunks across both lists.
+    pub total_chunks: usize,
+    /// Poisoned chunks recovered by serial re-execution (FT path).
+    pub recovered_chunks: u32,
+}
+
+/// Undo record for one applied perturbation (LIFO).
+enum UndoRecord {
+    /// Within-skin query: everything it replaced, restored directly.
+    Incremental {
+        /// Original-order `(atom, old_position)`, in application order.
+        moves: Vec<(usize, Vec3)>,
+        /// Original-order `(atom, old_charge)`, in application order.
+        charges: Vec<(usize, f64)>,
+        born_chunks: Vec<(usize, Vec<f64>)>,
+        epol_chunks: Vec<(usize, Vec<f64>)>,
+        born: Vec<f64>,
+        bins: ChargeBins,
+        raw: f64,
+        energy_kcal: f64,
+    },
+    /// Boundary-crossing query: revert re-prepares the old scaffold.
+    Rebuilt {
+        moves: Vec<(usize, Vec3)>,
+        charges: Vec<(usize, f64)>,
+        /// The scaffold (reference geometry) that was discarded.
+        scaffold: Vec<Vec3>,
+    },
+}
+
+/// Incremental perturbation engine over a prepared [`ListEngine`]. See
+/// the module docs for the dirtiness protocol and the bit-identity
+/// argument.
+pub struct DeltaEngine {
+    base: ListEngine,
+    /// Cached Phase-A outputs, one vector per chunk, for both lists.
+    born_outputs: Vec<Vec<f64>>,
+    epol_outputs: Vec<Vec<f64>>,
+    /// Morton atom → Born chunks with a near entry reading it.
+    born_touch: CoverageIndex,
+    /// Morton atom → E_pol chunks with a near entry reading it.
+    epol_touch: CoverageIndex,
+    /// Atoms-tree node → E_pol chunks with a far entry on it.
+    epol_far_nodes: CoverageIndex,
+    /// E_pol chunks holding at least one far entry (for a global bin
+    /// relayout).
+    epol_far_chunks: Vec<u32>,
+    /// Bin generation the cached far-entry outputs were computed with.
+    bins: ChargeBins,
+    raw: f64,
+    energy_kcal: f64,
+    /// Current positions / charges, original atom order.
+    positions: Vec<Vec3>,
+    charges: Vec<f64>,
+    /// Per-atom displacement from the scaffold geometry (original order).
+    disp: Vec<f64>,
+    /// Original index → Morton index for the current scaffold.
+    inv_order: Vec<u32>,
+    undo: Vec<UndoRecord>,
+    /// Queries served incrementally vs via full rebuild.
+    pub queries_incremental: u64,
+    pub queries_rebuilt: u64,
+}
+
+/// Execute the listed chunks through a pure chunk kernel, optionally over
+/// a pool with one poisoned slot; a poisoned chunk's panic is contained
+/// by `try_map` and the slot is re-executed serially by the same kernel
+/// (`recovered` counts them). Returns outputs in `dirty` order.
+fn run_dirty_chunks<F>(
+    pool: Option<&WorkStealingPool>,
+    dirty: &[usize],
+    poison: Option<usize>,
+    f: F,
+    recovered: &mut u32,
+) -> Vec<Vec<f64>>
+where
+    F: Fn(usize) -> Vec<f64> + Sync,
+{
+    match pool {
+        Some(p) => {
+            let (mut parts, _) = p.try_map(dirty.len(), |k| {
+                if Some(k) == poison {
+                    // PANIC-OK: deliberate fault injection; contained by the pool's try_map.
+                    panic!("injected worker panic in delta chunk slot {k}");
+                }
+                f(dirty[k]) // PANIC-OK: k < dirty.len() by try_map's index space.
+            });
+            parts
+                .iter_mut()
+                .zip(dirty)
+                .map(|(slot, &c)| {
+                    slot.take().unwrap_or_else(|| {
+                        *recovered += 1;
+                        f(c)
+                    })
+                })
+                .collect()
+        }
+        None => dirty.iter().map(|&c| f(c)).collect(),
+    }
+}
+
+impl ListEngine {
+    /// Upgrade this engine into the incremental perturbation engine
+    /// (`core::delta`): caches every Phase-A chunk output, builds the
+    /// dirtiness indexes, and serves [`DeltaEngine::apply_perturbation`]
+    /// / [`DeltaEngine::revert`] queries from then on.
+    pub fn into_delta(self) -> DeltaEngine {
+        DeltaEngine::from_engine(self)
+    }
+}
+
+impl DeltaEngine {
+    /// Build a fresh engine at the molecule's geometry (counts as the
+    /// first rebuild, like [`ListEngine::new`]).
+    pub fn new(mol: &Molecule, approx: &ApproxParams, skin: f64) -> DeltaEngine {
+        ListEngine::new(mol, approx, skin).into_delta()
+    }
+
+    /// Adopt a prepared [`ListEngine`]: recover its current positions
+    /// from the Morton snapshot, then execute one full pass to populate
+    /// the chunk caches.
+    pub fn from_engine(base: ListEngine) -> DeltaEngine {
+        let n = base.sys.n_atoms();
+        let mut positions = vec![Vec3::ZERO; n];
+        let mut charges = vec![0.0f64; n];
+        for (mi, &oi) in base.sys.atoms.point_order.iter().enumerate() {
+            // PANIC-OK: point_order is a permutation of 0..n by construction.
+            positions[oi as usize] = base.sys.atoms.points[mi];
+            charges[oi as usize] = base.sys.charge[mi]; // PANIC-OK: same permutation.
+        }
+        let mut engine = DeltaEngine {
+            base,
+            born_outputs: Vec::new(),
+            epol_outputs: Vec::new(),
+            born_touch: CoverageIndex::default(),
+            epol_touch: CoverageIndex::default(),
+            epol_far_nodes: CoverageIndex::default(),
+            epol_far_chunks: Vec::new(),
+            bins: ChargeBins::default(),
+            raw: 0.0,
+            energy_kcal: 0.0,
+            positions,
+            charges,
+            disp: vec![0.0; n],
+            inv_order: Vec::new(),
+            undo: Vec::new(),
+            queries_incremental: 0,
+            queries_rebuilt: 0,
+        };
+        engine.rebuild_caches();
+        engine.full_execute(None);
+        engine
+    }
+
+    /// Rebuild the scaffold-derived caches (inverse permutation and the
+    /// three inverted indexes) after a prepare.
+    fn rebuild_caches(&mut self) {
+        let sys = &self.base.sys;
+        let n = sys.n_atoms();
+        let mut inv = vec![0u32; n];
+        for (mi, &oi) in sys.atoms.point_order.iter().enumerate() {
+            // PANIC-OK: point_order is a permutation of 0..n by construction.
+            inv[oi as usize] = mi as u32;
+        }
+        self.inv_order = inv;
+
+        let born = &self.base.born_lists;
+        self.born_touch = CoverageIndex::build(
+            n,
+            born.chunks.iter().enumerate().flat_map(|(c, range)| {
+                born.entries[range.clone()]
+                    .iter()
+                    .filter(|e| !e.far)
+                    .map(move |e| (sys.atoms.node(e.a).range(), c as u32))
+            }),
+        );
+
+        let epol = &self.base.epol_lists;
+        self.epol_touch = CoverageIndex::build(
+            n,
+            epol.chunks.iter().enumerate().flat_map(|(c, range)| {
+                epol.entries[range.clone()].iter().filter(|e| !e.far).flat_map(move |e| {
+                    [
+                        (sys.atoms.node(e.a).range(), c as u32),
+                        (sys.atoms.node(e.b).range(), c as u32),
+                    ]
+                })
+            }),
+        );
+        self.epol_far_nodes = CoverageIndex::build(
+            sys.atoms.nodes.len(),
+            epol.chunks.iter().enumerate().flat_map(|(c, range)| {
+                epol.entries[range.clone()].iter().filter(|e| e.far).flat_map(move |e| {
+                    [
+                        (e.a as usize..e.a as usize + 1, c as u32),
+                        (e.b as usize..e.b as usize + 1, c as u32),
+                    ]
+                })
+            }),
+        );
+        self.epol_far_chunks = epol
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, range)| epol.entries[(*range).clone()].iter().any(|e| e.far))
+            .map(|(c, _)| c as u32)
+            .collect();
+    }
+
+    /// Refresh all Morton positions to `self.positions` and execute every
+    /// chunk of both lists from scratch (the rebuild / adopt path). Pure
+    /// recomputation — produces exactly the state an incremental query
+    /// sequence would have cached.
+    fn full_execute(&mut self, pool: Option<&WorkStealingPool>) {
+        self.base.sys.refresh_atom_positions(&self.positions);
+        for (d, (p, r)) in self
+            .disp
+            .iter_mut()
+            .zip(self.positions.iter().zip(&self.base.reference))
+        {
+            *d = p.dist(*r);
+        }
+        let nb = self.base.born_lists.n_chunks();
+        let all_b: Vec<usize> = (0..nb).collect();
+        let base = &self.base;
+        let mut recovered = 0u32;
+        self.born_outputs = run_dirty_chunks(
+            pool,
+            &all_b,
+            None,
+            |c| base.born_lists.run_chunk(&base.sys, c),
+            &mut recovered,
+        );
+        let n = self.base.sys.n_atoms();
+        let mut acc = BornAccumulators::zeros(&self.base.sys);
+        self.base.born_lists.apply(&self.base.sys, &self.born_outputs, &mut acc);
+        let mut born = vec![0.0; n];
+        push_integrals_to_atoms(&self.base.sys, &acc, 0..n, self.base.approx.math, &mut born);
+        self.bins = ChargeBins::build(&self.base.sys, &born, self.base.approx.eps_epol);
+
+        let ne = self.base.epol_lists.n_chunks();
+        let all_e: Vec<usize> = (0..ne).collect();
+        let base = &self.base;
+        let (bins, math) = (&self.bins, self.base.approx.math);
+        self.epol_outputs = run_dirty_chunks(
+            pool,
+            &all_e,
+            None,
+            |c| base.epol_lists.run_chunk(&base.sys, bins, &born, math, c),
+            &mut recovered,
+        );
+        self.raw = self.base.epol_lists.apply(&self.epol_outputs);
+        self.energy_kcal = epol_from_raw_sum(self.raw, self.base.approx.eps_solvent);
+        self.base.born = born;
+    }
+
+    /// Apply a perturbation and return the re-evaluated energy, bit-identical
+    /// to a fresh full run (see the module docs for the exact contract).
+    /// Dirty chunks run over `pool` when given, serially otherwise — the
+    /// result is bitwise the same either way.
+    pub fn apply_perturbation(
+        &mut self,
+        p: &Perturbation,
+        pool: Option<&WorkStealingPool>,
+    ) -> DeltaEval {
+        self.apply_inner(p, pool, None)
+    }
+
+    /// [`DeltaEngine::apply_perturbation`] under fault injection: a
+    /// `PanicWorker` entry at [`phase::INTEGRALS`] / [`phase::EPOL`]
+    /// poisons one dirty chunk of the corresponding list; the pool
+    /// contains the panic and the chunk is re-executed serially before
+    /// the apply pass, so the query result is still bit-identical
+    /// (`recovered_chunks` reports the retries).
+    pub fn apply_perturbation_ft(
+        &mut self,
+        p: &Perturbation,
+        pool: &WorkStealingPool,
+        plan: &FaultPlan,
+    ) -> DeltaEval {
+        // Clone resets the one-shot fired flags (same convention as the
+        // drivers), so one plan value can drive many queries.
+        let plan = plan.clone();
+        self.apply_inner(p, Some(pool), Some(&plan))
+    }
+
+    fn apply_inner(
+        &mut self,
+        p: &Perturbation,
+        pool: Option<&WorkStealingPool>,
+        plan: Option<&FaultPlan>,
+    ) -> DeltaEval {
+        let n = self.positions.len();
+        let mut old_moves = Vec::with_capacity(p.moves.len());
+        for &(oi, np) in &p.moves {
+            // PANIC-OK: perturbation preconditions, checked before any state is touched.
+            assert!(oi < n, "moved atom {oi} out of range ({n} atoms)");
+            // PANIC-OK: non-finite positions would poison every downstream comparison.
+            assert!(
+                np.x.is_finite() && np.y.is_finite() && np.z.is_finite(),
+                "non-finite target position for atom {oi}"
+            );
+            old_moves.push((oi, self.positions[oi])); // PANIC-OK: oi < n asserted above.
+            self.positions[oi] = np; // PANIC-OK: oi < n asserted above.
+        }
+        let mut old_charges = Vec::with_capacity(p.charges.len());
+        for &(oi, nq) in &p.charges {
+            // PANIC-OK: perturbation preconditions, checked before any state is touched.
+            assert!(oi < n, "charged atom {oi} out of range ({n} atoms)");
+            // PANIC-OK: non-finite charges would poison every downstream comparison.
+            assert!(nq.is_finite(), "non-finite charge for atom {oi}");
+            old_charges.push((oi, self.charges[oi])); // PANIC-OK: oi < n asserted above.
+            self.charges[oi] = nq; // PANIC-OK: oi < n asserted above.
+        }
+        for &(oi, _) in &p.moves {
+            // PANIC-OK: oi < n asserted above; disp/reference are n-length.
+            self.disp[oi] = self.positions[oi].dist(self.base.reference[oi]);
+        }
+        let max_disp = self.disp.iter().copied().fold(0.0f64, f64::max);
+        let total = self.total_chunks();
+
+        if max_disp > 0.5 * self.base.skin {
+            // Skin boundary crossed: rebuild the scaffold at the
+            // perturbed geometry — same fallback, same resulting state,
+            // as ListEngine::evaluate past the boundary.
+            let scaffold = self.base.reference.clone();
+            self.base.work.charges.copy_from_slice(&self.charges);
+            let positions = self.positions.clone();
+            self.base.rebuild(&positions);
+            self.rebuild_caches();
+            self.full_execute(pool);
+            self.base.lists_rebuilt += 1;
+            self.queries_rebuilt += 1;
+            self.undo.push(UndoRecord::Rebuilt {
+                moves: old_moves,
+                charges: old_charges,
+                scaffold,
+            });
+            return DeltaEval {
+                energy_kcal: self.energy_kcal,
+                raw: self.raw,
+                rebuilt: true,
+                max_disp,
+                born_chunks_redone: self.base.born_lists.n_chunks(),
+                epol_chunks_redone: self.base.epol_lists.n_chunks(),
+                chunks_redone: total,
+                chunks_cached: 0,
+                total_chunks: total,
+                recovered_chunks: 0,
+            };
+        }
+
+        // ---- Subset refresh: O(k) writes into the Morton tree copy,
+        // the flat arena and the charge payload.
+        let moved_m: Vec<usize> = p
+            .moves
+            .iter()
+            .map(|&(oi, _)| self.inv_order[oi] as usize) // PANIC-OK: oi < n asserted above.
+            .collect();
+        let subset: Vec<(usize, Vec3)> = moved_m
+            .iter()
+            .zip(&p.moves)
+            .map(|(&mi, &(_, np))| (mi, np))
+            .collect();
+        self.base.sys.refresh_atom_subset(&subset);
+        let charged_m: Vec<usize> = p
+            .charges
+            .iter()
+            .map(|&(oi, _)| self.inv_order[oi] as usize) // PANIC-OK: oi < n asserted above.
+            .collect();
+        for (&mi, &(_, nq)) in charged_m.iter().zip(&p.charges) {
+            self.base.sys.set_atom_charge(mi, nq);
+        }
+        self.base.lists_reused += 1;
+
+        // ---- Born dirtiness: a chunk is dirty iff one of its near
+        // entries' atom ranges contains a moved atom (far entries read
+        // only frozen node aggregates and can never go stale).
+        let nb = self.base.born_lists.n_chunks();
+        let mut bmask = vec![false; nb];
+        for &mi in &moved_m {
+            for &c in self.born_touch.chunks_for(mi) {
+                bmask[c as usize] = true; // PANIC-OK: index built over exactly nb chunks.
+            }
+        }
+        let dirty_born: Vec<usize> = bmask
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &d)| d.then_some(c))
+            .collect();
+        let poison_born = plan.and_then(|pl| match pl.fire_exec(0, phase::INTEGRALS) {
+            Some(FaultKind::PanicWorker) => Some(pl.seed() as usize % dirty_born.len().max(1)),
+            _ => None,
+        });
+        let mut recovered = 0u32;
+        let base = &self.base;
+        let fresh_born = run_dirty_chunks(
+            pool,
+            &dirty_born,
+            poison_born,
+            |c| base.born_lists.run_chunk(&base.sys, c),
+            &mut recovered,
+        );
+        let mut undo_born_chunks = Vec::with_capacity(dirty_born.len());
+        for (&c, v) in dirty_born.iter().zip(fresh_born) {
+            // PANIC-OK: c < nb — it came from the nb-length dirty mask.
+            undo_born_chunks.push((c, std::mem::replace(&mut self.born_outputs[c], v)));
+        }
+
+        // ---- Phase B (Born): full serial fold over all chunks in
+        // emission order — cached outputs for clean chunks, fresh for
+        // dirty — then the full push pass. Identical floats in identical
+        // order to a fresh run.
+        let mut acc = BornAccumulators::zeros(&self.base.sys);
+        self.base.born_lists.apply(&self.base.sys, &self.born_outputs, &mut acc);
+        let mut new_born = vec![0.0; n];
+        push_integrals_to_atoms(&self.base.sys, &acc, 0..n, self.base.approx.math, &mut new_born);
+        let born_changed: Vec<usize> = self
+            .base
+            .born
+            .iter()
+            .zip(&new_born)
+            .enumerate()
+            .filter_map(|(mi, (a, b))| (a.to_bits() != b.to_bits()).then_some(mi))
+            .collect();
+
+        // ---- Bin generation diff: rebuild (cheap, serial) and compare
+        // bitwise. A changed rr_table or bin count invalidates every
+        // far-bearing chunk; otherwise only chunks with a far entry on a
+        // node whose bin vector changed.
+        let new_bins = ChargeBins::build(&self.base.sys, &new_born, self.base.approx.eps_epol);
+        let ne = self.base.epol_lists.n_chunks();
+        let mut emask = vec![false; ne];
+        for &mi in moved_m.iter().chain(&charged_m).chain(&born_changed) {
+            for &c in self.epol_touch.chunks_for(mi) {
+                emask[c as usize] = true; // PANIC-OK: index built over exactly ne chunks.
+            }
+        }
+        let table_changed = new_bins.m_eps != self.bins.m_eps
+            || new_bins.rr_table.len() != self.bins.rr_table.len()
+            || new_bins
+                .rr_table
+                .iter()
+                .zip(&self.bins.rr_table)
+                .any(|(a, b)| a.to_bits() != b.to_bits());
+        if table_changed {
+            for &c in &self.epol_far_chunks {
+                emask[c as usize] = true; // PANIC-OK: far-chunk list indexes the ne-chunk list.
+            }
+        } else {
+            let m = new_bins.m_eps.max(1);
+            for (node, (a, b)) in new_bins
+                .per_node
+                .chunks(m)
+                .zip(self.bins.per_node.chunks(m))
+                .enumerate()
+            {
+                if a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits()) {
+                    for &c in self.epol_far_nodes.chunks_for(node) {
+                        emask[c as usize] = true; // PANIC-OK: index built over exactly ne chunks.
+                    }
+                }
+            }
+        }
+        let dirty_epol: Vec<usize> = emask
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &d)| d.then_some(c))
+            .collect();
+        let poison_epol = plan.and_then(|pl| match pl.fire_exec(0, phase::EPOL) {
+            Some(FaultKind::PanicWorker) => Some(pl.seed() as usize % dirty_epol.len().max(1)),
+            _ => None,
+        });
+        let base = &self.base;
+        let math = base.approx.math;
+        let fresh_epol = run_dirty_chunks(
+            pool,
+            &dirty_epol,
+            poison_epol,
+            |c| base.epol_lists.run_chunk(&base.sys, &new_bins, &new_born, math, c),
+            &mut recovered,
+        );
+        let mut undo_epol_chunks = Vec::with_capacity(dirty_epol.len());
+        for (&c, v) in dirty_epol.iter().zip(fresh_epol) {
+            // PANIC-OK: c < ne — it came from the ne-length dirty mask.
+            undo_epol_chunks.push((c, std::mem::replace(&mut self.epol_outputs[c], v)));
+        }
+
+        // ---- Phase B (E_pol): full sum-tree replay over all chunks.
+        let raw = self.base.epol_lists.apply(&self.epol_outputs);
+        let energy_kcal = epol_from_raw_sum(raw, self.base.approx.eps_solvent);
+
+        let old_born = std::mem::replace(&mut self.base.born, new_born);
+        let old_bins = std::mem::replace(&mut self.bins, new_bins);
+        let old_raw = std::mem::replace(&mut self.raw, raw);
+        let old_energy = std::mem::replace(&mut self.energy_kcal, energy_kcal);
+        self.undo.push(UndoRecord::Incremental {
+            moves: old_moves,
+            charges: old_charges,
+            born_chunks: undo_born_chunks,
+            epol_chunks: undo_epol_chunks,
+            born: old_born,
+            bins: old_bins,
+            raw: old_raw,
+            energy_kcal: old_energy,
+        });
+        self.queries_incremental += 1;
+
+        let redone = dirty_born.len() + dirty_epol.len();
+        DeltaEval {
+            energy_kcal,
+            raw,
+            rebuilt: false,
+            max_disp,
+            born_chunks_redone: dirty_born.len(),
+            epol_chunks_redone: dirty_epol.len(),
+            chunks_redone: redone,
+            chunks_cached: total - redone,
+            total_chunks: total,
+            recovered_chunks: recovered,
+        }
+    }
+
+    /// Undo the most recent perturbation; returns `false` when none is
+    /// pending. An incremental query restores the saved state directly
+    /// (bit-exact, no recomputation); a rebuilt query re-prepares the
+    /// previous scaffold deterministically and re-executes over `pool`.
+    pub fn revert(&mut self, pool: Option<&WorkStealingPool>) -> bool {
+        let Some(rec) = self.undo.pop() else {
+            return false;
+        };
+        match rec {
+            UndoRecord::Incremental {
+                moves,
+                charges,
+                born_chunks,
+                epol_chunks,
+                born,
+                bins,
+                raw,
+                energy_kcal,
+            } => {
+                // Reverse application order, so repeated writes to one
+                // atom unwind to the first saved value.
+                for &(oi, op) in moves.iter().rev() {
+                    self.positions[oi] = op; // PANIC-OK: saved from a validated query.
+                }
+                for &(oi, oq) in charges.iter().rev() {
+                    self.charges[oi] = oq; // PANIC-OK: saved from a validated query.
+                }
+                let subset: Vec<(usize, Vec3)> = moves
+                    .iter()
+                    .map(|&(oi, _)| {
+                        // PANIC-OK: saved from a validated query; inv_order is n-length.
+                        (self.inv_order[oi] as usize, self.positions[oi])
+                    })
+                    .collect();
+                self.base.sys.refresh_atom_subset(&subset);
+                for &(oi, _) in &charges {
+                    // PANIC-OK: saved from a validated query; inv_order is n-length.
+                    let mi = self.inv_order[oi] as usize;
+                    self.base.sys.set_atom_charge(mi, self.charges[oi]);
+                }
+                for &(oi, _) in &moves {
+                    // PANIC-OK: saved from a validated query; disp/reference are n-length.
+                    self.disp[oi] = self.positions[oi].dist(self.base.reference[oi]);
+                }
+                for (c, old) in born_chunks {
+                    self.born_outputs[c] = old; // PANIC-OK: chunk id saved from this engine.
+                }
+                for (c, old) in epol_chunks {
+                    self.epol_outputs[c] = old; // PANIC-OK: chunk id saved from this engine.
+                }
+                self.base.born = born;
+                self.bins = bins;
+                self.raw = raw;
+                self.energy_kcal = energy_kcal;
+            }
+            UndoRecord::Rebuilt { moves, charges, scaffold } => {
+                for &(oi, op) in moves.iter().rev() {
+                    self.positions[oi] = op; // PANIC-OK: saved from a validated query.
+                }
+                for &(oi, oq) in charges.iter().rev() {
+                    self.charges[oi] = oq; // PANIC-OK: saved from a validated query.
+                }
+                // Re-prepare the *old* scaffold (prepare is deterministic,
+                // so trees/lists/indexes come back bit-identical), then
+                // re-execute at the restored positions/charges.
+                self.base.work.charges.copy_from_slice(&self.charges);
+                self.base.rebuild(&scaffold);
+                self.rebuild_caches();
+                self.full_execute(pool);
+                self.base.lists_rebuilt += 1;
+            }
+        }
+        true
+    }
+
+    /// Polarization energy (kcal/mol) of the current state.
+    pub fn energy_kcal(&self) -> f64 {
+        self.energy_kcal
+    }
+
+    /// Raw ordered-pair E_pol sum of the current state.
+    pub fn raw(&self) -> f64 {
+        self.raw
+    }
+
+    /// Born radii of the current state (Morton order; pair with
+    /// [`DeltaEngine::system`]).
+    pub fn born(&self) -> &[f64] {
+        self.base.born()
+    }
+
+    /// FNV-1a digest of the Born radii in original atom order — the
+    /// order-independent fingerprint the differential harness compares.
+    pub fn born_digest(&self) -> u64 {
+        checksum(&self.base.sys.to_original_atom_order(self.base.born()))
+    }
+
+    /// The underlying system snapshot.
+    pub fn system(&self) -> &GbSystem {
+        &self.base.sys
+    }
+
+    /// The underlying [`ListEngine`] (counters, skin, lists).
+    pub fn engine(&self) -> &ListEngine {
+        &self.base
+    }
+
+    /// Current positions, original atom order.
+    pub fn positions(&self) -> &[Vec3] {
+        &self.positions
+    }
+
+    /// Current charges, original atom order.
+    pub fn charges(&self) -> &[f64] {
+        &self.charges
+    }
+
+    /// Scaffold (reference) geometry the current trees/lists were built
+    /// at, original atom order.
+    pub fn reference_positions(&self) -> &[Vec3] {
+        &self.base.reference
+    }
+
+    /// Total chunks across both lists — the denominator of the
+    /// `chunks_redone < total_chunks` op-accounting contract.
+    pub fn total_chunks(&self) -> usize {
+        self.base.born_lists.n_chunks() + self.base.epol_lists.n_chunks()
+    }
+
+    /// Perturbations currently on the undo stack.
+    pub fn pending_perturbations(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Resident bytes: the base engine plus the chunk caches, indexes
+    /// and bin generation.
+    pub fn memory_bytes(&self) -> usize {
+        let outputs: usize = self
+            .born_outputs
+            .iter()
+            .chain(&self.epol_outputs)
+            .map(|v| v.capacity() * 8)
+            .sum();
+        self.base.memory_bytes()
+            + outputs
+            + self.born_touch.memory_bytes()
+            + self.epol_touch.memory_bytes()
+            + self.epol_far_nodes.memory_bytes()
+            + self.bins.memory_bytes()
+    }
+
+    /// Test hook: additively corrupt every *cached* Phase-A Born output
+    /// (dirty chunks recomputed by the next query overwrite their slots,
+    /// so whatever stays cached stays corrupted). The golden recall test
+    /// uses this to prove a stale cached chunk cannot survive the
+    /// differential harness.
+    #[doc(hidden)]
+    pub fn debug_corrupt_cached_born_outputs(&mut self, delta: f64) {
+        for out in &mut self.born_outputs {
+            for v in out.iter_mut() {
+                *v += delta;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polaroct_molecule::synth;
+
+    fn mol(n: usize, seed: u64) -> Molecule {
+        synth::protein("delta", n, seed)
+    }
+
+    /// Fresh-reference energy for the engine's current state: an
+    /// independent ListEngine prepared at the scaffold with the current
+    /// charges, evaluated (full, all chunks) at the current positions.
+    fn fresh_reference(eng: &DeltaEngine, approx: &ApproxParams, skin: f64) -> (f64, f64, u64) {
+        let mut m = Molecule {
+            positions: eng.reference_positions().to_vec(),
+            charges: eng.charges().to_vec(),
+            ..mol(eng.positions().len(), 0)
+        };
+        m.radii = eng
+            .system()
+            .to_original_atom_order(&eng.system().radius)
+            .to_vec();
+        let mut fresh = ListEngine::new(&m, approx, skin);
+        let eval = fresh.evaluate(eng.positions());
+        let digest = checksum(&fresh.system().to_original_atom_order(fresh.born()));
+        (eval.raw, eval.energy_kcal, digest)
+    }
+
+    #[test]
+    fn single_move_matches_fresh_engine_bits() {
+        let approx = ApproxParams::default();
+        let skin = 1.0;
+        let mut eng = DeltaEngine::new(&mol(150, 3), &approx, skin);
+        let p = Perturbation::default().move_atom(17, eng.positions()[17] + Vec3::new(0.2, -0.1, 0.15));
+        let eval = eng.apply_perturbation(&p, None);
+        assert!(!eval.rebuilt);
+        assert!(eval.chunks_redone < eval.total_chunks, "no work was skipped");
+        assert!(eval.chunks_redone > 0);
+        let (raw, energy, digest) = fresh_reference(&eng, &approx, skin);
+        assert_eq!(eval.raw.to_bits(), raw.to_bits());
+        assert_eq!(eval.energy_kcal.to_bits(), energy.to_bits());
+        assert_eq!(eng.born_digest(), digest);
+    }
+
+    #[test]
+    fn charge_mutation_matches_fresh_engine_bits() {
+        let approx = ApproxParams::default();
+        let skin = 0.8;
+        let mut eng = DeltaEngine::new(&mol(120, 9), &approx, skin);
+        let p = Perturbation::default().set_charge(33, 2.5).set_charge(70, -1.25);
+        let eval = eng.apply_perturbation(&p, None);
+        assert!(!eval.rebuilt);
+        // Charges don't feed Born radii at all.
+        assert_eq!(eval.born_chunks_redone, 0);
+        let (raw, energy, digest) = fresh_reference(&eng, &approx, skin);
+        assert_eq!(eval.raw.to_bits(), raw.to_bits());
+        assert_eq!(eval.energy_kcal.to_bits(), energy.to_bits());
+        assert_eq!(eng.born_digest(), digest);
+    }
+
+    #[test]
+    fn boundary_crossing_rebuilds_and_matches_fresh_prepare() {
+        let approx = ApproxParams::default();
+        let skin = 0.4;
+        let m = mol(100, 5);
+        let mut eng = DeltaEngine::new(&m, &approx, skin);
+        let p = Perturbation::default().move_atom(8, m.positions[8] + Vec3::new(1.0, 0.0, 0.0));
+        let eval = eng.apply_perturbation(&p, None);
+        assert!(eval.rebuilt);
+        assert_eq!(eval.chunks_cached, 0);
+        // Past the boundary the scaffold is re-prepared at the perturbed
+        // geometry, so the engine equals a fresh prepare of it.
+        let mut pm = m.clone();
+        pm.positions[8] += Vec3::new(1.0, 0.0, 0.0);
+        let mut fresh = ListEngine::new(&pm, &approx, skin);
+        let feval = fresh.evaluate(&pm.positions);
+        assert_eq!(eval.raw.to_bits(), feval.raw.to_bits());
+        assert_eq!(eval.energy_kcal.to_bits(), feval.energy_kcal.to_bits());
+    }
+
+    #[test]
+    fn revert_restores_original_bits() {
+        let approx = ApproxParams::default();
+        let skin = 1.0;
+        let m = mol(130, 7);
+        let mut eng = DeltaEngine::new(&m, &approx, skin);
+        let raw0 = eng.raw();
+        let energy0 = eng.energy_kcal();
+        let digest0 = eng.born_digest();
+        let p1 = Perturbation::default()
+            .move_atom(4, m.positions[4] + Vec3::new(0.1, 0.2, -0.1))
+            .set_charge(60, 3.0);
+        let p2 = Perturbation::default().move_atom(90, m.positions[90] + Vec3::new(-0.15, 0.0, 0.2));
+        eng.apply_perturbation(&p1, None);
+        eng.apply_perturbation(&p2, None);
+        assert_eq!(eng.pending_perturbations(), 2);
+        assert!(eng.revert(None));
+        assert!(eng.revert(None));
+        assert!(!eng.revert(None), "stack must be empty");
+        assert_eq!(eng.raw().to_bits(), raw0.to_bits());
+        assert_eq!(eng.energy_kcal().to_bits(), energy0.to_bits());
+        assert_eq!(eng.born_digest(), digest0);
+        for (a, b) in eng.positions().iter().zip(&m.positions) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in eng.charges().iter().zip(&m.charges) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn pooled_queries_match_serial_bits() {
+        let approx = ApproxParams::default();
+        let skin = 1.0;
+        let m = mol(140, 11);
+        let mut serial = DeltaEngine::new(&m, &approx, skin);
+        let mut pooled = DeltaEngine::new(&m, &approx, skin);
+        let pool = WorkStealingPool::new(3);
+        let p = Perturbation::default()
+            .move_atom(10, m.positions[10] + Vec3::new(0.2, 0.1, 0.0))
+            .move_atom(77, m.positions[77] + Vec3::new(0.0, -0.2, 0.1));
+        let es = serial.apply_perturbation(&p, None);
+        let ep = pooled.apply_perturbation(&p, Some(&pool));
+        assert_eq!(es.raw.to_bits(), ep.raw.to_bits());
+        assert_eq!(es.chunks_redone, ep.chunks_redone);
+        assert_eq!(serial.born_digest(), pooled.born_digest());
+    }
+
+    #[test]
+    fn empty_perturbation_is_identity() {
+        let approx = ApproxParams::default();
+        let mut eng = DeltaEngine::new(&mol(80, 13), &approx, 0.5);
+        let raw0 = eng.raw();
+        let eval = eng.apply_perturbation(&Perturbation::default(), None);
+        assert_eq!(eval.chunks_redone, 0);
+        assert_eq!(eval.raw.to_bits(), raw0.to_bits());
+        assert!(eng.revert(None));
+        assert_eq!(eng.raw().to_bits(), raw0.to_bits());
+    }
+
+    #[test]
+    fn corrupted_cache_is_caught_by_the_differential_harness() {
+        let approx = ApproxParams::default();
+        let skin = 1.0;
+        let mut eng = DeltaEngine::new(&mol(110, 17), &approx, skin);
+        eng.debug_corrupt_cached_born_outputs(1e-3);
+        // An identity query replays Phase B over the (corrupted) cache.
+        let eval = eng.apply_perturbation(&Perturbation::default(), None);
+        let (raw, _, _) = fresh_reference(&eng, &approx, skin);
+        assert_ne!(
+            eval.raw.to_bits(),
+            raw.to_bits(),
+            "a stale cached chunk must be visible to the harness"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_move_is_rejected() {
+        let mut eng = DeltaEngine::new(&mol(40, 1), &ApproxParams::default(), 0.5);
+        let p = Perturbation::default().move_atom(40, Vec3::ZERO);
+        let _ = eng.apply_perturbation(&p, None);
+    }
+}

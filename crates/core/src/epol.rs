@@ -25,7 +25,7 @@ use polaroct_octree::NodeId;
 use std::ops::Range;
 
 /// Per-node binned charges.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct ChargeBins {
     /// Number of radius bins `M_ε` (≥ 1).
     pub m_eps: usize,

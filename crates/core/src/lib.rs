@@ -40,6 +40,7 @@
 pub mod born;
 pub mod born_r4;
 pub mod data_dist;
+pub mod delta;
 pub mod drivers;
 pub mod dual;
 pub mod epol;
@@ -62,6 +63,7 @@ pub use drivers::{
     run_serial_mol, validate_system, DriverError,
     FtConfig, PhaseTimes, RecoveryMode, RunOutcome, RunReport, EPS_DEGRADED,
 };
+pub use delta::{DeltaEngine, DeltaEval, Perturbation};
 pub use error::{energy_error_pct, ErrorStats};
 pub use gb::{f_gb, COULOMB_KCAL};
 pub use lists::{BornLists, EngineEval, EpolLists, ListEngine, ListEntry, LIST_CHUNKS};

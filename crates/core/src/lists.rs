@@ -117,6 +117,20 @@ fn born_mac(eps: f64) -> f64 {
 // Born lists
 // ---------------------------------------------------------------------------
 
+/// Stable-sort Born entries by their atoms-tree node. Bit-neutral:
+/// Phase B folds each entry into slots owned by exactly `e.a` (the
+/// per-atom slots of a near leaf, or `acc.node[e.a]` for a far entry),
+/// and a stable sort preserves the relative order of entries sharing an
+/// `e.a` — so every accumulator slot sees the same floats in the same
+/// order as the raw traversal emission. What it buys: atom locality per
+/// cost-balanced chunk, which is what lets `core::delta` mark only a
+/// handful of chunks dirty when a few atoms move (the raw single-tree
+/// order is q-leaf-major, which scatters one atom's entries across
+/// nearly every chunk).
+fn sort_by_atom_node(entries: &mut [ListEntry]) {
+    entries.sort_by_key(|e| e.a);
+}
+
 /// Interaction lists for the Born-integral phase (`APPROX-INTEGRALS`),
 /// single- or dual-tree. Execution reproduces the source recursion's
 /// accumulator bits exactly (see the module docs).
@@ -141,6 +155,7 @@ impl BornLists {
         for &q in &sys.qtree.leaf_ids {
             build_born_single(sys, 0, q, mac, &mut entries, &mut ops);
         }
+        sort_by_atom_node(&mut entries);
         let chunks = chunk_entries(sys, &entries, true);
         BornLists { entries, chunks, ops }
     }
@@ -152,6 +167,7 @@ impl BornLists {
         let mut entries = Vec::new();
         let mut ops = OpCounts::default();
         build_born_dual(sys, 0, 0, mac, &mut entries, &mut ops);
+        sort_by_atom_node(&mut entries);
         let chunks = chunk_entries(sys, &entries, true);
         BornLists { entries, chunks, ops }
     }
@@ -636,16 +652,16 @@ pub struct EngineEval {
 /// `max_disp > skin/2`, everything is rebuilt at the current geometry
 /// (with `skin = 0` that means every time the positions change at all).
 pub struct ListEngine {
-    approx: ApproxParams,
-    skin: f64,
-    sys: GbSystem,
-    born_lists: BornLists,
-    epol_lists: EpolLists,
+    pub(crate) approx: ApproxParams,
+    pub(crate) skin: f64,
+    pub(crate) sys: GbSystem,
+    pub(crate) born_lists: BornLists,
+    pub(crate) epol_lists: EpolLists,
     /// Born radii from the last [`Self::evaluate`] (Morton order).
-    born: Vec<f64>,
+    pub(crate) born: Vec<f64>,
     /// Positions (original order) the current trees/lists were built at.
-    reference: Vec<Vec3>,
-    work: Molecule,
+    pub(crate) reference: Vec<Vec3>,
+    pub(crate) work: Molecule,
     /// Evaluations served by prebuilt lists.
     pub lists_reused: u64,
     /// Evaluations (incl. the initial build) that rebuilt trees + lists.
@@ -708,7 +724,7 @@ impl ListEngine {
         self.sys.memory_bytes() + self.born_lists.memory_bytes() + self.epol_lists.memory_bytes()
     }
 
-    fn rebuild(&mut self, positions: &[Vec3]) {
+    pub(crate) fn rebuild(&mut self, positions: &[Vec3]) {
         // PANIC-OK: rebuild always receives positions for the same molecule (same atom count).
         self.work.positions.copy_from_slice(positions);
         self.sys = GbSystem::prepare(&self.work, &self.approx);

@@ -496,6 +496,27 @@ impl AtomArena {
         }
     }
 
+    /// Overwrite the coordinate lanes of a single Morton-ordered atom —
+    /// the subset-refresh path of the perturbation engine, which touches
+    /// O(k) atoms instead of rewriting all N lanes.
+    #[inline]
+    pub fn set_position(&mut self, i: usize, p: Vec3) {
+        // PANIC-OK: perturbation indices are validated against the atom count on entry.
+        assert!(i < self.x.len(), "atom index out of range");
+        self.x[i] = p.x; // PANIC-OK: bounds asserted above.
+        self.y[i] = p.y; // PANIC-OK: lanes share one length invariant.
+        self.z[i] = p.z; // PANIC-OK: lanes share one length invariant.
+    }
+
+    /// Overwrite the charge lane of a single Morton-ordered atom (charge
+    /// mutation queries).
+    #[inline]
+    pub fn set_charge(&mut self, i: usize, q: f64) {
+        // PANIC-OK: perturbation indices are validated against the atom count on entry.
+        assert!(i < self.q.len(), "atom index out of range");
+        self.q[i] = q; // PANIC-OK: bounds asserted above.
+    }
+
     /// Position of Morton-ordered atom `i`, reassembled from the flat lanes.
     #[inline]
     pub fn position(&self, i: usize) -> Vec3 {
@@ -807,6 +828,30 @@ mod tests {
             assert_eq!(aa.position(i), *s);
             assert_eq!(aa.q[i], sys.charge[i]);
         }
+    }
+
+    #[test]
+    fn arena_subset_setters_touch_only_their_atom() {
+        let sys = system(50, 11);
+        let mut aa = AtomArena::build(&sys.atoms.points, &sys.charge);
+        let before = aa.clone();
+        let p = Vec3::new(1.5, -2.0, 0.25);
+        aa.set_position(7, p);
+        aa.set_charge(13, 42.0);
+        for i in 0..aa.len() {
+            let want_p = if i == 7 { p } else { before.position(i) };
+            let want_q = if i == 13 { 42.0 } else { before.q[i] };
+            assert_eq!(aa.position(i), want_p, "atom {i}");
+            assert_eq!(aa.q[i], want_q, "atom {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn arena_set_position_rejects_out_of_range() {
+        let sys = system(10, 1);
+        let mut aa = AtomArena::build(&sys.atoms.points, &sys.charge);
+        aa.set_position(10, Vec3::ZERO);
     }
 
     #[test]

@@ -146,6 +146,31 @@ impl GbSystem {
         self.atom_arena.refresh_positions(&self.atoms.points);
     }
 
+    /// Subset form of [`GbSystem::refresh_atom_positions`] for
+    /// perturbation queries: rewrite the octree point copy *and* the flat
+    /// arena lanes of exactly the given Morton-indexed atoms, O(k) instead
+    /// of O(N). Same frozen-topology contract as the full refresh — a
+    /// full refresh to the same geometry produces bitwise-identical state.
+    pub fn refresh_atom_subset(&mut self, moved: &[(usize, Vec3)]) {
+        for &(mi, p) in moved {
+            // PANIC-OK: perturbation indices are validated against the atom count on entry.
+            assert!(mi < self.atoms.points.len(), "atom index out of range");
+            self.atoms.points[mi] = p; // PANIC-OK: bounds asserted above.
+            self.atom_arena.set_position(mi, p);
+        }
+    }
+
+    /// Charge-mutation write: update the Morton-ordered charge payload and
+    /// the flat arena lane of one atom. Charges are pure payload — no tree
+    /// geometry or surface quantity depends on them — so this never
+    /// invalidates the prepared scaffold.
+    pub fn set_atom_charge(&mut self, mi: usize, q: f64) {
+        // PANIC-OK: perturbation indices are validated against the atom count on entry.
+        assert!(mi < self.charge.len(), "atom index out of range");
+        self.charge[mi] = q; // PANIC-OK: bounds asserted above.
+        self.atom_arena.set_charge(mi, q);
+    }
+
     /// Leaf×leaf near-field Born terms, block-kernel form: the term of
     /// `qv` at every atom of the Morton range `ar`, delivered to
     /// `sink(atom_index, term)` in index order. Each term is bit-identical
@@ -384,6 +409,36 @@ mod tests {
         assert_eq!(s.atom_arena.x, fresh.atom_arena.x);
         assert_eq!(s.atom_arena.y, fresh.atom_arena.y);
         assert_eq!(s.atom_arena.z, fresh.atom_arena.z);
+    }
+
+    #[test]
+    fn subset_refresh_matches_full_refresh_bitwise() {
+        let mol = synth::protein("p", 110, 19);
+        let mut subset = GbSystem::prepare(&mol, &ApproxParams::default());
+        let mut full = subset.clone();
+        // Move three atoms (original order) and mutate one charge.
+        let mut moved_orig = mol.positions.clone();
+        for (oi, d) in [(4usize, 0.3), (50, -0.2), (101, 0.1)] {
+            moved_orig[oi] += Vec3::new(d, -d, 0.5 * d);
+        }
+        full.refresh_atom_positions(&moved_orig);
+        // Subset path works in Morton indices: invert point_order.
+        let mut inv = vec![0usize; subset.n_atoms()];
+        for (mi, &oi) in subset.atoms.point_order.iter().enumerate() {
+            inv[oi as usize] = mi;
+        }
+        let subset_moves: Vec<(usize, Vec3)> = [4usize, 50, 101]
+            .iter()
+            .map(|&oi| (inv[oi], moved_orig[oi]))
+            .collect();
+        subset.refresh_atom_subset(&subset_moves);
+        assert_eq!(subset.atoms.points, full.atoms.points);
+        assert_eq!(subset.atom_arena.x, full.atom_arena.x);
+        assert_eq!(subset.atom_arena.y, full.atom_arena.y);
+        assert_eq!(subset.atom_arena.z, full.atom_arena.z);
+        subset.set_atom_charge(inv[50], -3.25);
+        assert_eq!(subset.charge[inv[50]], -3.25);
+        assert_eq!(subset.atom_arena.q[inv[50]], -3.25);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Shared test support for the core property suites.
+//!
+//! Every suite used to open with the same boilerplate — synthesize a
+//! molecule, take `ApproxParams::default()`, `GbSystem::prepare` /
+//! `ListEngine::new` — and `lists_match_recursion` privately owned the
+//! pool-width sweep and the push-phase helper that other suites want
+//! too. This module is that boilerplate, factored once, with **zero
+//! behavior change**: the helpers perform exactly the calls the inline
+//! code performed (suites keep their historical molecule name strings by
+//! passing them in).
+
+// Each suite is its own crate and uses its own subset of these helpers.
+#![allow(dead_code)]
+
+use polaroct_cluster::simtime::OpCounts;
+use polaroct_core::born::{push_integrals_to_atoms, BornAccumulators};
+use polaroct_core::lists::ListEngine;
+use polaroct_core::{ApproxParams, GbSystem};
+use polaroct_geom::fastmath::MathMode;
+use polaroct_molecule::{synth, Molecule};
+
+/// Pool widths the determinism sweeps execute under: serial, and real
+/// work-stealing pools of 1, 3 and 8 workers.
+pub const WIDTHS: [Option<usize>; 4] = [None, Some(1), Some(3), Some(8)];
+
+/// Synthetic protein + default approximation + prepared system.
+pub fn prepared_protein(name: &str, n: usize, seed: u64) -> (Molecule, ApproxParams, GbSystem) {
+    let mol = synth::protein(name, n, seed);
+    let params = ApproxParams::default();
+    let sys = GbSystem::prepare(&mol, &params);
+    (mol, params, sys)
+}
+
+/// Synthetic ligand + default approximation + prepared system.
+pub fn prepared_ligand(name: &str, n: usize, seed: u64) -> (Molecule, ApproxParams, GbSystem) {
+    let mol = synth::ligand(name, n, seed);
+    let params = ApproxParams::default();
+    let sys = GbSystem::prepare(&mol, &params);
+    (mol, params, sys)
+}
+
+/// Synthetic ligand + a default-params [`ListEngine`] at `skin`.
+pub fn ligand_engine(name: &str, n: usize, seed: u64, skin: f64) -> (Molecule, ListEngine) {
+    let mol = synth::ligand(name, n, seed);
+    let engine = ListEngine::new(&mol, &ApproxParams::default(), skin);
+    (mol, engine)
+}
+
+/// Run the push phase and fold its op counts into `ops`, mirroring what
+/// `born_radii_octree` / `born_radii_dual` report.
+pub fn push(sys: &GbSystem, acc: &BornAccumulators, ops: &mut OpCounts) -> Vec<f64> {
+    let mut out = vec![0.0; sys.n_atoms()];
+    ops.add(&push_integrals_to_atoms(
+        sys,
+        acc,
+        0..sys.n_atoms(),
+        MathMode::Exact,
+        &mut out,
+    ));
+    out
+}

@@ -13,11 +13,13 @@
 //! the full pipeline with arenas on against committed snapshots), this
 //! pins the determinism contract of DESIGN.md §12.
 
+mod common;
+
 use polaroct_core::soa::{
     born_block_lanes, born_term_lanes, still_block_lanes, still_term_lanes, AtomView, QView,
     StillScratch, CHUNK,
 };
-use polaroct_core::{ApproxParams, GbSystem, ListEngine};
+use polaroct_core::{ApproxParams, ListEngine};
 use polaroct_geom::fastmath::MathMode;
 use polaroct_geom::Vec3;
 use polaroct_molecule::synth;
@@ -72,8 +74,7 @@ proptest! {
         src_sel in 0usize..1000,
     ) {
         let math = [MathMode::Exact, MathMode::Approx][math_i];
-        let mol = synth::ligand("kernels", n, seed);
-        let sys = GbSystem::prepare(&mol, &ApproxParams::default());
+        let (_mol, _params, sys) = common::prepared_ligand("kernels", n, seed);
 
         // Arbitrary contiguous q-arena range (includes empty).
         let qn = sys.q_arena.len();

@@ -10,31 +10,16 @@
 //! thread count and the cost-balanced chunk boundaries cannot leak into
 //! a single output bit.
 
-use polaroct_core::born::{born_radii_octree, push_integrals_to_atoms, BornAccumulators};
+mod common;
+
+use common::{push, WIDTHS};
+use polaroct_core::born::{born_radii_octree, BornAccumulators};
 use polaroct_core::dual::{born_radii_dual, epol_dual_raw};
 use polaroct_core::epol::{epol_octree_raw, ChargeBins};
 use polaroct_core::lists::{BornLists, EpolLists};
-use polaroct_core::{ApproxParams, GbSystem};
 use polaroct_geom::fastmath::MathMode;
-use polaroct_molecule::synth;
 use polaroct_sched::WorkStealingPool;
 use proptest::prelude::*;
-
-const WIDTHS: [Option<usize>; 4] = [None, Some(1), Some(3), Some(8)];
-
-/// Run the push phase and fold its op counts into `ops`, mirroring what
-/// `born_radii_octree` / `born_radii_dual` report.
-fn push(sys: &GbSystem, acc: &BornAccumulators, ops: &mut polaroct_cluster::simtime::OpCounts) -> Vec<f64> {
-    let mut out = vec![0.0; sys.n_atoms()];
-    ops.add(&push_integrals_to_atoms(
-        sys,
-        acc,
-        0..sys.n_atoms(),
-        MathMode::Exact,
-        &mut out,
-    ));
-    out
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
@@ -48,9 +33,7 @@ proptest! {
     ) {
         let eps = [0.9, 0.5, 0.25][eps_i];
         let skin = [0.0, 0.7, 1.5][skin_i];
-        let mol = synth::protein("prop", n, seed);
-        let params = ApproxParams::default();
-        let mut sys = GbSystem::prepare(&mol, &params);
+        let (_mol, _params, mut sys) = common::prepared_protein("prop", n, seed);
         // Recursion and list build read the same (inflated) bounds, so
         // bit-identity must hold at any skin — skin only changes *which*
         // pairs are classified far, identically for both paths.

@@ -6,9 +6,10 @@
 //! engine bit-identical to a freshly constructed one at the same
 //! geometry (no state leaks across the rebuild).
 
+mod common;
+
 use polaroct_core::lists::ListEngine;
 use polaroct_core::ApproxParams;
-use polaroct_molecule::synth;
 use proptest::prelude::*;
 
 proptest! {
@@ -22,9 +23,8 @@ proptest! {
         atom_sel in 0usize..1000,
     ) {
         let skin = [0.6, 1.0, 1.6][skin_i];
-        let mol = synth::ligand("prop", n, seed);
+        let (mol, mut engine) = common::ligand_engine("prop", n, seed, skin);
         let approx = ApproxParams::default();
-        let mut engine = ListEngine::new(&mol, &approx, skin);
         prop_assert_eq!(engine.lists_rebuilt, 1);
 
         let mut pos = mol.positions.clone();

@@ -3,9 +3,10 @@
 //! reduction may reassociate floating-point sums but must never change
 //! what is computed.
 
+mod common;
+
 use polaroct_core::drivers::DriverConfig;
-use polaroct_core::{run_oct_threads, run_serial, ApproxParams, GbSystem};
-use polaroct_molecule::synth;
+use polaroct_core::{run_oct_threads, run_serial};
 use proptest::prelude::*;
 
 proptest! {
@@ -13,9 +14,7 @@ proptest! {
 
     #[test]
     fn threads_match_serial_for_random_molecules(n in 60usize..220, seed in 0u64..1000) {
-        let mol = synth::protein("prop", n, seed);
-        let params = ApproxParams::default();
-        let sys = GbSystem::prepare(&mol, &params);
+        let (_mol, params, sys) = common::prepared_protein("prop", n, seed);
         let cfg = DriverConfig::default();
         let serial = run_serial(&sys, &params, &cfg).unwrap();
         let mut first_bits = None;

@@ -17,7 +17,8 @@
 
 use polaroct_cluster::comm::checksum;
 use polaroct_core::drivers::DriverConfig;
-use polaroct_core::{run_serial, ApproxParams, GbSystem};
+use polaroct_core::{run_serial, ApproxParams, DeltaEngine, GbSystem, Perturbation};
+use polaroct_geom::Vec3;
 use polaroct_molecule::{synth, Molecule};
 use std::path::PathBuf;
 
@@ -79,13 +80,105 @@ pub fn snapshot(name: &str, mol: &Molecule) -> String {
     )
 }
 
-/// Snapshot every case. Returns `(file_name, contents)` pairs.
+/// Verlet skin for the delta snapshots (Å): generous enough that the
+/// pinned ~0.1 Å script stays on the incremental path.
+pub const DELTA_SKIN: f64 = 0.8;
+
+/// One step of the pinned [`delta_script`]: move `atom` by `disp`,
+/// optionally also setting one charge.
+pub type DeltaStep = (usize, Vec3, Option<(usize, f64)>);
+
+/// The pinned perturbation script for [`snapshot_delta`]: three queries,
+/// each moving one size-scaled atom by ~0.1 Å, the second also mutating
+/// one charge. Returned as `(atom, displacement, Option<(atom, charge)>)`.
+pub fn delta_script(n: usize) -> [DeltaStep; 3] {
+    [
+        (n / 7, Vec3::new(0.10, -0.08, 0.05), None),
+        (n / 3, Vec3::new(-0.07, 0.10, -0.04), Some((n / 2, 1.75))),
+        (2 * n / 3, Vec3::new(0.06, 0.05, -0.10), None),
+    ]
+}
+
+/// Render the incremental-engine snapshot for one molecule: drive a
+/// [`DeltaEngine`] through the pinned [`delta_script`], recording exact
+/// energy bits and the chunk-cache accounting per query, then revert the
+/// whole chain and record the restored bits (which must equal the base).
+pub fn snapshot_delta(name: &str, mol: &Molecule) -> String {
+    snapshot_delta_impl(name, mol, None)
+}
+
+/// [`snapshot_delta`] with an optional cache corruption injected before
+/// the script runs — the recall test uses this to prove a deliberately
+/// stale cached chunk changes the snapshot (and would therefore be
+/// caught by the committed-file diff).
+#[doc(hidden)]
+pub fn snapshot_delta_impl(name: &str, mol: &Molecule, corrupt: Option<f64>) -> String {
+    let params = ApproxParams::default();
+    let mut eng = DeltaEngine::new(mol, &params, DELTA_SKIN);
+    if let Some(delta) = corrupt {
+        eng.debug_corrupt_cached_born_outputs(delta);
+    }
+    let n = mol.len();
+    let mut out = format!(
+        "case: {name}_delta\n\
+         atoms: {n}\n\
+         skin: {DELTA_SKIN}\n\
+         total_chunks: {}\n\
+         base_energy_bits: 0x{:016x}\n\
+         base_born_fnv1a: 0x{:016x}\n",
+        eng.total_chunks(),
+        eng.energy_kcal().to_bits(),
+        eng.born_digest(),
+    );
+    for (qi, (atom, d, charge)) in delta_script(n).iter().enumerate() {
+        let mut p = Perturbation::default().move_atom(*atom, eng.positions()[*atom] + *d);
+        if let Some((ca, q)) = charge {
+            p = p.set_charge(*ca, *q);
+        }
+        let eval = eng.apply_perturbation(&p, None);
+        out += &format!(
+            "query{qi}_energy_bits: 0x{:016x}\n\
+             query{qi}_chunks_redone: {}\n\
+             query{qi}_chunks_cached: {}\n\
+             query{qi}_rebuilt: {}\n",
+            eval.energy_kcal.to_bits(),
+            eval.chunks_redone,
+            eval.chunks_cached,
+            eval.rebuilt,
+        );
+    }
+    while eng.revert(None) {}
+    out += &format!(
+        "reverted_energy_bits: 0x{:016x}\n\
+         reverted_born_fnv1a: 0x{:016x}\n",
+        eng.energy_kcal().to_bits(),
+        eng.born_digest(),
+    );
+    out
+}
+
+/// Every file name the golden suite owns (without computing snapshots).
+pub fn golden_file_names() -> Vec<String> {
+    cases()
+        .iter()
+        .flat_map(|c| [format!("{}.golden", c.name), format!("{}_delta.golden", c.name)])
+        .collect()
+}
+
+/// Snapshot every case — the full-pipeline snapshot and the incremental
+/// delta snapshot per molecule. Returns `(file_name, contents)` pairs.
 pub fn snapshot_all() -> Vec<(String, String)> {
     cases()
         .iter()
-        .map(|c| {
+        .flat_map(|c| {
             let mol = (c.make)();
-            (format!("{}.golden", c.name), snapshot(c.name, &mol))
+            [
+                (format!("{}.golden", c.name), snapshot(c.name, &mol)),
+                (
+                    format!("{}_delta.golden", c.name),
+                    snapshot_delta(c.name, &mol),
+                ),
+            ]
         })
         .collect()
 }
@@ -124,5 +217,35 @@ mod tests {
         let c = &cases()[0];
         let mol = (c.make)();
         assert_eq!(snapshot(c.name, &mol), snapshot(c.name, &mol));
+    }
+
+    #[test]
+    fn delta_snapshot_is_reproducible_and_restores_base_bits() {
+        let c = &cases()[0];
+        let mol = (c.make)();
+        let s = snapshot_delta(c.name, &mol);
+        assert_eq!(s, snapshot_delta(c.name, &mol));
+        // The revert chain must land back on the base bits.
+        let field = |key: &str| {
+            s.lines()
+                .find_map(|l| l.strip_prefix(key))
+                .unwrap_or_else(|| panic!("missing {key} in:\n{s}"))
+                .trim()
+                .to_owned()
+        };
+        assert_eq!(field("base_energy_bits:"), field("reverted_energy_bits:"));
+        assert_eq!(field("base_born_fnv1a:"), field("reverted_born_fnv1a:"));
+    }
+
+    #[test]
+    fn file_names_cover_snapshot_all() {
+        let names = golden_file_names();
+        // Cheap consistency check against the expensive generator's
+        // naming scheme: one plain + one delta file per case.
+        assert_eq!(names.len(), cases().len() * 2);
+        for c in cases() {
+            assert!(names.contains(&format!("{}.golden", c.name)));
+            assert!(names.contains(&format!("{}_delta.golden", c.name)));
+        }
     }
 }
