@@ -8,27 +8,45 @@
 //! re-execution.
 //!
 //! [`DeltaEngine`] upgrades a [`ListEngine`] with per-chunk output
-//! caches for both lists and a chunk-dirtiness protocol (DESIGN.md §15):
+//! caches for both lists and a dirtiness protocol at one of two
+//! granularities (DESIGN.md §15–16):
 //!
 //! * **Inverted indexes** ([`polaroct_sched::CoverageIndex`], built once
-//!   per scaffold): Morton atom → Born chunks whose near entries read
-//!   that atom's position; Morton atom → E_pol chunks whose near entries
-//!   read it; atoms-tree node → E_pol chunks holding a far entry on that
-//!   node.
+//!   per scaffold): Morton atom → the Born *entries* (default,
+//!   [`Granularity::Entry`]) or chunks ([`Granularity::Chunk`], PR 9's
+//!   protocol and the [`DeltaParams::max_cache_bytes`] fallback) whose
+//!   near records read that atom's position; the same two maps for the
+//!   E_pol list; atoms-tree node → E_pol entries/chunks holding a far
+//!   record on that node.
 //! * A [`Perturbation`] query writes the moved positions / mutated
 //!   charges through the O(k) subset-refresh paths
 //!   ([`GbSystem::refresh_atom_subset`] / [`GbSystem::set_atom_charge`]),
-//!   marks dirty chunks from the indexes, and re-executes **only those
-//!   chunks** through the same pure Phase-A kernels
-//!   ([`crate::lists::BornLists::run_chunk`] /
-//!   [`crate::lists::EpolLists::run_chunk`]).
-//! * Phase B then replays the serial fold over **all** chunks in
-//!   emission order, splicing fresh outputs for dirty chunks and cached
-//!   outputs for clean ones. A clean chunk's cached output is bitwise
-//!   equal to what a fresh execution would produce (its entries read
-//!   only unchanged inputs — that is what "clean" means), so the fold
-//!   consumes identical floats in identical order and the perturbed
-//!   energy is **bit-identical to a fresh full run by construction**.
+//!   marks dirty entries (or chunks) from the indexes, and re-executes
+//!   **only those** through the same pure Phase-A kernels
+//!   ([`crate::lists::BornLists::run_entry`] /
+//!   [`crate::lists::EpolLists::run_entry`], which `run_chunk` itself
+//!   loops over). Entry granularity matters most for the E_pol list: its
+//!   entries cannot be sorted by atom (Phase B replays the recursion's
+//!   sum tree in emission order), so one moved atom touches a few
+//!   entries in *most* chunks and chunk granularity re-executes nearly
+//!   the whole list; entry granularity re-executes only those entries.
+//! * Recomputed outputs are **spliced in place** into the cached
+//!   per-chunk streams (each entry owns a fixed `[offset, offset+len)`
+//!   span of its chunk's stream — [`crate::lists::BornLists::entry_out_len`]
+//!   values
+//!   for Born, exactly one for E_pol), and Phase B then replays the
+//!   serial fold over **all** chunks in emission order. A clean entry's
+//!   cached span is bitwise equal to what a fresh execution would
+//!   produce (its operands read only unchanged inputs — that is what
+//!   "clean" means), so the fold consumes identical floats in identical
+//!   order and the perturbed energy is **bit-identical to a fresh full
+//!   run by construction** — at either granularity, which is why the
+//!   cache-cap fallback cannot change any result bits.
+//!
+//! [`DeltaEngine::apply_batch`] (the `batch` submodule) layers N
+//! *independent* queries over one immutable cached base without the
+//! apply→revert churn: per-query overlays over the shared base cache,
+//! same dirtiness protocol, same bit-identity contract.
 //!
 //! Two global couplings need care (both are diffed, not assumed):
 //!
@@ -65,12 +83,15 @@ use crate::epol::ChargeBins;
 use crate::gb::epol_from_raw_sum;
 use crate::lists::ListEngine;
 use crate::params::ApproxParams;
+use crate::soa::StillScratch;
 use crate::system::GbSystem;
 use polaroct_cluster::comm::checksum;
 use polaroct_cluster::fault::{phase, FaultKind, FaultPlan};
 use polaroct_geom::Vec3;
 use polaroct_molecule::Molecule;
 use polaroct_sched::{CoverageIndex, WorkStealingPool};
+
+pub mod batch;
 
 /// One perturbation query: absolute new positions for k moved atoms and
 /// absolute new charges for mutated atoms, both in the molecule's
@@ -101,6 +122,48 @@ impl Perturbation {
     }
 }
 
+/// Dirtiness granularity of a [`DeltaEngine`]'s incremental path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Granularity {
+    /// Re-execute only the list *entries* whose operands read a touched
+    /// atom, splicing their output spans into the cached chunk streams
+    /// (default). Strictly less Phase-A work than [`Granularity::Chunk`]
+    /// for small-k queries, at the cost of per-entry index tables.
+    Entry,
+    /// PR 9's protocol: re-execute whole cost-balanced chunks. Smaller
+    /// resident indexes; also the automatic fallback when the entry
+    /// tables would exceed [`DeltaParams::max_cache_bytes`].
+    Chunk,
+}
+
+/// Tuning knobs for [`DeltaEngine`] construction
+/// ([`DeltaEngine::with_params`] / [`ListEngine::into_delta_with`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaParams {
+    /// Requested dirtiness granularity. The *effective* granularity
+    /// ([`DeltaEngine::effective_granularity`]) may be coarser if the
+    /// cache cap below trips; it is re-decided after every scaffold
+    /// rebuild (entry counts change with the geometry).
+    pub granularity: Granularity,
+    /// Cap (bytes) on the *extra* entry-granular index tables (entry →
+    /// chunk/offset maps plus the three entry-level coverage indexes).
+    /// When building them would exceed the cap, the engine falls back to
+    /// [`Granularity::Chunk`] for that scaffold — results stay
+    /// bit-identical (the granularity only decides how much clean work
+    /// is redundantly re-executed), only the accounting and the speed
+    /// change. `usize::MAX` (default) disables the cap.
+    pub max_cache_bytes: usize,
+}
+
+impl Default for DeltaParams {
+    fn default() -> Self {
+        DeltaParams {
+            granularity: Granularity::Entry,
+            max_cache_bytes: usize::MAX,
+        }
+    }
+}
+
 /// Result of one [`DeltaEngine::apply_perturbation`] query.
 #[derive(Clone, Copy, Debug)]
 pub struct DeltaEval {
@@ -123,9 +186,25 @@ pub struct DeltaEval {
     pub chunks_cached: usize,
     /// Total chunks across both lists.
     pub total_chunks: usize,
-    /// Poisoned chunks recovered by serial re-execution (FT path).
+    /// List entries re-executed by this query (both lists). Under
+    /// [`Granularity::Entry`] these are exactly the dirty entries; under
+    /// [`Granularity::Chunk`] every entry of a dirty chunk counts.
+    pub entries_redone: usize,
+    /// List entries whose cached output spans were served as-is.
+    pub entries_cached: usize,
+    /// Total entries across both lists
+    /// (`entries_redone + entries_cached`).
+    pub total_entries: usize,
+    /// Poisoned Phase-A work units (chunks or entries, per the effective
+    /// granularity) recovered by serial re-execution (FT path).
     pub recovered_chunks: u32,
 }
+
+/// One replaced span of a cached Phase-A stream: `(chunk, offset, old
+/// values)`. Entry-granular queries save exactly the spliced entry
+/// spans; chunk-granular queries save whole streams as one span with
+/// offset 0 — [`DeltaEngine::revert`] restores both the same way.
+type UndoSpan = (u32, u32, Vec<f64>);
 
 /// Undo record for one applied perturbation (LIFO).
 enum UndoRecord {
@@ -135,8 +214,8 @@ enum UndoRecord {
         moves: Vec<(usize, Vec3)>,
         /// Original-order `(atom, old_charge)`, in application order.
         charges: Vec<(usize, f64)>,
-        born_chunks: Vec<(usize, Vec<f64>)>,
-        epol_chunks: Vec<(usize, Vec<f64>)>,
+        born_spans: Vec<UndoSpan>,
+        epol_spans: Vec<UndoSpan>,
         born: Vec<f64>,
         bins: ChargeBins,
         raw: f64,
@@ -155,71 +234,95 @@ enum UndoRecord {
 /// the module docs for the dirtiness protocol and the bit-identity
 /// argument.
 pub struct DeltaEngine {
-    base: ListEngine,
+    pub(crate) base: ListEngine,
+    pub(crate) params: DeltaParams,
+    /// Effective granularity for the current scaffold (the requested one
+    /// unless the cache cap forced the chunk fallback).
+    pub(crate) mode: Granularity,
     /// Cached Phase-A outputs, one vector per chunk, for both lists.
-    born_outputs: Vec<Vec<f64>>,
-    epol_outputs: Vec<Vec<f64>>,
-    /// Morton atom → Born chunks with a near entry reading it.
-    born_touch: CoverageIndex,
+    pub(crate) born_outputs: Vec<Vec<f64>>,
+    pub(crate) epol_outputs: Vec<Vec<f64>>,
+    /// Morton atom → Born chunks with a near entry reading it
+    /// (chunk mode only; empty in entry mode).
+    pub(crate) born_touch: CoverageIndex,
     /// Morton atom → E_pol chunks with a near entry reading it.
-    epol_touch: CoverageIndex,
+    pub(crate) epol_touch: CoverageIndex,
     /// Atoms-tree node → E_pol chunks with a far entry on it.
-    epol_far_nodes: CoverageIndex,
+    pub(crate) epol_far_nodes: CoverageIndex,
     /// E_pol chunks holding at least one far entry (for a global bin
     /// relayout).
-    epol_far_chunks: Vec<u32>,
+    pub(crate) epol_far_chunks: Vec<u32>,
+    /// Entry-granular tables (entry mode only; all empty in chunk mode).
+    /// Born entry id → owning chunk / offset of its span in that chunk's
+    /// cached stream; E_pol entry id → owning chunk (its span is always
+    /// one value at `entry - chunk.start`).
+    pub(crate) born_entry_chunk: Vec<u32>,
+    pub(crate) born_entry_offset: Vec<u32>,
+    pub(crate) epol_entry_chunk: Vec<u32>,
+    /// Morton atom → Born entries with a near record reading it.
+    pub(crate) born_entry_touch: CoverageIndex,
+    /// Morton atom → E_pol entries with a near record reading it.
+    pub(crate) epol_entry_touch: CoverageIndex,
+    /// Atoms-tree node → E_pol entries holding a far record on it.
+    pub(crate) epol_far_entry_nodes: CoverageIndex,
+    /// E_pol entries that are far records (for a global bin relayout).
+    pub(crate) epol_far_entries: Vec<u32>,
     /// Bin generation the cached far-entry outputs were computed with.
-    bins: ChargeBins,
-    raw: f64,
-    energy_kcal: f64,
+    pub(crate) bins: ChargeBins,
+    pub(crate) raw: f64,
+    pub(crate) energy_kcal: f64,
     /// Current positions / charges, original atom order.
-    positions: Vec<Vec3>,
-    charges: Vec<f64>,
+    pub(crate) positions: Vec<Vec3>,
+    pub(crate) charges: Vec<f64>,
     /// Per-atom displacement from the scaffold geometry (original order).
-    disp: Vec<f64>,
+    pub(crate) disp: Vec<f64>,
     /// Original index → Morton index for the current scaffold.
-    inv_order: Vec<u32>,
+    pub(crate) inv_order: Vec<u32>,
     undo: Vec<UndoRecord>,
     /// Queries served incrementally vs via full rebuild.
     pub queries_incremental: u64,
     pub queries_rebuilt: u64,
+    /// Queries served through [`DeltaEngine::apply_batch`].
+    pub queries_batched: u64,
 }
 
-/// Execute the listed chunks through a pure chunk kernel, optionally over
-/// a pool with one poisoned slot; a poisoned chunk's panic is contained
-/// by `try_map` and the slot is re-executed serially by the same kernel
-/// (`recovered` counts them). Returns outputs in `dirty` order.
-fn run_dirty_chunks<F>(
+/// Execute `n` dirty work units (chunks or entries) through a pure
+/// kernel, optionally over a pool with one poisoned slot; a poisoned
+/// unit's panic is contained by `try_map` and the slot is re-executed
+/// serially by the same kernel (`recovered` counts them). Returns
+/// outputs in slot order.
+pub(crate) fn run_dirty_units<T, F>(
     pool: Option<&WorkStealingPool>,
-    dirty: &[usize],
+    n: usize,
     poison: Option<usize>,
     f: F,
     recovered: &mut u32,
-) -> Vec<Vec<f64>>
+) -> Vec<T>
 where
-    F: Fn(usize) -> Vec<f64> + Sync,
+    T: Send,
+    F: Fn(usize) -> T + Sync,
 {
     match pool {
         Some(p) => {
-            let (mut parts, _) = p.try_map(dirty.len(), |k| {
+            let (mut parts, _) = p.try_map(n, |k| {
                 if Some(k) == poison {
                     // PANIC-OK: deliberate fault injection; contained by the pool's try_map.
-                    panic!("injected worker panic in delta chunk slot {k}");
+                    panic!("injected worker panic in delta work slot {k}");
                 }
-                f(dirty[k]) // PANIC-OK: k < dirty.len() by try_map's index space.
+                f(k)
             });
             parts
                 .iter_mut()
-                .zip(dirty)
-                .map(|(slot, &c)| {
+                .enumerate()
+                .map(|(k, slot)| {
                     slot.take().unwrap_or_else(|| {
                         *recovered += 1;
-                        f(c)
+                        f(k)
                     })
                 })
                 .collect()
         }
-        None => dirty.iter().map(|&c| f(c)).collect(),
+        None => (0..n).map(&f).collect(),
     }
 }
 
@@ -231,6 +334,11 @@ impl ListEngine {
     pub fn into_delta(self) -> DeltaEngine {
         DeltaEngine::from_engine(self)
     }
+
+    /// [`ListEngine::into_delta`] with explicit [`DeltaParams`].
+    pub fn into_delta_with(self, params: DeltaParams) -> DeltaEngine {
+        DeltaEngine::from_engine_with(self, params)
+    }
 }
 
 impl DeltaEngine {
@@ -240,10 +348,25 @@ impl DeltaEngine {
         ListEngine::new(mol, approx, skin).into_delta()
     }
 
+    /// [`DeltaEngine::new`] with explicit [`DeltaParams`].
+    pub fn with_params(
+        mol: &Molecule,
+        approx: &ApproxParams,
+        skin: f64,
+        params: DeltaParams,
+    ) -> DeltaEngine {
+        ListEngine::new(mol, approx, skin).into_delta_with(params)
+    }
+
     /// Adopt a prepared [`ListEngine`]: recover its current positions
     /// from the Morton snapshot, then execute one full pass to populate
     /// the chunk caches.
     pub fn from_engine(base: ListEngine) -> DeltaEngine {
+        DeltaEngine::from_engine_with(base, DeltaParams::default())
+    }
+
+    /// [`DeltaEngine::from_engine`] with explicit [`DeltaParams`].
+    pub fn from_engine_with(base: ListEngine, params: DeltaParams) -> DeltaEngine {
         let n = base.sys.n_atoms();
         let mut positions = vec![Vec3::ZERO; n];
         let mut charges = vec![0.0f64; n];
@@ -254,12 +377,21 @@ impl DeltaEngine {
         }
         let mut engine = DeltaEngine {
             base,
+            params,
+            mode: params.granularity,
             born_outputs: Vec::new(),
             epol_outputs: Vec::new(),
             born_touch: CoverageIndex::default(),
             epol_touch: CoverageIndex::default(),
             epol_far_nodes: CoverageIndex::default(),
             epol_far_chunks: Vec::new(),
+            born_entry_chunk: Vec::new(),
+            born_entry_offset: Vec::new(),
+            epol_entry_chunk: Vec::new(),
+            born_entry_touch: CoverageIndex::default(),
+            epol_entry_touch: CoverageIndex::default(),
+            epol_far_entry_nodes: CoverageIndex::default(),
+            epol_far_entries: Vec::new(),
             bins: ChargeBins::default(),
             raw: 0.0,
             energy_kcal: 0.0,
@@ -270,6 +402,7 @@ impl DeltaEngine {
             undo: Vec::new(),
             queries_incremental: 0,
             queries_rebuilt: 0,
+            queries_batched: 0,
         };
         engine.rebuild_caches();
         engine.full_execute(None);
@@ -277,17 +410,41 @@ impl DeltaEngine {
     }
 
     /// Rebuild the scaffold-derived caches (inverse permutation and the
-    /// three inverted indexes) after a prepare.
+    /// inverted indexes at the effective granularity) after a prepare.
+    /// Decides the effective granularity: [`Granularity::Entry`] is
+    /// requested, the entry tables are built and measured, and if they
+    /// exceed [`DeltaParams::max_cache_bytes`] they are dropped in favor
+    /// of the chunk-granular indexes (the documented fallback).
     fn rebuild_caches(&mut self) {
-        let sys = &self.base.sys;
-        let n = sys.n_atoms();
+        let n = self.base.sys.n_atoms();
         let mut inv = vec![0u32; n];
-        for (mi, &oi) in sys.atoms.point_order.iter().enumerate() {
+        for (mi, &oi) in self.base.sys.atoms.point_order.iter().enumerate() {
             // PANIC-OK: point_order is a permutation of 0..n by construction.
             inv[oi as usize] = mi as u32;
         }
         self.inv_order = inv;
 
+        self.mode = self.params.granularity;
+        if self.mode == Granularity::Entry {
+            self.build_entry_caches();
+            if self.entry_cache_bytes() > self.params.max_cache_bytes {
+                self.drop_entry_caches();
+                self.mode = Granularity::Chunk;
+            }
+        }
+        if self.mode == Granularity::Chunk {
+            self.drop_entry_caches();
+            self.build_chunk_caches();
+        } else {
+            self.drop_chunk_caches();
+        }
+    }
+
+    /// Chunk-granular inverted indexes (PR 9's protocol; also the cache
+    /// cap's fallback target).
+    fn build_chunk_caches(&mut self) {
+        let sys = &self.base.sys;
+        let n = sys.n_atoms();
         let born = &self.base.born_lists;
         self.born_touch = CoverageIndex::build(
             n,
@@ -331,6 +488,99 @@ impl DeltaEngine {
             .collect();
     }
 
+    fn drop_chunk_caches(&mut self) {
+        self.born_touch = CoverageIndex::default();
+        self.epol_touch = CoverageIndex::default();
+        self.epol_far_nodes = CoverageIndex::default();
+        self.epol_far_chunks = Vec::new();
+    }
+
+    /// Entry-granular tables: entry → chunk/offset splice maps plus the
+    /// entry-level coverage indexes (same predicates as the chunk-level
+    /// ones, keyed by entry id instead of chunk id).
+    fn build_entry_caches(&mut self) {
+        let sys = &self.base.sys;
+        let n = sys.n_atoms();
+        let born = &self.base.born_lists;
+        self.born_entry_chunk = polaroct_sched::chunk_lookup(&born.chunks, born.len());
+        let mut offsets = vec![0u32; born.len()];
+        for range in &born.chunks {
+            let mut off = 0u32;
+            for e in range.clone() {
+                offsets[e] = off; // PANIC-OK: chunks tile 0..len() by construction.
+                off += crate::lists::BornLists::entry_out_len(sys, &born.entries[e]) as u32;
+            }
+        }
+        self.born_entry_offset = offsets;
+        self.born_entry_touch = CoverageIndex::build(
+            n,
+            born.entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.far)
+                .map(|(i, e)| (sys.atoms.node(e.a).range(), i as u32)),
+        );
+
+        let epol = &self.base.epol_lists;
+        self.epol_entry_chunk = polaroct_sched::chunk_lookup(&epol.chunks, epol.len());
+        self.epol_entry_touch = CoverageIndex::build(
+            n,
+            epol.entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| !e.far)
+                .flat_map(|(i, e)| {
+                    [
+                        (sys.atoms.node(e.a).range(), i as u32),
+                        (sys.atoms.node(e.b).range(), i as u32),
+                    ]
+                }),
+        );
+        self.epol_far_entry_nodes = CoverageIndex::build(
+            sys.atoms.nodes.len(),
+            epol.entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.far)
+                .flat_map(|(i, e)| {
+                    [
+                        (e.a as usize..e.a as usize + 1, i as u32),
+                        (e.b as usize..e.b as usize + 1, i as u32),
+                    ]
+                }),
+        );
+        self.epol_far_entries = epol
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.far)
+            .map(|(i, _)| i as u32)
+            .collect();
+    }
+
+    fn drop_entry_caches(&mut self) {
+        self.born_entry_chunk = Vec::new();
+        self.born_entry_offset = Vec::new();
+        self.epol_entry_chunk = Vec::new();
+        self.born_entry_touch = CoverageIndex::default();
+        self.epol_entry_touch = CoverageIndex::default();
+        self.epol_far_entry_nodes = CoverageIndex::default();
+        self.epol_far_entries = Vec::new();
+    }
+
+    /// Resident bytes of the entry-granular tables alone — what
+    /// [`DeltaParams::max_cache_bytes`] caps.
+    pub fn entry_cache_bytes(&self) -> usize {
+        (self.born_entry_chunk.capacity()
+            + self.born_entry_offset.capacity()
+            + self.epol_entry_chunk.capacity()
+            + self.epol_far_entries.capacity())
+            * std::mem::size_of::<u32>()
+            + self.born_entry_touch.memory_bytes()
+            + self.epol_entry_touch.memory_bytes()
+            + self.epol_far_entry_nodes.memory_bytes()
+    }
+
     /// Refresh all Morton positions to `self.positions` and execute every
     /// chunk of both lists from scratch (the rebuild / adopt path). Pure
     /// recomputation — produces exactly the state an incremental query
@@ -345,12 +595,11 @@ impl DeltaEngine {
             *d = p.dist(*r);
         }
         let nb = self.base.born_lists.n_chunks();
-        let all_b: Vec<usize> = (0..nb).collect();
         let base = &self.base;
         let mut recovered = 0u32;
-        self.born_outputs = run_dirty_chunks(
+        self.born_outputs = run_dirty_units(
             pool,
-            &all_b,
+            nb,
             None,
             |c| base.born_lists.run_chunk(&base.sys, c),
             &mut recovered,
@@ -363,12 +612,11 @@ impl DeltaEngine {
         self.bins = ChargeBins::build(&self.base.sys, &born, self.base.approx.eps_epol);
 
         let ne = self.base.epol_lists.n_chunks();
-        let all_e: Vec<usize> = (0..ne).collect();
         let base = &self.base;
         let (bins, math) = (&self.bins, self.base.approx.math);
-        self.epol_outputs = run_dirty_chunks(
+        self.epol_outputs = run_dirty_units(
             pool,
-            &all_e,
+            ne,
             None,
             |c| base.epol_lists.run_chunk(&base.sys, bins, &born, math, c),
             &mut recovered,
@@ -460,6 +708,8 @@ impl DeltaEngine {
                 charges: old_charges,
                 scaffold,
             });
+            let total = self.total_chunks();
+            let total_entries = self.total_entries();
             return DeltaEval {
                 energy_kcal: self.energy_kcal,
                 raw: self.raw,
@@ -470,6 +720,9 @@ impl DeltaEngine {
                 chunks_redone: total,
                 chunks_cached: 0,
                 total_chunks: total,
+                entries_redone: total_entries,
+                entries_cached: 0,
+                total_entries,
                 recovered_chunks: 0,
             };
         }
@@ -497,39 +750,84 @@ impl DeltaEngine {
         }
         self.base.lists_reused += 1;
 
-        // ---- Born dirtiness: a chunk is dirty iff one of its near
-        // entries' atom ranges contains a moved atom (far entries read
-        // only frozen node aggregates and can never go stale).
-        let nb = self.base.born_lists.n_chunks();
-        let mut bmask = vec![false; nb];
-        for &mi in &moved_m {
-            for &c in self.born_touch.chunks_for(mi) {
-                bmask[c as usize] = true; // PANIC-OK: index built over exactly nb chunks.
-            }
-        }
-        let dirty_born: Vec<usize> = bmask
-            .iter()
-            .enumerate()
-            .filter_map(|(c, &d)| d.then_some(c))
-            .collect();
-        let poison_born = plan.and_then(|pl| match pl.fire_exec(0, phase::INTEGRALS) {
-            Some(FaultKind::PanicWorker) => Some(pl.seed() as usize % dirty_born.len().max(1)),
-            _ => None,
-        });
+        // ---- Born dirtiness: a unit (entry or chunk, per the effective
+        // granularity) is dirty iff one of its near records' atom ranges
+        // contains a moved atom (far records read only frozen node
+        // aggregates and can never go stale). At either granularity the
+        // *set of chunks containing dirty work* is identical — the
+        // predicate is per-entry — which is why the chunk accounting
+        // below is granularity-invariant (and the pinned golden lines
+        // survive the default switch to entry mode).
+        let poison_at = |len: usize, ph: u32| {
+            plan.and_then(|pl| match pl.fire_exec(0, ph) {
+                Some(FaultKind::PanicWorker) => Some(pl.seed() as usize % len.max(1)),
+                _ => None,
+            })
+        };
         let mut recovered = 0u32;
-        let base = &self.base;
-        let fresh_born = run_dirty_chunks(
-            pool,
-            &dirty_born,
-            poison_born,
-            |c| base.born_lists.run_chunk(&base.sys, c),
-            &mut recovered,
-        );
-        let mut undo_born_chunks = Vec::with_capacity(dirty_born.len());
-        for (&c, v) in dirty_born.iter().zip(fresh_born) {
-            // PANIC-OK: c < nb — it came from the nb-length dirty mask.
-            undo_born_chunks.push((c, std::mem::replace(&mut self.born_outputs[c], v)));
-        }
+        let entry_mode = self.mode == Granularity::Entry;
+        let (undo_born_spans, born_chunks_redone, born_entries_redone) = if entry_mode {
+            let mut dirty: Vec<u32> = moved_m
+                .iter()
+                .flat_map(|&mi| self.born_entry_touch.chunks_for(mi))
+                .copied()
+                .collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            let poison = poison_at(dirty.len(), phase::INTEGRALS);
+            let base = &self.base;
+            let dirty_ref = &dirty;
+            let fresh: Vec<Vec<f64>> = run_dirty_units(
+                pool,
+                dirty.len(),
+                poison,
+                |k| {
+                    let mut out = Vec::new();
+                    // PANIC-OK: k < dirty.len() by the runner's index space; ids index the entry list.
+                    let e = &base.born_lists.entries[dirty_ref[k] as usize];
+                    crate::lists::BornLists::run_entry(&base.sys, e, &mut out);
+                    out
+                },
+                &mut recovered,
+            );
+            let (spans, chunks) = self.splice_born_entries(&dirty, fresh);
+            (spans, chunks, dirty.len())
+        } else {
+            let nb = self.base.born_lists.n_chunks();
+            let mut bmask = vec![false; nb];
+            for &mi in &moved_m {
+                for &c in self.born_touch.chunks_for(mi) {
+                    bmask[c as usize] = true; // PANIC-OK: index built over exactly nb chunks.
+                }
+            }
+            let dirty: Vec<usize> = bmask
+                .iter()
+                .enumerate()
+                .filter_map(|(c, &d)| d.then_some(c))
+                .collect();
+            let poison = poison_at(dirty.len(), phase::INTEGRALS);
+            let base = &self.base;
+            let dirty_ref = &dirty;
+            let fresh = run_dirty_units(
+                pool,
+                dirty.len(),
+                poison,
+                // PANIC-OK: k < dirty.len() by the runner's index space.
+                |k| base.born_lists.run_chunk(&base.sys, dirty_ref[k]),
+                &mut recovered,
+            );
+            let entries: usize = dirty
+                .iter()
+                .map(|&c| self.base.born_lists.chunks[c].len()) // PANIC-OK: c < nb.
+                .sum();
+            let mut spans = Vec::with_capacity(dirty.len());
+            for (&c, v) in dirty.iter().zip(fresh) {
+                // PANIC-OK: c < nb — it came from the nb-length dirty mask.
+                spans.push((c as u32, 0u32, std::mem::replace(&mut self.born_outputs[c], v)));
+            }
+            let chunks = dirty.len();
+            (spans, chunks, entries)
+        };
 
         // ---- Phase B (Born): full serial fold over all chunks in
         // emission order — cached outputs for clean chunks, fresh for
@@ -554,10 +852,15 @@ impl DeltaEngine {
         // node whose bin vector changed.
         let new_bins = ChargeBins::build(&self.base.sys, &new_born, self.base.approx.eps_epol);
         let ne = self.base.epol_lists.n_chunks();
-        let mut emask = vec![false; ne];
+        let mut emask = vec![false; if entry_mode { 0 } else { ne }];
+        let mut dirty_epol_entries: Vec<u32> = Vec::new();
         for &mi in moved_m.iter().chain(&charged_m).chain(&born_changed) {
-            for &c in self.epol_touch.chunks_for(mi) {
-                emask[c as usize] = true; // PANIC-OK: index built over exactly ne chunks.
+            if entry_mode {
+                dirty_epol_entries.extend_from_slice(self.epol_entry_touch.chunks_for(mi));
+            } else {
+                for &c in self.epol_touch.chunks_for(mi) {
+                    emask[c as usize] = true; // PANIC-OK: index built over exactly ne chunks.
+                }
             }
         }
         let table_changed = new_bins.m_eps != self.bins.m_eps
@@ -568,8 +871,12 @@ impl DeltaEngine {
                 .zip(&self.bins.rr_table)
                 .any(|(a, b)| a.to_bits() != b.to_bits());
         if table_changed {
-            for &c in &self.epol_far_chunks {
-                emask[c as usize] = true; // PANIC-OK: far-chunk list indexes the ne-chunk list.
+            if entry_mode {
+                dirty_epol_entries.extend_from_slice(&self.epol_far_entries);
+            } else {
+                for &c in &self.epol_far_chunks {
+                    emask[c as usize] = true; // PANIC-OK: far-chunk list indexes the ne-chunk list.
+                }
             }
         } else {
             let m = new_bins.m_eps.max(1);
@@ -580,35 +887,96 @@ impl DeltaEngine {
                 .enumerate()
             {
                 if a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits()) {
-                    for &c in self.epol_far_nodes.chunks_for(node) {
-                        emask[c as usize] = true; // PANIC-OK: index built over exactly ne chunks.
+                    if entry_mode {
+                        dirty_epol_entries
+                            .extend_from_slice(self.epol_far_entry_nodes.chunks_for(node));
+                    } else {
+                        for &c in self.epol_far_nodes.chunks_for(node) {
+                            emask[c as usize] = true; // PANIC-OK: index built over exactly ne chunks.
+                        }
                     }
                 }
             }
         }
-        let dirty_epol: Vec<usize> = emask
-            .iter()
-            .enumerate()
-            .filter_map(|(c, &d)| d.then_some(c))
-            .collect();
-        let poison_epol = plan.and_then(|pl| match pl.fire_exec(0, phase::EPOL) {
-            Some(FaultKind::PanicWorker) => Some(pl.seed() as usize % dirty_epol.len().max(1)),
-            _ => None,
-        });
-        let base = &self.base;
-        let math = base.approx.math;
-        let fresh_epol = run_dirty_chunks(
-            pool,
-            &dirty_epol,
-            poison_epol,
-            |c| base.epol_lists.run_chunk(&base.sys, &new_bins, &new_born, math, c),
-            &mut recovered,
-        );
-        let mut undo_epol_chunks = Vec::with_capacity(dirty_epol.len());
-        for (&c, v) in dirty_epol.iter().zip(fresh_epol) {
-            // PANIC-OK: c < ne — it came from the ne-length dirty mask.
-            undo_epol_chunks.push((c, std::mem::replace(&mut self.epol_outputs[c], v)));
-        }
+        let math = self.base.approx.math;
+        let (undo_epol_spans, epol_chunks_redone, epol_entries_redone) = if entry_mode {
+            let mut dirty = dirty_epol_entries;
+            dirty.sort_unstable();
+            dirty.dedup();
+            let poison = poison_at(dirty.len(), phase::EPOL);
+            let base = &self.base;
+            let dirty_ref = &dirty;
+            let fresh: Vec<f64> = match pool {
+                None => {
+                    // Serial fast path: one scratch reused across entries
+                    // (the kernels are write-before-read, so reuse cannot
+                    // change bits — see the stale-scratch kernel tests).
+                    let mut scratch = StillScratch::default();
+                    dirty
+                        .iter()
+                        .map(|&e| {
+                            crate::lists::EpolLists::run_entry(
+                                &base.sys,
+                                &new_bins,
+                                &new_born,
+                                math,
+                                // PANIC-OK: ids come from indexes built over this entry list.
+                                &base.epol_lists.entries[e as usize],
+                                &mut scratch,
+                            )
+                        })
+                        .collect()
+                }
+                Some(_) => run_dirty_units(
+                    pool,
+                    dirty.len(),
+                    poison,
+                    |k| {
+                        let mut scratch = StillScratch::default();
+                        crate::lists::EpolLists::run_entry(
+                            &base.sys,
+                            &new_bins,
+                            &new_born,
+                            math,
+                            // PANIC-OK: k < dirty.len(); ids index the entry list.
+                            &base.epol_lists.entries[dirty_ref[k] as usize],
+                            &mut scratch,
+                        )
+                    },
+                    &mut recovered,
+                ),
+            };
+            let (spans, chunks) = self.splice_epol_entries(&dirty, &fresh);
+            (spans, chunks, dirty.len())
+        } else {
+            let dirty: Vec<usize> = emask
+                .iter()
+                .enumerate()
+                .filter_map(|(c, &d)| d.then_some(c))
+                .collect();
+            let poison = poison_at(dirty.len(), phase::EPOL);
+            let base = &self.base;
+            let dirty_ref = &dirty;
+            let fresh = run_dirty_units(
+                pool,
+                dirty.len(),
+                poison,
+                // PANIC-OK: k < dirty.len() by the runner's index space.
+                |k| base.epol_lists.run_chunk(&base.sys, &new_bins, &new_born, math, dirty_ref[k]),
+                &mut recovered,
+            );
+            let entries: usize = dirty
+                .iter()
+                .map(|&c| self.base.epol_lists.chunks[c].len()) // PANIC-OK: c < ne.
+                .sum();
+            let mut spans = Vec::with_capacity(dirty.len());
+            for (&c, v) in dirty.iter().zip(fresh) {
+                // PANIC-OK: c < ne — it came from the ne-length dirty mask.
+                spans.push((c as u32, 0u32, std::mem::replace(&mut self.epol_outputs[c], v)));
+            }
+            let chunks = dirty.len();
+            (spans, chunks, entries)
+        };
 
         // ---- Phase B (E_pol): full sum-tree replay over all chunks.
         let raw = self.base.epol_lists.apply(&self.epol_outputs);
@@ -621,8 +989,8 @@ impl DeltaEngine {
         self.undo.push(UndoRecord::Incremental {
             moves: old_moves,
             charges: old_charges,
-            born_chunks: undo_born_chunks,
-            epol_chunks: undo_epol_chunks,
+            born_spans: undo_born_spans,
+            epol_spans: undo_epol_spans,
             born: old_born,
             bins: old_bins,
             raw: old_raw,
@@ -630,19 +998,74 @@ impl DeltaEngine {
         });
         self.queries_incremental += 1;
 
-        let redone = dirty_born.len() + dirty_epol.len();
+        let redone = born_chunks_redone + epol_chunks_redone;
+        let entries_redone = born_entries_redone + epol_entries_redone;
+        let total_entries = self.total_entries();
         DeltaEval {
             energy_kcal,
             raw,
             rebuilt: false,
             max_disp,
-            born_chunks_redone: dirty_born.len(),
-            epol_chunks_redone: dirty_epol.len(),
+            born_chunks_redone,
+            epol_chunks_redone,
             chunks_redone: redone,
             chunks_cached: total - redone,
             total_chunks: total,
+            entries_redone,
+            entries_cached: total_entries - entries_redone,
+            total_entries,
             recovered_chunks: recovered,
         }
+    }
+
+    /// Splice freshly recomputed Born entry outputs into the cached
+    /// per-chunk streams in place, returning the replaced spans (for
+    /// undo) and the number of distinct chunks touched. `dirty` must be
+    /// sorted — entry ids within a chunk are contiguous, so the touched
+    /// chunk ids are non-decreasing and counted by a single scan.
+    fn splice_born_entries(
+        &mut self,
+        dirty: &[u32],
+        fresh: Vec<Vec<f64>>,
+    ) -> (Vec<UndoSpan>, usize) {
+        let mut spans = Vec::with_capacity(dirty.len());
+        let mut chunks = 0usize;
+        let mut last_chunk = u32::MAX;
+        for (&e, v) in dirty.iter().zip(fresh) {
+            let c = self.born_entry_chunk[e as usize]; // PANIC-OK: ids index the entry list.
+            let off = self.born_entry_offset[e as usize] as usize; // PANIC-OK: same length.
+            if c != last_chunk {
+                chunks += 1;
+                last_chunk = c;
+            }
+            // PANIC-OK: the entry's span lies inside its chunk's stream by construction.
+            let dst = &mut self.born_outputs[c as usize][off..off + v.len()];
+            spans.push((c, off as u32, dst.to_vec()));
+            dst.copy_from_slice(&v); // PANIC-OK: fresh output has the entry's fixed span length.
+        }
+        (spans, chunks)
+    }
+
+    /// [`DeltaEngine::splice_born_entries`] for the E_pol list, where
+    /// every entry's span is exactly one value at `entry - chunk.start`.
+    fn splice_epol_entries(&mut self, dirty: &[u32], fresh: &[f64]) -> (Vec<UndoSpan>, usize) {
+        let mut spans = Vec::with_capacity(dirty.len());
+        let mut chunks = 0usize;
+        let mut last_chunk = u32::MAX;
+        for (&e, &v) in dirty.iter().zip(fresh) {
+            let c = self.epol_entry_chunk[e as usize]; // PANIC-OK: ids index the entry list.
+            // PANIC-OK: entry e lives in chunk c, so e >= chunk.start.
+            let off = e as usize - self.base.epol_lists.chunks[c as usize].start;
+            if c != last_chunk {
+                chunks += 1;
+                last_chunk = c;
+            }
+            // PANIC-OK: off < chunk len by construction.
+            let slot = &mut self.epol_outputs[c as usize][off];
+            spans.push((c, off as u32, vec![*slot]));
+            *slot = v;
+        }
+        (spans, chunks)
     }
 
     /// Undo the most recent perturbation; returns `false` when none is
@@ -657,8 +1080,8 @@ impl DeltaEngine {
             UndoRecord::Incremental {
                 moves,
                 charges,
-                born_chunks,
-                epol_chunks,
+                born_spans,
+                epol_spans,
                 born,
                 bins,
                 raw,
@@ -689,11 +1112,17 @@ impl DeltaEngine {
                     // PANIC-OK: saved from a validated query; disp/reference are n-length.
                     self.disp[oi] = self.positions[oi].dist(self.base.reference[oi]);
                 }
-                for (c, old) in born_chunks {
-                    self.born_outputs[c] = old; // PANIC-OK: chunk id saved from this engine.
+                // Spans within one record are disjoint (distinct dirty
+                // units), so restore order is immaterial.
+                for (c, off, old) in born_spans {
+                    let off = off as usize;
+                    // PANIC-OK: span saved from this engine's own streams.
+                    self.born_outputs[c as usize][off..off + old.len()].copy_from_slice(&old);
                 }
-                for (c, old) in epol_chunks {
-                    self.epol_outputs[c] = old; // PANIC-OK: chunk id saved from this engine.
+                for (c, off, old) in epol_spans {
+                    let off = off as usize;
+                    // PANIC-OK: span saved from this engine's own streams.
+                    self.epol_outputs[c as usize][off..off + old.len()].copy_from_slice(&old);
                 }
                 self.base.born = born;
                 self.bins = bins;
@@ -774,13 +1203,33 @@ impl DeltaEngine {
         self.base.born_lists.n_chunks() + self.base.epol_lists.n_chunks()
     }
 
+    /// Total list entries across both lists — the denominator of the
+    /// `entries_redone` accounting.
+    pub fn total_entries(&self) -> usize {
+        self.base.born_lists.len() + self.base.epol_lists.len()
+    }
+
+    /// The granularity the current scaffold actually runs at: the
+    /// requested [`DeltaParams::granularity`] unless the cache cap
+    /// forced the chunk fallback. Re-decided after every rebuild.
+    pub fn effective_granularity(&self) -> Granularity {
+        self.mode
+    }
+
+    /// The construction-time knobs.
+    pub fn params(&self) -> DeltaParams {
+        self.params
+    }
+
     /// Perturbations currently on the undo stack.
     pub fn pending_perturbations(&self) -> usize {
         self.undo.len()
     }
 
-    /// Resident bytes: the base engine plus the chunk caches, indexes
-    /// and bin generation.
+    /// Resident bytes: the base engine plus the output caches, the
+    /// indexes of the effective granularity (the entry tables are
+    /// [`DeltaEngine::entry_cache_bytes`]; whichever mode is inactive
+    /// holds empty structures) and the bin generation.
     pub fn memory_bytes(&self) -> usize {
         let outputs: usize = self
             .born_outputs
@@ -793,6 +1242,8 @@ impl DeltaEngine {
             + self.born_touch.memory_bytes()
             + self.epol_touch.memory_bytes()
             + self.epol_far_nodes.memory_bytes()
+            + self.epol_far_chunks.capacity() * std::mem::size_of::<u32>()
+            + self.entry_cache_bytes()
             + self.bins.memory_bytes()
     }
 
@@ -807,6 +1258,52 @@ impl DeltaEngine {
             for v in out.iter_mut() {
                 *v += delta;
             }
+        }
+    }
+
+    /// Test hook: locate one near Born entry and an original-order atom
+    /// inside its node range — moving that atom must dirty exactly that
+    /// entry (plus whatever else covers the atom). The entry-granular
+    /// recall harness pairs this with
+    /// [`DeltaEngine::debug_corrupt_cached_born_entry`].
+    #[doc(hidden)]
+    pub fn debug_near_born_entry_probe(&self) -> (usize, usize) {
+        let born = &self.base.born_lists;
+        let (i, e) = born
+            .entries
+            .iter()
+            .enumerate()
+            .find(|(_, e)| !e.far)
+            .expect("interaction lists always hold near entries"); // PANIC-OK: test hook.
+        let mi = self.base.sys.atoms.node(e.a).range().start;
+        let oi = self.base.sys.atoms.point_order[mi] as usize; // PANIC-OK: test hook.
+        (i, oi)
+    }
+
+    /// Test hook: additively corrupt exactly one cached Born *entry*'s
+    /// output span (entry-granular recall test — proves a single stale
+    /// entry span, the smallest corruptible unit the entry-granular
+    /// cache manages, cannot survive the differential harness unless a
+    /// query marks that very entry dirty).
+    #[doc(hidden)]
+    pub fn debug_corrupt_cached_born_entry(&mut self, entry: usize, delta: f64) {
+        let born = &self.base.born_lists;
+        assert!(entry < born.len(), "entry {entry} out of range"); // PANIC-OK: test hook.
+        // Locate the entry's chunk and offset by scanning (works at
+        // either granularity; this is a test-only path).
+        let (c, range) = born
+            .chunks
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.contains(&entry))
+            .expect("chunks tile the entry list"); // PANIC-OK: test hook.
+        let mut off = 0usize;
+        for e in range.start..entry {
+            off += crate::lists::BornLists::entry_out_len(&self.base.sys, &born.entries[e]);
+        }
+        let len = crate::lists::BornLists::entry_out_len(&self.base.sys, &born.entries[entry]);
+        for v in &mut self.born_outputs[c][off..off + len] {
+            *v += delta;
         }
     }
 }
@@ -965,6 +1462,79 @@ mod tests {
             raw.to_bits(),
             "a stale cached chunk must be visible to the harness"
         );
+    }
+
+    #[test]
+    fn chunk_mode_matches_entry_mode_bits() {
+        let approx = ApproxParams::default();
+        let skin = 1.0;
+        let m = mol(140, 19);
+        let mut entry = DeltaEngine::new(&m, &approx, skin);
+        let mut chunk = DeltaEngine::with_params(
+            &m,
+            &approx,
+            skin,
+            DeltaParams { granularity: Granularity::Chunk, ..DeltaParams::default() },
+        );
+        assert_eq!(entry.effective_granularity(), Granularity::Entry);
+        assert_eq!(chunk.effective_granularity(), Granularity::Chunk);
+        let p = Perturbation::default()
+            .move_atom(23, m.positions[23] + Vec3::new(0.2, -0.1, 0.15))
+            .set_charge(50, 1.75);
+        let ee = entry.apply_perturbation(&p, None);
+        let ec = chunk.apply_perturbation(&p, None);
+        // The granularity only decides how much clean work is redone:
+        // bits and chunk accounting are invariant, entry accounting is
+        // strictly finer (fewer entries redone).
+        assert_eq!(ee.raw.to_bits(), ec.raw.to_bits());
+        assert_eq!(ee.energy_kcal.to_bits(), ec.energy_kcal.to_bits());
+        assert_eq!(entry.born_digest(), chunk.born_digest());
+        assert_eq!(ee.chunks_redone, ec.chunks_redone);
+        assert_eq!(ee.born_chunks_redone, ec.born_chunks_redone);
+        assert!(
+            ee.entries_redone < ec.entries_redone,
+            "entry mode must redo strictly fewer entries ({} vs {})",
+            ee.entries_redone,
+            ec.entries_redone
+        );
+        assert_eq!(ee.total_entries, ec.total_entries);
+        // And both reverts restore the base bits.
+        assert!(entry.revert(None));
+        assert!(chunk.revert(None));
+        assert_eq!(entry.raw().to_bits(), chunk.raw().to_bits());
+    }
+
+    #[test]
+    fn cache_cap_falls_back_to_chunk_mode_bit_identically() {
+        let approx = ApproxParams::default();
+        let skin = 1.0;
+        let m = mol(120, 23);
+        // A 1-byte cap can never hold the entry tables.
+        let mut capped = DeltaEngine::with_params(
+            &m,
+            &approx,
+            skin,
+            DeltaParams { granularity: Granularity::Entry, max_cache_bytes: 1 },
+        );
+        assert_eq!(capped.effective_granularity(), Granularity::Chunk);
+        assert_eq!(capped.entry_cache_bytes(), 0, "entry tables must be dropped");
+        let mut entry = DeltaEngine::new(&m, &approx, skin);
+        let p = Perturbation::default().move_atom(7, m.positions[7] + Vec3::new(0.1, 0.2, -0.1));
+        let ec = capped.apply_perturbation(&p, None);
+        let ee = entry.apply_perturbation(&p, None);
+        assert_eq!(ec.raw.to_bits(), ee.raw.to_bits());
+        assert_eq!(ec.energy_kcal.to_bits(), ee.energy_kcal.to_bits());
+        assert_eq!(capped.born_digest(), entry.born_digest());
+        // The capped engine reports chunk-granular accounting.
+        assert!(ec.entries_redone > ee.entries_redone);
+    }
+
+    #[test]
+    fn entry_tables_counted_in_memory_bytes() {
+        let m = mol(100, 29);
+        let eng = DeltaEngine::new(&m, &ApproxParams::default(), 0.8);
+        assert!(eng.entry_cache_bytes() > 0);
+        assert!(eng.memory_bytes() > eng.engine().memory_bytes() + eng.entry_cache_bytes());
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! Batched multi-query perturbation evaluation: N independent queries
+//! against one immutable cached base state, without apply→revert churn.
+//!
+//! [`DeltaEngine::apply_perturbation`] mutates the engine: it splices
+//! fresh outputs into the cache, swaps the Born/bin generations and
+//! pushes an undo record, so scoring N independent candidates against
+//! the same base costs N applies *plus* N reverts, and every apply
+//! clones the replaced state into the undo stack. For
+//! mutation-screening workloads (ROADMAP item 1's requests/s primitive)
+//! the base never changes — all that bookkeeping is waste.
+//!
+//! [`DeltaEngine::apply_batch`] evaluates each query as an **overlay**:
+//!
+//! * The per-query dirty units (entries or chunks, per the engine's
+//!   effective granularity) are computed with exactly the same
+//!   predicates as `apply_perturbation` — same coverage indexes, same
+//!   bitwise Born diff, same bin-generation diff against the *base*
+//!   generation.
+//! * Fresh Phase-A outputs are fanned out on the [`WorkStealingPool`]
+//!   and written into per-query **overlay copies of only the affected
+//!   chunks' streams**; Phase B folds borrowed slices — overlay chunks
+//!   where present, the shared base cache everywhere else (the generic
+//!   [`crate::lists::BornLists::apply`] fold). The floats consumed are
+//!   identical, in identical order, to what a sequential
+//!   apply-then-revert loop folds, so each query's result is
+//!   **bit-identical to the sequential loop by construction** — at any
+//!   pool width, since Phase A is pure and Phase B stays serial and
+//!   per-query.
+//! * The k moved positions / mutated charges are written into the
+//!   system arenas before the query's kernels and restored (absolute
+//!   writes, bit-exact) immediately after its fold, so the engine state
+//!   — positions, charges, caches, Born vector, bin generation, undo
+//!   stack, energies — is unchanged after the batch returns.
+//!
+//! Boundary-crossing queries (max displacement past `skin/2`) cannot be
+//! served as overlays; they fall back to an internal
+//! apply-then-revert pair, which the engine's contract already makes
+//! bit-identical to a fresh rebuild at the perturbed geometry.
+
+use super::{run_dirty_units, DeltaEngine, DeltaEval, Granularity, Perturbation};
+use crate::born::{push_integrals_to_atoms, BornAccumulators};
+use crate::epol::ChargeBins;
+use crate::gb::epol_from_raw_sum;
+use crate::lists::{BornLists, EpolLists};
+use crate::soa::StillScratch;
+use polaroct_geom::Vec3;
+use polaroct_sched::WorkStealingPool;
+
+/// Per-query overlay over one cached Phase-A stream set: owned copies
+/// of the affected chunks, `None` where the base cache is clean.
+struct Overlay {
+    chunks: Vec<Option<Vec<f64>>>,
+}
+
+impl Overlay {
+    fn new(n_chunks: usize) -> Overlay {
+        Overlay { chunks: vec![None; n_chunks] }
+    }
+
+    /// The chunk's owned overlay stream, cloned from the base cache on
+    /// first touch.
+    fn chunk_mut(&mut self, base: &[Vec<f64>], c: usize) -> &mut Vec<f64> {
+        // PANIC-OK: c < n_chunks — chunk ids come from this engine's own tables.
+        self.chunks[c].get_or_insert_with(|| base[c].clone())
+    }
+
+    /// Borrowed per-chunk slices for the Phase-B fold: overlay where
+    /// touched, base cache everywhere else.
+    fn slices<'a>(&'a self, base: &'a [Vec<f64>]) -> Vec<&'a [f64]> {
+        self.chunks
+            .iter()
+            .zip(base)
+            .map(|(over, b)| over.as_deref().unwrap_or(b))
+            .collect()
+    }
+}
+
+impl DeltaEngine {
+    /// Evaluate N independent perturbation queries against the current
+    /// (base) state and return one [`DeltaEval`] per query, in order.
+    ///
+    /// Results are bit-identical to a sequential
+    /// `apply_perturbation` + `revert` loop over the same queries — at
+    /// any pool width — and the engine's observable state (positions,
+    /// charges, caches, energies, undo stack) is unchanged afterwards.
+    /// See the module docs for the overlay protocol and the
+    /// bit-identity argument.
+    pub fn apply_batch(
+        &mut self,
+        queries: &[Perturbation],
+        pool: Option<&WorkStealingPool>,
+    ) -> Vec<DeltaEval> {
+        let mut evals = Vec::with_capacity(queries.len());
+        for q in queries {
+            evals.push(self.apply_overlay(q, pool));
+            self.queries_batched += 1;
+        }
+        evals
+    }
+
+    /// One overlay query (or the rebuild fallback past the skin
+    /// boundary). Leaves `self` bit-identical to its entry state.
+    fn apply_overlay(&mut self, q: &Perturbation, pool: Option<&WorkStealingPool>) -> DeltaEval {
+        let n = self.positions.len();
+        for &(oi, np) in &q.moves {
+            // PANIC-OK: perturbation preconditions, checked before any state is touched.
+            assert!(oi < n, "moved atom {oi} out of range ({n} atoms)");
+            // PANIC-OK: non-finite positions would poison every downstream comparison.
+            assert!(
+                np.x.is_finite() && np.y.is_finite() && np.z.is_finite(),
+                "non-finite target position for atom {oi}"
+            );
+        }
+        for &(oi, nq) in &q.charges {
+            // PANIC-OK: perturbation preconditions, checked before any state is touched.
+            assert!(oi < n, "charged atom {oi} out of range ({n} atoms)");
+            // PANIC-OK: non-finite charges would poison every downstream comparison.
+            assert!(nq.is_finite(), "non-finite charge for atom {oi}");
+        }
+
+        // Per-query max displacement: every unmoved atom keeps its base
+        // displacement; a moved atom contributes its *final* target's
+        // distance to the scaffold (the last write wins, exactly as the
+        // sequential apply's in-order writes resolve duplicates). max of
+        // non-NaN floats is order-independent, so this equals the
+        // sequential loop's fold bit-for-bit.
+        let mut max_disp = 0.0f64;
+        for (oi, &d) in self.disp.iter().enumerate() {
+            let eff = q
+                .moves
+                .iter()
+                .rev()
+                .find(|&&(a, _)| a == oi)
+                // PANIC-OK: oi < n; reference is n-length.
+                .map(|&(_, np)| np.dist(self.base.reference[oi]))
+                .unwrap_or(d);
+            max_disp = max_disp.max(eff);
+        }
+
+        if max_disp > 0.5 * self.base.skin {
+            // Boundary crossed: no overlay can serve this (the scaffold
+            // itself is invalid). Fall back to the engine's own
+            // apply + revert — bit-identical to the sequential loop by
+            // definition, and the revert restores the base state
+            // deterministically before the next query.
+            let eval = self.apply_inner(q, pool, None);
+            self.revert(pool);
+            return eval;
+        }
+
+        // ---- Transient state: write the query's positions/charges into
+        // the system arenas (absolute values), remembering what they
+        // replaced. Restored bit-exactly below.
+        let moved_m: Vec<usize> = q
+            .moves
+            .iter()
+            .map(|&(oi, _)| self.inv_order[oi] as usize) // PANIC-OK: oi < n asserted above.
+            .collect();
+        let saved_pos: Vec<(usize, Vec3)> = moved_m
+            .iter()
+            // PANIC-OK: Morton ids index the n-length point arrays.
+            .map(|&mi| (mi, self.base.sys.atoms.points[mi]))
+            .collect();
+        let subset: Vec<(usize, Vec3)> = moved_m
+            .iter()
+            .zip(&q.moves)
+            .map(|(&mi, &(_, np))| (mi, np))
+            .collect();
+        self.base.sys.refresh_atom_subset(&subset);
+        let charged_m: Vec<usize> = q
+            .charges
+            .iter()
+            .map(|&(oi, _)| self.inv_order[oi] as usize) // PANIC-OK: oi < n asserted above.
+            .collect();
+        let saved_q: Vec<(usize, f64)> = charged_m
+            .iter()
+            .map(|&mi| (mi, self.base.sys.charge[mi])) // PANIC-OK: mi < n.
+            .collect();
+        for (&mi, &(_, nq)) in charged_m.iter().zip(&q.charges) {
+            self.base.sys.set_atom_charge(mi, nq);
+        }
+        self.base.lists_reused += 1;
+
+        // ---- Born phase over the overlay (same dirtiness predicates as
+        // apply_inner, at the effective granularity).
+        let entry_mode = self.mode == Granularity::Entry;
+        let mut recovered = 0u32;
+        let nb = self.base.born_lists.n_chunks();
+        let mut born_over = Overlay::new(nb);
+        let (born_chunks_redone, born_entries_redone) = if entry_mode {
+            let mut dirty: Vec<u32> = moved_m
+                .iter()
+                .flat_map(|&mi| self.born_entry_touch.chunks_for(mi))
+                .copied()
+                .collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            let base = &self.base;
+            let dirty_ref = &dirty;
+            let fresh: Vec<Vec<f64>> = run_dirty_units(
+                pool,
+                dirty.len(),
+                None,
+                |k| {
+                    let mut out = Vec::new();
+                    // PANIC-OK: k < dirty.len(); ids index the entry list.
+                    let e = &base.born_lists.entries[dirty_ref[k] as usize];
+                    BornLists::run_entry(&base.sys, e, &mut out);
+                    out
+                },
+                &mut recovered,
+            );
+            let mut chunks = 0usize;
+            let mut last_chunk = u32::MAX;
+            for (&e, v) in dirty.iter().zip(&fresh) {
+                let c = self.born_entry_chunk[e as usize]; // PANIC-OK: ids index the entry list.
+                let off = self.born_entry_offset[e as usize] as usize; // PANIC-OK: same length.
+                if c != last_chunk {
+                    chunks += 1;
+                    last_chunk = c;
+                }
+                let stream = born_over.chunk_mut(&self.born_outputs, c as usize);
+                // PANIC-OK: the entry's span lies inside its chunk's stream by construction.
+                stream[off..off + v.len()].copy_from_slice(v);
+            }
+            (chunks, dirty.len())
+        } else {
+            let mut bmask = vec![false; nb];
+            for &mi in &moved_m {
+                for &c in self.born_touch.chunks_for(mi) {
+                    bmask[c as usize] = true; // PANIC-OK: index built over exactly nb chunks.
+                }
+            }
+            let dirty: Vec<usize> = bmask
+                .iter()
+                .enumerate()
+                .filter_map(|(c, &d)| d.then_some(c))
+                .collect();
+            let base = &self.base;
+            let dirty_ref = &dirty;
+            let fresh = run_dirty_units(
+                pool,
+                dirty.len(),
+                None,
+                // PANIC-OK: k < dirty.len() by the runner's index space.
+                |k| base.born_lists.run_chunk(&base.sys, dirty_ref[k]),
+                &mut recovered,
+            );
+            let entries: usize = dirty
+                .iter()
+                .map(|&c| self.base.born_lists.chunks[c].len()) // PANIC-OK: c < nb.
+                .sum();
+            for (&c, v) in dirty.iter().zip(fresh) {
+                born_over.chunks[c] = Some(v); // PANIC-OK: c < nb.
+            }
+            (dirty.len(), entries)
+        };
+
+        // ---- Phase B (Born) over borrowed slices: overlay chunks where
+        // touched, the shared base cache everywhere else. Identical
+        // floats in identical order to the sequential loop's fold over
+        // its spliced cache.
+        let mut acc = BornAccumulators::zeros(&self.base.sys);
+        let born_slices = born_over.slices(&self.born_outputs);
+        self.base.born_lists.apply(&self.base.sys, &born_slices, &mut acc);
+        let mut new_born = vec![0.0; n];
+        let math = self.base.approx.math;
+        push_integrals_to_atoms(&self.base.sys, &acc, 0..n, math, &mut new_born);
+        let born_changed: Vec<usize> = self
+            .base
+            .born
+            .iter()
+            .zip(&new_born)
+            .enumerate()
+            .filter_map(|(mi, (a, b))| (a.to_bits() != b.to_bits()).then_some(mi))
+            .collect();
+
+        // ---- Bin generation diff against the *base* generation (the
+        // same comparison the sequential loop performs, since every
+        // preceding query was reverted there).
+        let new_bins = ChargeBins::build(&self.base.sys, &new_born, self.base.approx.eps_epol);
+        let ne = self.base.epol_lists.n_chunks();
+        let mut emask = vec![false; if entry_mode { 0 } else { ne }];
+        let mut dirty_epol_entries: Vec<u32> = Vec::new();
+        for &mi in moved_m.iter().chain(&charged_m).chain(&born_changed) {
+            if entry_mode {
+                dirty_epol_entries.extend_from_slice(self.epol_entry_touch.chunks_for(mi));
+            } else {
+                for &c in self.epol_touch.chunks_for(mi) {
+                    emask[c as usize] = true; // PANIC-OK: index built over exactly ne chunks.
+                }
+            }
+        }
+        let table_changed = new_bins.m_eps != self.bins.m_eps
+            || new_bins.rr_table.len() != self.bins.rr_table.len()
+            || new_bins
+                .rr_table
+                .iter()
+                .zip(&self.bins.rr_table)
+                .any(|(a, b)| a.to_bits() != b.to_bits());
+        if table_changed {
+            if entry_mode {
+                dirty_epol_entries.extend_from_slice(&self.epol_far_entries);
+            } else {
+                for &c in &self.epol_far_chunks {
+                    emask[c as usize] = true; // PANIC-OK: far-chunk list indexes the ne-chunk list.
+                }
+            }
+        } else {
+            let m = new_bins.m_eps.max(1);
+            for (node, (a, b)) in new_bins
+                .per_node
+                .chunks(m)
+                .zip(self.bins.per_node.chunks(m))
+                .enumerate()
+            {
+                if a.iter().zip(b).any(|(x, y)| x.to_bits() != y.to_bits()) {
+                    if entry_mode {
+                        dirty_epol_entries
+                            .extend_from_slice(self.epol_far_entry_nodes.chunks_for(node));
+                    } else {
+                        for &c in self.epol_far_nodes.chunks_for(node) {
+                            emask[c as usize] = true; // PANIC-OK: index built over exactly ne chunks.
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut epol_over = Overlay::new(ne);
+        let (epol_chunks_redone, epol_entries_redone) = if entry_mode {
+            let mut dirty = dirty_epol_entries;
+            dirty.sort_unstable();
+            dirty.dedup();
+            let base = &self.base;
+            let dirty_ref = &dirty;
+            let fresh: Vec<f64> = match pool {
+                None => {
+                    let mut scratch = StillScratch::default();
+                    dirty
+                        .iter()
+                        .map(|&e| {
+                            EpolLists::run_entry(
+                                &base.sys,
+                                &new_bins,
+                                &new_born,
+                                math,
+                                // PANIC-OK: ids come from indexes built over this entry list.
+                                &base.epol_lists.entries[e as usize],
+                                &mut scratch,
+                            )
+                        })
+                        .collect()
+                }
+                Some(_) => run_dirty_units(
+                    pool,
+                    dirty.len(),
+                    None,
+                    |k| {
+                        let mut scratch = StillScratch::default();
+                        EpolLists::run_entry(
+                            &base.sys,
+                            &new_bins,
+                            &new_born,
+                            math,
+                            // PANIC-OK: k < dirty.len(); ids index the entry list.
+                            &base.epol_lists.entries[dirty_ref[k] as usize],
+                            &mut scratch,
+                        )
+                    },
+                    &mut recovered,
+                ),
+            };
+            let mut chunks = 0usize;
+            let mut last_chunk = u32::MAX;
+            for (&e, &v) in dirty.iter().zip(&fresh) {
+                let c = self.epol_entry_chunk[e as usize]; // PANIC-OK: ids index the entry list.
+                // PANIC-OK: entry e lives in chunk c, so e >= chunk.start.
+                let off = e as usize - self.base.epol_lists.chunks[c as usize].start;
+                if c != last_chunk {
+                    chunks += 1;
+                    last_chunk = c;
+                }
+                epol_over.chunk_mut(&self.epol_outputs, c as usize)[off] = v; // PANIC-OK: off < chunk len.
+            }
+            (chunks, dirty.len())
+        } else {
+            let dirty: Vec<usize> = emask
+                .iter()
+                .enumerate()
+                .filter_map(|(c, &d)| d.then_some(c))
+                .collect();
+            let base = &self.base;
+            let dirty_ref = &dirty;
+            let fresh = run_dirty_units(
+                pool,
+                dirty.len(),
+                None,
+                // PANIC-OK: k < dirty.len() by the runner's index space.
+                |k| base.epol_lists.run_chunk(&base.sys, &new_bins, &new_born, math, dirty_ref[k]),
+                &mut recovered,
+            );
+            let entries: usize = dirty
+                .iter()
+                .map(|&c| self.base.epol_lists.chunks[c].len()) // PANIC-OK: c < ne.
+                .sum();
+            for (&c, v) in dirty.iter().zip(fresh) {
+                epol_over.chunks[c] = Some(v); // PANIC-OK: c < ne.
+            }
+            (dirty.len(), entries)
+        };
+
+        // ---- Phase B (E_pol): full sum-tree replay over the overlay.
+        let epol_slices = epol_over.slices(&self.epol_outputs);
+        let raw = self.base.epol_lists.apply(&epol_slices);
+        let energy_kcal = epol_from_raw_sum(raw, self.base.approx.eps_solvent);
+
+        // ---- Restore the transient arena writes (reverse order, so a
+        // twice-written atom unwinds to the base value) — bit-exact
+        // absolute writes; the engine is now in its entry state.
+        let restore: Vec<(usize, Vec3)> = saved_pos.iter().rev().copied().collect();
+        self.base.sys.refresh_atom_subset(&restore);
+        for &(mi, oq) in saved_q.iter().rev() {
+            self.base.sys.set_atom_charge(mi, oq);
+        }
+
+        let total = self.total_chunks();
+        let total_entries = self.total_entries();
+        let redone = born_chunks_redone + epol_chunks_redone;
+        let entries_redone = born_entries_redone + epol_entries_redone;
+        DeltaEval {
+            energy_kcal,
+            raw,
+            rebuilt: false,
+            max_disp,
+            born_chunks_redone,
+            epol_chunks_redone,
+            chunks_redone: redone,
+            chunks_cached: total - redone,
+            total_chunks: total,
+            entries_redone,
+            entries_cached: total_entries - entries_redone,
+            total_entries,
+            recovered_chunks: recovered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ApproxParams;
+    use polaroct_molecule::{synth, Molecule};
+
+    fn mol(n: usize, seed: u64) -> Molecule {
+        synth::protein("batch", n, seed)
+    }
+
+    fn queries(m: &Molecule, k: usize) -> Vec<Perturbation> {
+        // Deterministic mixed move/charge queries around the base state.
+        (0..k)
+            .map(|qi| {
+                let a = (qi * 37 + 11) % m.positions.len();
+                let b = (qi * 53 + 29) % m.positions.len();
+                Perturbation::default()
+                    .move_atom(
+                        a,
+                        m.positions[a]
+                            + Vec3::new(
+                                0.05 + 0.01 * qi as f64,
+                                -0.07,
+                                0.03 * ((qi % 3) as f64 - 1.0),
+                            ),
+                    )
+                    .set_charge(b, m.charges[b] + 0.5 + 0.125 * qi as f64)
+            })
+            .collect()
+    }
+
+    /// The reference semantics: a sequential apply → revert loop over
+    /// the same engine.
+    fn sequential(eng: &mut DeltaEngine, qs: &[Perturbation]) -> Vec<DeltaEval> {
+        qs.iter()
+            .map(|q| {
+                let e = eng.apply_perturbation(q, None);
+                assert!(eng.revert(None));
+                e
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_apply_revert_bits() {
+        let approx = ApproxParams::default();
+        let skin = 1.0;
+        let m = mol(150, 41);
+        let mut eng = DeltaEngine::new(&m, &approx, skin);
+        let qs = queries(&m, 6);
+        let raw0 = eng.raw();
+        let digest0 = eng.born_digest();
+        let seq = sequential(&mut eng, &qs);
+        let bat = eng.apply_batch(&qs, None);
+        assert_eq!(seq.len(), bat.len());
+        for (s, b) in seq.iter().zip(&bat) {
+            assert_eq!(s.raw.to_bits(), b.raw.to_bits());
+            assert_eq!(s.energy_kcal.to_bits(), b.energy_kcal.to_bits());
+            assert_eq!(s.max_disp.to_bits(), b.max_disp.to_bits());
+            assert_eq!(s.chunks_redone, b.chunks_redone);
+            assert_eq!(s.entries_redone, b.entries_redone);
+            assert_eq!(s.entries_cached, b.entries_cached);
+            assert_eq!(s.rebuilt, b.rebuilt);
+        }
+        // The batch left the engine bit-identical to its base state.
+        assert_eq!(eng.raw().to_bits(), raw0.to_bits());
+        assert_eq!(eng.born_digest(), digest0);
+        assert_eq!(eng.pending_perturbations(), 0);
+        assert_eq!(eng.queries_batched, qs.len() as u64);
+    }
+
+    #[test]
+    fn batch_matches_sequential_in_chunk_mode() {
+        let approx = ApproxParams::default();
+        let m = mol(120, 43);
+        let mut eng = DeltaEngine::with_params(
+            &m,
+            &approx,
+            1.0,
+            super::super::DeltaParams {
+                granularity: Granularity::Chunk,
+                ..Default::default()
+            },
+        );
+        let qs = queries(&m, 4);
+        let seq = sequential(&mut eng, &qs);
+        let bat = eng.apply_batch(&qs, None);
+        for (s, b) in seq.iter().zip(&bat) {
+            assert_eq!(s.raw.to_bits(), b.raw.to_bits());
+            assert_eq!(s.chunks_redone, b.chunks_redone);
+            assert_eq!(s.entries_redone, b.entries_redone);
+        }
+    }
+
+    #[test]
+    fn pooled_batch_matches_serial_batch_bits() {
+        let approx = ApproxParams::default();
+        let m = mol(140, 47);
+        let qs = queries(&m, 5);
+        let mut serial = DeltaEngine::new(&m, &approx, 1.0);
+        let mut pooled = DeltaEngine::new(&m, &approx, 1.0);
+        let pool = polaroct_sched::WorkStealingPool::new(4);
+        let bs = serial.apply_batch(&qs, None);
+        let bp = pooled.apply_batch(&qs, Some(&pool));
+        for (s, p) in bs.iter().zip(&bp) {
+            assert_eq!(s.raw.to_bits(), p.raw.to_bits());
+            assert_eq!(s.entries_redone, p.entries_redone);
+        }
+        assert_eq!(serial.born_digest(), pooled.born_digest());
+    }
+
+    #[test]
+    fn boundary_crossing_query_falls_back_and_leaves_base_intact() {
+        let approx = ApproxParams::default();
+        let skin = 0.4;
+        let m = mol(100, 53);
+        let mut eng = DeltaEngine::new(&m, &approx, skin);
+        let raw0 = eng.raw();
+        let crossing =
+            Perturbation::default().move_atom(8, m.positions[8] + Vec3::new(1.5, 0.0, 0.0));
+        let small =
+            Perturbation::default().move_atom(30, m.positions[30] + Vec3::new(0.05, 0.0, 0.0));
+        let qs = vec![small.clone(), crossing.clone(), small];
+        let seq = sequential(&mut eng, &qs);
+        let bat = eng.apply_batch(&qs, None);
+        assert!(bat[1].rebuilt, "the crossing query must rebuild");
+        for (s, b) in seq.iter().zip(&bat) {
+            assert_eq!(s.raw.to_bits(), b.raw.to_bits());
+            assert_eq!(s.rebuilt, b.rebuilt);
+        }
+        assert_eq!(eng.raw().to_bits(), raw0.to_bits());
+        assert_eq!(eng.pending_perturbations(), 0);
+    }
+
+    #[test]
+    fn duplicate_atom_writes_resolve_last_wins() {
+        let approx = ApproxParams::default();
+        let m = mol(90, 59);
+        let mut eng = DeltaEngine::new(&m, &approx, 1.0);
+        // One query moving the same atom twice and charging it twice:
+        // the sequential apply resolves both last-wins, and so must the
+        // overlay.
+        let q = Perturbation::default()
+            .move_atom(12, m.positions[12] + Vec3::new(0.3, 0.0, 0.0))
+            .move_atom(12, m.positions[12] + Vec3::new(0.0, 0.1, 0.0))
+            .set_charge(12, 2.0)
+            .set_charge(12, -1.0);
+        let qs = vec![q];
+        let seq = sequential(&mut eng, &qs);
+        let bat = eng.apply_batch(&qs, None);
+        assert_eq!(seq[0].raw.to_bits(), bat[0].raw.to_bits());
+        assert_eq!(seq[0].max_disp.to_bits(), bat[0].max_disp.to_bits());
+        assert_eq!(eng.positions()[12], m.positions[12], "base must be restored");
+        assert_eq!(eng.charges()[12], m.charges[12]);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_query_are_identities() {
+        let approx = ApproxParams::default();
+        let m = mol(80, 61);
+        let mut eng = DeltaEngine::new(&m, &approx, 0.5);
+        let raw0 = eng.raw();
+        assert!(eng.apply_batch(&[], None).is_empty());
+        let bat = eng.apply_batch(&[Perturbation::default()], None);
+        assert_eq!(bat[0].raw.to_bits(), raw0.to_bits());
+        assert_eq!(bat[0].entries_redone, 0);
+        assert_eq!(bat[0].chunks_redone, 0);
+    }
+}

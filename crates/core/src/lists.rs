@@ -192,6 +192,40 @@ impl BornLists {
             + self.chunks.capacity() * std::mem::size_of::<Range<usize>>()
     }
 
+    /// Number of Phase-A output slots one entry produces: `len(a)` for a
+    /// near entry (one per atom slot, in range order), one for a far
+    /// entry. This is the stride `core::delta`'s entry-granular cache
+    /// uses to splice a recomputed entry back into its chunk's stream.
+    #[inline]
+    pub fn entry_out_len(sys: &GbSystem, e: &ListEntry) -> usize {
+        if e.far {
+            1
+        } else {
+            sys.atoms.node(e.a).len()
+        }
+    }
+
+    /// Phase A for one entry: append its kernel output(s) to `out` —
+    /// exactly the floats [`BornLists::run_chunk`] emits for this entry,
+    /// in the same order. Pure: reads only the system snapshot, so any
+    /// number of entries may run concurrently.
+    #[inline]
+    pub fn run_entry(sys: &GbSystem, e: &ListEntry, out: &mut Vec<f64>) {
+        let a = sys.atoms.node(e.a);
+        let q = sys.qtree.node(e.b);
+        if e.far {
+            // Same float expressions as the recursions' far branch.
+            let d = q.center - a.center;
+            let r2 = d.norm2();
+            let inv2 = 1.0 / r2;
+            // PANIC-OK: e.b is a qtree node id recorded at list build.
+            out.push(sys.q_node_normal[e.b as usize].dot(d) * inv2 * inv2 * inv2);
+        } else {
+            let qv = sys.q_arena.view(q.range());
+            sys.born_block_terms(qv, a.range(), |_, t| out.push(t));
+        }
+    }
+
     /// Phase A for one chunk: the flat kernel outputs of its entries, in
     /// entry order — `len(a)` values for a near entry (one per atom slot,
     /// in range order), one value for a far entry. Pure: no shared state,
@@ -200,34 +234,25 @@ impl BornLists {
     /// scratch) and read atom positions from the flat atom arena.
     pub fn run_chunk(&self, sys: &GbSystem, c: usize) -> Vec<f64> {
         let entries = &self.entries[self.chunks[c].clone()];
-        let cap: usize = entries
-            .iter()
-            .map(|e| if e.far { 1 } else { sys.atoms.node(e.a).len() })
-            .sum();
+        let cap: usize = entries.iter().map(|e| Self::entry_out_len(sys, e)).sum();
         let mut out = Vec::with_capacity(cap);
         for e in entries {
-            let a = sys.atoms.node(e.a);
-            let q = sys.qtree.node(e.b);
-            if e.far {
-                // Same float expressions as the recursions' far branch.
-                let d = q.center - a.center;
-                let r2 = d.norm2();
-                let inv2 = 1.0 / r2;
-                out.push(sys.q_node_normal[e.b as usize].dot(d) * inv2 * inv2 * inv2);
-            } else {
-                let qv = sys.q_arena.view(q.range());
-                sys.born_block_terms(qv, a.range(), |_, t| out.push(t));
-            }
+            Self::run_entry(sys, e, &mut out);
         }
         out
     }
 
     /// Phase B: fold per-chunk outputs into the accumulators in emission
     /// order. Serial by design — this is what pins the floating-point
-    /// add order regardless of how Phase A was scheduled.
-    pub fn apply(&self, sys: &GbSystem, outputs: &[Vec<f64>], acc: &mut BornAccumulators) {
+    /// add order regardless of how Phase A was scheduled. Generic over
+    /// the per-chunk storage so callers can fold either owned cached
+    /// streams (`Vec<f64>`) or borrowed overlay slices (`&[f64]`) — the
+    /// batch engine folds each query over the shared base cache plus a
+    /// few per-query overlay chunks without copying the clean ones.
+    pub fn apply<S: AsRef<[f64]>>(&self, sys: &GbSystem, outputs: &[S], acc: &mut BornAccumulators) {
         debug_assert_eq!(outputs.len(), self.chunks.len());
         for (chunk, vals) in self.chunks.iter().zip(outputs) {
+            let vals = vals.as_ref();
             let mut cur = 0usize;
             for e in &self.entries[chunk.clone()] {
                 if e.far {
@@ -406,6 +431,50 @@ impl EpolLists {
             + self.chunks.capacity() * std::mem::size_of::<Range<usize>>()
     }
 
+    /// Phase A for one entry: the scalar [`EpolLists::run_chunk`] would
+    /// emit for it — the binned far kernel or the exact SoA STILL block.
+    /// Pure (the scratch is write-before-read workspace, see the
+    /// stale-scratch-reuse kernel tests), so any number of entries may
+    /// run concurrently with private scratches.
+    #[inline]
+    pub fn run_entry(
+        sys: &GbSystem,
+        bins: &ChargeBins,
+        born: &[f64],
+        math: MathMode,
+        e: &ListEntry,
+        scratch: &mut StillScratch,
+    ) -> f64 {
+        let u = sys.atoms.node(e.a);
+        let v = sys.atoms.node(e.b);
+        if e.far {
+            // Identical to the recursions' far branch: bin × bin with
+            // zero-charge rows/columns skipped, folded in index order.
+            let r2 = u.center.dist2(v.center);
+            let qu = bins.of(e.a);
+            let qv = bins.of(e.b);
+            let mut raw = 0.0;
+            for (i, &qi) in qu.iter().enumerate() {
+                if qi == 0.0 {
+                    continue;
+                }
+                for (j, &qj) in qv.iter().enumerate() {
+                    if qj == 0.0 {
+                        continue;
+                    }
+                    // PANIC-OK: i + j < 2·m_eps by the bins' table construction.
+                    let rr = bins.rr_table[i + j];
+                    let inner = r2 + rr * math.exp(-r2 / (4.0 * rr));
+                    raw += qi * qj * math.rsqrt(inner);
+                }
+            }
+            raw
+        } else {
+            let vv = sys.atom_arena.view(born, v.range());
+            sys.still_block_raw(born, u.range(), vv, math, scratch)
+        }
+    }
+
     /// Phase A for one chunk: one scalar per entry, in entry order. Near
     /// entries evaluate the exact SoA STILL block (the same internal fold
     /// as the recursion's leaf case) over a zero-copy slice of the
@@ -421,33 +490,7 @@ impl EpolLists {
         let mut out = Vec::with_capacity(self.chunks[c].len());
         let mut scratch = StillScratch::default();
         for e in &self.entries[self.chunks[c].clone()] {
-            let u = sys.atoms.node(e.a);
-            let v = sys.atoms.node(e.b);
-            if e.far {
-                // Identical to the recursions' far branch: bin × bin with
-                // zero-charge rows/columns skipped, folded in index order.
-                let r2 = u.center.dist2(v.center);
-                let qu = bins.of(e.a);
-                let qv = bins.of(e.b);
-                let mut raw = 0.0;
-                for (i, &qi) in qu.iter().enumerate() {
-                    if qi == 0.0 {
-                        continue;
-                    }
-                    for (j, &qj) in qv.iter().enumerate() {
-                        if qj == 0.0 {
-                            continue;
-                        }
-                        let rr = bins.rr_table[i + j];
-                        let inner = r2 + rr * math.exp(-r2 / (4.0 * rr));
-                        raw += qi * qj * math.rsqrt(inner);
-                    }
-                }
-                out.push(raw);
-            } else {
-                let vv = sys.atom_arena.view(born, v.range());
-                out.push(sys.still_block_raw(born, u.range(), vv, math, &mut scratch));
-            }
+            out.push(Self::run_entry(sys, bins, born, math, e, &mut scratch));
         }
         out
     }
@@ -457,10 +500,13 @@ impl EpolLists {
     /// pushes `opens` fresh frames, adds its value to the innermost one,
     /// then folds `closes` completed frames into their parents. The
     /// global frame ends up holding exactly the recursion's total.
-    pub fn apply(&self, outputs: &[Vec<f64>]) -> f64 {
+    /// Generic over the per-chunk storage for the same reason as
+    /// [`BornLists::apply`]: batch overlays fold borrowed slices.
+    pub fn apply<S: AsRef<[f64]>>(&self, outputs: &[S]) -> f64 {
         debug_assert_eq!(outputs.len(), self.chunks.len());
         let mut stack: Vec<f64> = vec![0.0];
         for (chunk, vals) in self.chunks.iter().zip(outputs) {
+            let vals = vals.as_ref();
             debug_assert_eq!(vals.len(), chunk.len());
             for (e, &v) in self.entries[chunk.clone()].iter().zip(vals) {
                 stack.resize(stack.len() + e.opens as usize, 0.0);

@@ -99,6 +99,20 @@ pub fn delta_script(n: usize) -> [DeltaStep; 3] {
     ]
 }
 
+/// The pinned batch for the `batch` section of the delta snapshots:
+/// four independent queries scored against the restored base state
+/// through [`DeltaEngine::apply_batch`]. Same shape as [`delta_script`]
+/// but distinct atoms/amplitudes, so the batch lines pin different bits
+/// than the sequential ones.
+pub fn batch_script(n: usize) -> [DeltaStep; 4] {
+    [
+        (n / 5, Vec3::new(0.08, 0.06, -0.09), None),
+        (n / 2, Vec3::new(-0.05, 0.09, 0.07), Some((n / 4, -1.25))),
+        (3 * n / 4, Vec3::new(0.09, -0.06, 0.04), None),
+        (n / 9, Vec3::new(-0.04, -0.08, 0.10), Some((2 * n / 3, 0.5))),
+    ]
+}
+
 /// Render the incremental-engine snapshot for one molecule: drive a
 /// [`DeltaEngine`] through the pinned [`delta_script`], recording exact
 /// energy bits and the chunk-cache accounting per query, then revert the
@@ -113,11 +127,32 @@ pub fn snapshot_delta(name: &str, mol: &Molecule) -> String {
 /// caught by the committed-file diff).
 #[doc(hidden)]
 pub fn snapshot_delta_impl(name: &str, mol: &Molecule, corrupt: Option<f64>) -> String {
+    snapshot_delta_with(name, mol, |eng| {
+        if let Some(delta) = corrupt {
+            eng.debug_corrupt_cached_born_outputs(delta);
+        }
+    })
+}
+
+/// [`snapshot_delta`] with exactly one cached Born *entry* span
+/// corrupted — the entry-granular recall test uses this to prove the
+/// committed-file diff catches staleness at the smallest unit the
+/// entry-granular cache manages.
+#[doc(hidden)]
+pub fn snapshot_delta_entry_impl(name: &str, mol: &Molecule, entry: usize, delta: f64) -> String {
+    snapshot_delta_with(name, mol, |eng| {
+        eng.debug_corrupt_cached_born_entry(entry, delta);
+    })
+}
+
+fn snapshot_delta_with(
+    name: &str,
+    mol: &Molecule,
+    corrupt: impl FnOnce(&mut DeltaEngine),
+) -> String {
     let params = ApproxParams::default();
     let mut eng = DeltaEngine::new(mol, &params, DELTA_SKIN);
-    if let Some(delta) = corrupt {
-        eng.debug_corrupt_cached_born_outputs(delta);
-    }
+    corrupt(&mut eng);
     let n = mol.len();
     let mut out = format!(
         "case: {name}_delta\n\
@@ -151,6 +186,39 @@ pub fn snapshot_delta_impl(name: &str, mol: &Molecule, corrupt: Option<f64>) -> 
     out += &format!(
         "reverted_energy_bits: 0x{:016x}\n\
          reverted_born_fnv1a: 0x{:016x}\n",
+        eng.energy_kcal().to_bits(),
+        eng.born_digest(),
+    );
+
+    // Batch section: the pinned 4-query batch against the restored base
+    // (every query's bits must equal a sequential apply+revert of the
+    // same query — the engine's contract — so these lines also pin the
+    // overlay path). `entries_redone` pins the entry-granular dirtiness
+    // protocol; the post-batch lines prove the base survived untouched.
+    let batch: Vec<Perturbation> = batch_script(n)
+        .iter()
+        .map(|(atom, d, charge)| {
+            let mut p = Perturbation::default().move_atom(*atom, eng.positions()[*atom] + *d);
+            if let Some((ca, q)) = charge {
+                p = p.set_charge(*ca, *q);
+            }
+            p
+        })
+        .collect();
+    out += &format!("total_entries: {}\n", eng.total_entries());
+    for (qi, eval) in eng.apply_batch(&batch, None).iter().enumerate() {
+        out += &format!(
+            "batch{qi}_energy_bits: 0x{:016x}\n\
+             batch{qi}_entries_redone: {}\n\
+             batch{qi}_chunks_redone: {}\n",
+            eval.energy_kcal.to_bits(),
+            eval.entries_redone,
+            eval.chunks_redone,
+        );
+    }
+    out += &format!(
+        "post_batch_energy_bits: 0x{:016x}\n\
+         post_batch_born_fnv1a: 0x{:016x}\n",
         eng.energy_kcal().to_bits(),
         eng.born_digest(),
     );
@@ -235,6 +303,43 @@ mod tests {
         };
         assert_eq!(field("base_energy_bits:"), field("reverted_energy_bits:"));
         assert_eq!(field("base_born_fnv1a:"), field("reverted_born_fnv1a:"));
+        // The batch section must leave the base untouched too.
+        assert_eq!(field("base_energy_bits:"), field("post_batch_energy_bits:"));
+        assert_eq!(field("base_born_fnv1a:"), field("post_batch_born_fnv1a:"));
+    }
+
+    #[test]
+    fn delta_snapshot_batch_section_matches_sequential_applies() {
+        // The pinned batch lines must equal what a sequential
+        // apply → revert loop over the same queries records — the
+        // overlay path cannot pin different bits than the engine's
+        // sequential contract.
+        let c = &cases()[0];
+        let mol = (c.make)();
+        let s = snapshot_delta(c.name, &mol);
+        let mut eng = DeltaEngine::new(&mol, &ApproxParams::default(), DELTA_SKIN);
+        let n = mol.len();
+        for (qi, (atom, d, charge)) in batch_script(n).iter().enumerate() {
+            let mut p = Perturbation::default().move_atom(*atom, eng.positions()[*atom] + *d);
+            if let Some((ca, q)) = charge {
+                p = p.set_charge(*ca, *q);
+            }
+            let eval = eng.apply_perturbation(&p, None);
+            assert!(eng.revert(None));
+            let want = format!(
+                "batch{qi}_energy_bits: 0x{:016x}",
+                eval.energy_kcal.to_bits()
+            );
+            assert!(
+                s.lines().any(|l| l == want),
+                "batch query {qi}: snapshot missing line {want:?} in:\n{s}"
+            );
+            let want = format!("batch{qi}_entries_redone: {}", eval.entries_redone);
+            assert!(
+                s.lines().any(|l| l == want),
+                "batch query {qi}: snapshot missing line {want:?}"
+            );
+        }
     }
 
     #[test]

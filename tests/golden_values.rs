@@ -9,7 +9,8 @@
 //! and commit the diff; if not, you have a regression.
 
 use polaroct::golden::{
-    cases, golden_dir, golden_file_names, snapshot, snapshot_delta, snapshot_delta_impl,
+    cases, golden_dir, golden_file_names, snapshot, snapshot_delta, snapshot_delta_entry_impl,
+    snapshot_delta_impl,
 };
 
 fn read_committed(file: &str) -> String {
@@ -87,6 +88,49 @@ fn delta_goldens_certify_incremental_service() {
     }
 }
 
+/// The committed batch sections must certify that the pinned 4-query
+/// batch was served through the entry-granular overlay path: every
+/// query redid strictly fewer entries than the total, at least one, and
+/// the batch left the base state bit-identical.
+#[test]
+fn delta_goldens_certify_batch_service() {
+    for c in cases() {
+        let committed = read_committed(&format!("{}_delta.golden", c.name));
+        let value = |key: &str| -> String {
+            committed
+                .lines()
+                .find_map(|l| l.strip_prefix(key))
+                .unwrap_or_else(|| panic!("missing {key} in {}_delta.golden", c.name))
+                .trim()
+                .to_owned()
+        };
+        let total_entries: u64 = value("total_entries:").parse().unwrap();
+        for qi in 0..4 {
+            let redone: u64 = value(&format!("batch{qi}_entries_redone:"))
+                .parse()
+                .unwrap();
+            assert!(
+                redone > 0 && redone < total_entries,
+                "case {} batch query {qi}: {redone} of {total_entries} entries redone \
+                 is not a partial-recompute service",
+                c.name
+            );
+        }
+        assert_eq!(
+            value("base_energy_bits:"),
+            value("post_batch_energy_bits:"),
+            "case {}: the batch mutated the base energy",
+            c.name
+        );
+        assert_eq!(
+            value("base_born_fnv1a:"),
+            value("post_batch_born_fnv1a:"),
+            "case {}: the batch mutated the base Born radii",
+            c.name
+        );
+    }
+}
+
 /// Recall: a deliberately stale cached chunk must change the snapshot —
 /// i.e. the committed-file diff *would catch* a broken cache, not just
 /// bless whatever the engine produces. Runs on the smallest case.
@@ -98,6 +142,23 @@ fn delta_golden_catches_a_stale_cached_chunk() {
     assert_ne!(
         broken, committed,
         "a corrupted chunk cache reproduced the committed snapshot — the golden diff has no recall"
+    );
+}
+
+/// Entry-granular recall: corrupting a *single cached entry span* — the
+/// smallest unit the entry-granular cache manages — must also change
+/// the snapshot. This is strictly stronger than the whole-cache test
+/// above: it proves per-entry staleness cannot hide inside an otherwise
+/// clean chunk.
+#[test]
+fn delta_golden_catches_a_stale_cached_entry() {
+    let c = &cases()[0];
+    let committed = read_committed(&format!("{}_delta.golden", c.name));
+    let broken = snapshot_delta_entry_impl(c.name, &(c.make)(), 0, 1e-3);
+    assert_ne!(
+        broken, committed,
+        "a single corrupted entry span reproduced the committed snapshot — \
+         the golden diff has no entry-level recall"
     );
 }
 
